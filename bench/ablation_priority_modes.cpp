@@ -1,0 +1,57 @@
+// Ablation — MDA's multi-priority modes (paper Section III: the
+// algorithm "is also able to optimize the mapping of program blocks for
+// reliability, performance, power, or endurance according to system
+// requirements").
+//
+// Runs the case study under each OptimizationPriority with tightened
+// thresholds (so the eviction loops actually fire) and reports what
+// each mode buys: the reliability mode minimises vulnerability, the
+// performance mode minimises cycles, the power mode minimises dynamic
+// energy, and the endurance mode minimises the hottest STT-RAM write
+// rate.
+#include <iostream>
+#include <limits>
+
+#include "ftspm/core/systems.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+#include "ftspm/workload/case_study.h"
+
+int main() {
+  using namespace ftspm;
+  std::cout << "== Ablation: MDA optimisation priorities (case study) ==\n\n";
+  const Workload workload = make_case_study();
+  const ProgramProfile profile = profile_workload(workload);
+
+  AsciiTable t({"Priority", "Vulnerability", "Cycles", "Dyn energy (uJ)",
+                "Max STT wr/s", "Mapped blocks"});
+  t.set_align(0, Align::Left);
+  for (OptimizationPriority priority :
+       {OptimizationPriority::Reliability, OptimizationPriority::Performance,
+        OptimizationPriority::Power, OptimizationPriority::Endurance}) {
+    MdaConfig cfg;
+    cfg.priority = priority;
+    // Tight perf/energy thresholds force steps 3-4 to evict, and the
+    // endurance filter is disabled so the priority ordering — not the
+    // write threshold — decides who leaves STT-RAM.
+    cfg.thresholds.performance_overhead = 0.35;
+    cfg.thresholds.energy_overhead = 0.10;
+    cfg.thresholds.write_cycles_threshold =
+        std::numeric_limits<std::uint64_t>::max();
+    cfg.thresholds.word_write_threshold = 0;
+    const StructureEvaluator evaluator(TechnologyLibrary(), cfg);
+    const SystemResult r = evaluator.evaluate_ftspm(workload, profile);
+    t.add_row({to_string(priority), fixed(r.avf.vulnerability(), 4),
+               with_commas(r.run.total_cycles),
+               fixed(r.run.spm_dynamic_energy_pj() / 1e6, 1),
+               r.endurance.unlimited()
+                   ? "unlimited"
+                   : fixed(r.endurance.max_word_write_rate_per_s, 2),
+               std::to_string(r.plan.mapped_count())});
+  }
+  std::cout << t.render();
+  std::cout << "\n(Step 5 is disabled here; in the default configuration the "
+               "priority only reorders the threshold-driven evictions of "
+               "steps 3-4.)\n";
+  return 0;
+}

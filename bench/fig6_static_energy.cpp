@@ -1,0 +1,46 @@
+// Fig. 6 — "Static energy consumption results for different
+// structures".
+//
+// Static energy = SPM static power x measured execution time, per
+// benchmark and structure. Shape: pure SRAM worst everywhere (leaky 6T
+// cells, 15.8 mW-class complement); FTSPM cuts it by ~2-4x; pure
+// STT-RAM draws the least power but pays longer runtimes on
+// write-heavy kernels (fft), where its *energy* advantage narrows.
+#include <iostream>
+
+#include "ftspm/report/suite_runner.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+
+int main() {
+  using namespace ftspm;
+  std::cout << "== Fig. 6: static energy per structure (uJ) ==\n\n";
+  const StructureEvaluator evaluator;
+  const std::vector<SuiteRow> rows = run_suite(evaluator);
+
+  AsciiTable t({"Benchmark", "Pure SRAM", "FTSPM", "Pure STT-RAM",
+                "FTSPM/SRAM"});
+  for (const SuiteRow& row : rows) {
+    const double sram = row.pure_sram.run.spm_static_energy_pj / 1e6;
+    const double ft = row.ftspm.run.spm_static_energy_pj / 1e6;
+    const double stt = row.pure_stt.run.spm_static_energy_pj / 1e6;
+    t.add_row({row.name, fixed(sram, 1), fixed(ft, 1), fixed(stt, 1),
+               percent(ft / sram)});
+  }
+  std::cout << t.render();
+
+  const double geo = geomean_ratio(rows, [](const SuiteRow& r) {
+    return r.ftspm.run.spm_static_energy_pj /
+           r.pure_sram.run.spm_static_energy_pj;
+  });
+  std::cout << "\nGeomean FTSPM static energy vs pure SRAM: "
+            << percent(geo)
+            << " (paper: ~45-55% of baseline; static power "
+            << fixed(evaluator.ftspm_layout().static_power_mw(), 2)
+            << " mW vs "
+            << fixed(evaluator.pure_sram_layout().static_power_mw(), 2)
+            << " mW vs "
+            << fixed(evaluator.pure_stt_layout().static_power_mw(), 2)
+            << " mW).\n";
+  return 0;
+}

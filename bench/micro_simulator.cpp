@@ -1,0 +1,61 @@
+// Simulator and profiler throughput microbenchmarks (google-benchmark):
+// how fast the substrate chews through trace events and word accesses —
+// the practical limit on evaluation scale.
+#include <benchmark/benchmark.h>
+
+#include "ftspm/core/systems.h"
+#include "ftspm/profile/profiler.h"
+#include "ftspm/workload/suite.h"
+
+namespace {
+
+using namespace ftspm;
+
+const Workload& workload() {
+  static const Workload w = make_benchmark(MiBenchmark::Sha, 4);
+  return w;
+}
+
+void BM_ProfileWorkload(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(profile_workload(workload()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              workload().total_accesses()));
+}
+BENCHMARK(BM_ProfileWorkload);
+
+void BM_SimulateFtspm(benchmark::State& state) {
+  const StructureEvaluator evaluator;
+  const ProgramProfile prof = profile_workload(workload());
+  const MappingDeterminer mda(evaluator.ftspm_layout(),
+                              evaluator.sim_config());
+  const MappingPlan plan = mda.determine(workload().program, prof);
+  const Simulator sim(evaluator.ftspm_layout(), evaluator.sim_config());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim.run(workload(), plan.block_to_region()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              workload().total_accesses()));
+}
+BENCHMARK(BM_SimulateFtspm);
+
+void BM_MdaDetermine(benchmark::State& state) {
+  const StructureEvaluator evaluator;
+  const ProgramProfile prof = profile_workload(workload());
+  const MappingDeterminer mda(evaluator.ftspm_layout(),
+                              evaluator.sim_config());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mda.determine(workload().program, prof));
+}
+BENCHMARK(BM_MdaDetermine);
+
+void BM_GenerateSuiteWorkload(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(make_benchmark(MiBenchmark::Sha, 4));
+}
+BENCHMARK(BM_GenerateSuiteWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

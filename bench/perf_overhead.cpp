@@ -1,0 +1,44 @@
+// Performance claim — "the performance overhead of FTSPM is less than
+// 1%" vs the pure SRAM baseline.
+//
+// Per-benchmark cycle counts and breakdowns for the three structures.
+// With Table IV's own latencies FTSPM's 1-cycle STT-RAM fetches beat
+// the baseline's 2-cycle SEC-DED SRAM on fetch-dominated code, so this
+// reproduction measures a *speedup* rather than a sub-1% overhead —
+// the claim's substance (FTSPM costs no performance) holds with room
+// to spare. Pure STT-RAM shows where the 10-cycle writes bite.
+#include <iostream>
+
+#include "ftspm/report/suite_runner.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+
+int main() {
+  using namespace ftspm;
+  std::cout << "== Performance: cycles per structure ==\n\n";
+  const StructureEvaluator evaluator;
+  const std::vector<SuiteRow> rows = run_suite(evaluator);
+
+  AsciiTable t({"Benchmark", "Pure SRAM", "FTSPM", "Pure STT-RAM",
+                "FTSPM vs SRAM", "FTSPM DMA share"});
+  for (const SuiteRow& row : rows) {
+    const double ft = static_cast<double>(row.ftspm.run.total_cycles);
+    const double sram =
+        static_cast<double>(row.pure_sram.run.total_cycles);
+    t.add_row({row.name, with_commas(row.pure_sram.run.total_cycles),
+               with_commas(row.ftspm.run.total_cycles),
+               with_commas(row.pure_stt.run.total_cycles),
+               percent(ft / sram - 1.0),
+               percent(static_cast<double>(row.ftspm.run.dma_cycles) / ft)});
+  }
+  std::cout << t.render();
+
+  const double geo = geomean_ratio(rows, [](const SuiteRow& r) {
+    return static_cast<double>(r.ftspm.run.total_cycles) /
+           static_cast<double>(r.pure_sram.run.total_cycles);
+  });
+  std::cout << "\nGeomean FTSPM cycles vs pure SRAM: " << percent(geo)
+            << " (paper: ~100%, i.e. <1% overhead; negative overheads "
+               "are speedups).\n";
+  return 0;
+}

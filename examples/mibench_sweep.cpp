@@ -1,0 +1,69 @@
+// Evaluation sweep: the twelve MiBench-style workloads against all
+// three SPM structures — one compact summary table per benchmark, plus
+// the suite-wide geometric means behind Figs. 5-8.
+//
+// Build & run:  ./build/examples/mibench_sweep [scale_divisor]
+// (scale_divisor > 1 shrinks traces for a faster, shape-preserving run.)
+#include <cstdlib>
+#include <iostream>
+
+#include "ftspm/report/suite_runner.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ftspm;
+  std::uint64_t scale = 1;
+  if (argc > 1) scale = std::max(1L, std::atol(argv[1]));
+
+  const StructureEvaluator evaluator;
+  const std::vector<SuiteRow> rows = run_suite(evaluator, scale);
+
+  AsciiTable t({"Benchmark", "Vuln FTSPM", "Vuln SRAM", "Dyn FT/SRAM",
+                "Dyn FT/STT", "Stat FT/SRAM", "Endurance gain", "Perf"});
+  for (const SuiteRow& row : rows) {
+    const double ft_rate = row.ftspm.endurance.max_word_write_rate_per_s;
+    const double stt_rate =
+        row.pure_stt.endurance.max_word_write_rate_per_s;
+    t.add_row(
+        {row.name, fixed(row.ftspm.avf.vulnerability(), 4),
+         fixed(row.pure_sram.avf.vulnerability(), 4),
+         percent(row.ftspm.run.spm_dynamic_energy_pj() /
+                 row.pure_sram.run.spm_dynamic_energy_pj()),
+         percent(row.ftspm.run.spm_dynamic_energy_pj() /
+                 row.pure_stt.run.spm_dynamic_energy_pj()),
+         percent(row.ftspm.run.spm_static_energy_pj /
+                 row.pure_sram.run.spm_static_energy_pj),
+         ft_rate > 0 ? fixed(stt_rate / ft_rate, 0) + "x" : "unlimited",
+         percent(static_cast<double>(row.ftspm.run.total_cycles) /
+                 static_cast<double>(row.pure_sram.run.total_cycles))});
+  }
+  std::cout << t.render() << "\n";
+
+  std::cout << "Suite geomeans (paper values in parentheses):\n"
+            << "  vulnerability reduction vs SRAM: "
+            << fixed(geomean_ratio(rows,
+                                   [](const SuiteRow& r) {
+                                     return r.pure_sram.avf.vulnerability() /
+                                            r.ftspm.avf.vulnerability();
+                                   }),
+                     1)
+            << "x (~7x)\n"
+            << "  dynamic energy vs SRAM: "
+            << percent(geomean_ratio(
+                   rows,
+                   [](const SuiteRow& r) {
+                     return r.ftspm.run.spm_dynamic_energy_pj() /
+                            r.pure_sram.run.spm_dynamic_energy_pj();
+                   }))
+            << " (53%)\n"
+            << "  dynamic energy vs STT-RAM: "
+            << percent(geomean_ratio(
+                   rows,
+                   [](const SuiteRow& r) {
+                     return r.ftspm.run.spm_dynamic_energy_pj() /
+                            r.pure_stt.run.spm_dynamic_energy_pj();
+                   }))
+            << " (23%)\n";
+  return 0;
+}

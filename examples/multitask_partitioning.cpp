@@ -1,0 +1,49 @@
+// Multi-task FTSPM: one hybrid SPM complement shared by a prioritised
+// task set. Each task gets a spatial partition of every region
+// (proportional to weighted demand), and the ordinary FTSPM pipeline
+// runs inside each share — the direction the paper's related work [5]
+// (Takase et al., DATE'10) points at for real-time systems.
+//
+// Build & run:  ./build/examples/multitask_partitioning
+#include <iostream>
+
+#include "ftspm/core/partition.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+#include "ftspm/workload/suite.h"
+
+int main() {
+  using namespace ftspm;
+  // A plausible embedded mix: a high-priority crypto task, a mid
+  // signal-processing task, and a background checksum task.
+  const Workload crypto = make_benchmark(MiBenchmark::Rijndael, 2);
+  const Workload dsp = make_benchmark(MiBenchmark::Fft, 2);
+  const Workload housekeeping = make_benchmark(MiBenchmark::Crc32, 2);
+
+  const PartitionResult result = partition_and_evaluate(
+      {TaskSpec{&crypto, 4.0}, TaskSpec{&dsp, 2.0},
+       TaskSpec{&housekeeping, 1.0}});
+
+  AsciiTable t({"Task", "Weight", "I-SPM", "D-STT", "D-ECC", "D-Par",
+                "Cycles", "Vulnerability", "Dyn E (uJ)"});
+  t.set_align(0, Align::Left);
+  for (const TaskPartition& task : result.tasks) {
+    t.add_row({task.task_name, fixed(task.weight, 0),
+               with_commas(task.dims.ispm_bytes) + " B",
+               with_commas(task.dims.dspm_stt_bytes) + " B",
+               with_commas(task.dims.dspm_secded_bytes) + " B",
+               with_commas(task.dims.dspm_parity_bytes) + " B",
+               with_commas(task.result.run.total_cycles),
+               fixed(task.result.avf.vulnerability(), 4),
+               fixed(task.result.run.spm_dynamic_energy_pj() / 1e6, 1)});
+  }
+  std::cout << t.render();
+  std::cout << "\nWeighted vulnerability across the task set: "
+            << fixed(result.weighted_vulnerability(), 4)
+            << "; total SPM dynamic energy "
+            << fixed(result.total_dynamic_energy_pj() / 1e6, 1) << " uJ.\n"
+            << "Every region of the Table IV complement is split 4:2:1 by\n"
+            << "weighted demand (512-byte granules, one-granule floors), so\n"
+            << "even the background task keeps a protected hybrid SPM.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "ftspm/core/baseline_mapper.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+MappingPlan determine_baseline_mapping(const SpmLayout& layout,
+                                       const Program& program,
+                                       const ProgramProfile& profile) {
+  FTSPM_REQUIRE(profile.blocks.size() == program.block_count(),
+                "profile does not match program");
+  RegionId i_region = kNoRegion;
+  RegionId d_region = kNoRegion;
+  for (RegionId r = 0; r < layout.region_count(); ++r) {
+    if (layout.region(r).space == SpmSpace::Instruction) {
+      FTSPM_REQUIRE(i_region == kNoRegion,
+                    "baseline layout must have one instruction region");
+      i_region = r;
+    } else {
+      FTSPM_REQUIRE(d_region == kNoRegion,
+                    "baseline layout must have one data region");
+      d_region = r;
+    }
+  }
+  FTSPM_REQUIRE(i_region != kNoRegion && d_region != kNoRegion,
+                "baseline layout needs instruction and data regions");
+
+  std::vector<BlockMapping> mappings(program.block_count());
+  for (std::size_t i = 0; i < mappings.size(); ++i)
+    mappings[i] = BlockMapping{static_cast<BlockId>(i), kNoRegion,
+                               MappingReason::Mapped};
+
+  // Rank all blocks by access density (accesses per word), descending.
+  std::vector<BlockId> order(program.block_count());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<BlockId>(i);
+  auto density = [&](BlockId id) {
+    const Block& blk = program.block(id);
+    return static_cast<double>(profile.blocks[id].accesses()) /
+           static_cast<double>(blk.size_words());
+  };
+  std::stable_sort(order.begin(), order.end(), [&](BlockId a, BlockId b) {
+    return density(a) > density(b);
+  });
+
+  std::uint64_t i_used = 0, d_used = 0;
+  const std::uint64_t i_cap = layout.region(i_region).data_bytes;
+  const std::uint64_t d_cap = layout.region(d_region).data_bytes;
+  for (BlockId id : order) {
+    const Block& blk = program.block(id);
+    const std::uint64_t size = blk.size_bytes;
+    if (blk.is_code()) {
+      if (size > i_cap) {
+        mappings[id].reason = MappingReason::TooLarge;
+      } else if (i_used + size <= i_cap) {
+        mappings[id].region = i_region;
+        i_used += size;
+      } else {
+        mappings[id].reason = MappingReason::CodeCapacity;
+      }
+    } else {
+      if (size > d_cap) {
+        mappings[id].reason = MappingReason::TooLarge;
+      } else if (d_used + size <= d_cap) {
+        mappings[id].region = d_region;
+        d_used += size;
+      } else {
+        mappings[id].reason = MappingReason::NoSramRoom;
+      }
+    }
+  }
+  return MappingPlan(layout, std::move(mappings));
+}
+
+}  // namespace ftspm

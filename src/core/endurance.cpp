@@ -1,0 +1,35 @@
+#include "ftspm/core/endurance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+double EnduranceReport::seconds_to(double threshold_writes) const {
+  FTSPM_REQUIRE(threshold_writes > 0.0, "threshold must be positive");
+  if (unlimited()) return std::numeric_limits<double>::infinity();
+  return threshold_writes / max_word_write_rate_per_s;
+}
+
+EnduranceReport compute_endurance(const SpmLayout& layout,
+                                  const RunResult& run) {
+  FTSPM_REQUIRE(run.regions.size() == layout.region_count(),
+                "run does not match layout");
+  EnduranceReport report;
+  const double seconds = run.seconds();
+  if (seconds <= 0.0) return report;
+  for (RegionId r = 0; r < layout.region_count(); ++r) {
+    if (layout.region(r).tech.endurance_writes <= 0.0) continue;  // SRAM
+    const double rate =
+        static_cast<double>(run.regions[r].max_word_writes) / seconds;
+    report.regions.push_back(
+        RegionWear{r, run.regions[r].max_word_writes, rate});
+    report.max_word_write_rate_per_s =
+        std::max(report.max_word_write_rate_per_s, rate);
+  }
+  return report;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,24 @@
+// Baseline (non-reliability-aware) SPM mapping.
+//
+// The paper's two baselines — pure SEC-DED SRAM and pure STT-RAM —
+// use a conventional energy/performance mapping in the style of
+// Steinke et al. (DATE'02): blocks are ranked by access density
+// (accesses per word) and greedily packed into the SPM until it is
+// full. Reliability plays no part, which is exactly the gap FTSPM's
+// MDA fills.
+#pragma once
+
+#include "ftspm/core/mapping_plan.h"
+#include "ftspm/profile/profiler.h"
+#include "ftspm/sim/spm.h"
+
+namespace ftspm {
+
+/// Greedy access-density mapping onto a layout with one instruction
+/// region and one data region. Static: the packed set fits capacity,
+/// so the on-line phase never time-shares.
+MappingPlan determine_baseline_mapping(const SpmLayout& layout,
+                                       const Program& program,
+                                       const ProgramProfile& profile);
+
+}  // namespace ftspm

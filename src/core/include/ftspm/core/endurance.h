@@ -1,0 +1,53 @@
+// STT-RAM endurance model (Table III / Fig. 8).
+//
+// An STT-RAM cell dies after a bounded number of writes; since there is
+// no consensus threshold, the paper evaluates the whole 10^12..10^16
+// range. The SPM's lifetime under a steady-state workload is
+//
+//   lifetime = threshold_writes / (write rate of the hottest word)
+//
+// where the hottest word's rate comes from the simulator's per-word
+// wear counters and the measured execution time (the workload is
+// assumed to repeat back-to-back, the standard embedded steady state).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ftspm/sim/simulator.h"
+#include "ftspm/sim/spm.h"
+
+namespace ftspm {
+
+/// Write thresholds the paper's Table III evaluates.
+inline constexpr std::array<double, 5> kEnduranceThresholds = {
+    1e12, 1e13, 1e14, 1e15, 1e16};
+
+/// Wear detail for one endurance-limited region.
+struct RegionWear {
+  RegionId region = 0;
+  std::uint64_t max_word_writes = 0;
+  double write_rate_per_s = 0.0;
+};
+
+struct EnduranceReport {
+  /// Writes/second experienced by the hottest endurance-limited word;
+  /// 0 when no endurance-limited cell is ever written.
+  double max_word_write_rate_per_s = 0.0;
+  /// Per-region breakdown (endurance-limited regions only), in layout
+  /// order — identifies *which* region bounds the SPM's lifetime.
+  std::vector<RegionWear> regions;
+
+  bool unlimited() const noexcept { return max_word_write_rate_per_s <= 0.0; }
+
+  /// Seconds until the hottest word reaches `threshold_writes`;
+  /// +infinity when unlimited.
+  double seconds_to(double threshold_writes) const;
+};
+
+/// Extracts the endurance report from a finished run.
+EnduranceReport compute_endurance(const SpmLayout& layout,
+                                  const RunResult& run);
+
+}  // namespace ftspm

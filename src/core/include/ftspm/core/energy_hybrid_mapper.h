@@ -1,0 +1,35 @@
+// Energy-oriented hybrid SPM mapping — the paper's closest prior art.
+//
+// Hu et al. (DATE'11, the paper's reference [10]) manage a hybrid
+// SRAM/NVM SPM purely for energy and endurance: write-intensive data
+// goes to SRAM, read-intensive data to the NVM, with no notion of
+// block vulnerability. Implemented here against the same FTSPM layout
+// so the two policies differ *only* in what they optimise — the
+// comparison that motivates the paper's contribution. Where FTSPM
+// splits its SRAM evictees by susceptibility (vulnerable blocks into
+// SEC-DED, benign into parity), this mapper fills the SRAM regions by
+// write density alone, blind to which blocks an upset would actually
+// hurt.
+#pragma once
+
+#include "ftspm/core/mapping_plan.h"
+#include "ftspm/profile/profiler.h"
+#include "ftspm/sim/spm.h"
+
+namespace ftspm {
+
+struct EnergyHybridConfig {
+  /// Data blocks whose write share (writes / accesses) exceeds this go
+  /// to the SRAM pool; the rest compete for the NVM region.
+  double write_share_threshold = 0.10;
+};
+
+/// Maps a program onto a hybrid layout (one instruction region, one
+/// immune NVM data region, any number of SRAM data regions) by the
+/// energy-only policy. Capacity-aware and static: greedy by access
+/// density within each class, overflow left to the cache.
+MappingPlan determine_energy_hybrid_mapping(
+    const SpmLayout& layout, const Program& program,
+    const ProgramProfile& profile, const EnergyHybridConfig& config = {});
+
+}  // namespace ftspm

@@ -1,0 +1,65 @@
+// The MDA's output: where each block lives and why.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftspm/sim/spm.h"
+#include "ftspm/workload/program.h"
+
+namespace ftspm {
+
+/// Why a block ended up where it did (Table II's narrative).
+enum class MappingReason : std::uint8_t {
+  Mapped,              ///< Placed in step 1 and never evicted.
+  TooLarge,            ///< Exceeds every eligible region (paper: Main).
+  EvictedPerformance,  ///< Removed by the performance-threshold loop.
+  EvictedEnergy,       ///< Removed by the energy-threshold loop.
+  EvictedEndurance,    ///< Removed by the write-cycles threshold.
+  ReassignedSecDed,    ///< Evicted from STT, landed in the ECC region.
+  ReassignedParity,    ///< Evicted from STT, landed in the parity region.
+  NoSramRoom,          ///< Evicted from STT; fits neither SRAM region.
+  CodeCapacity,        ///< Code left out of the I-SPM by capacity.
+  DemotedTimeSharing,  ///< Step-6 placement would thrash its SRAM
+                       ///< region; left to the cache instead.
+  RestoredStt,         ///< Step-7 backfill: endurance-safe evictee
+                       ///< returned to spare STT-RAM capacity.
+};
+
+const char* to_string(MappingReason reason) noexcept;
+
+/// One block's placement.
+struct BlockMapping {
+  BlockId block = 0;
+  RegionId region = kNoRegion;
+  MappingReason reason = MappingReason::Mapped;
+
+  bool mapped() const noexcept { return region != kNoRegion; }
+};
+
+/// A full program mapping against one layout.
+class MappingPlan {
+ public:
+  MappingPlan(const SpmLayout& layout, std::vector<BlockMapping> mappings);
+
+  const std::vector<BlockMapping>& mappings() const noexcept {
+    return mappings_;
+  }
+  const BlockMapping& mapping(BlockId id) const;
+
+  /// Flat block->region vector, the simulator's input format.
+  const std::vector<RegionId>& block_to_region() const noexcept {
+    return block_to_region_;
+  }
+
+  std::size_t mapped_count() const noexcept;
+  const std::string& layout_name() const noexcept { return layout_name_; }
+
+ private:
+  std::string layout_name_;
+  std::vector<BlockMapping> mappings_;
+  std::vector<RegionId> block_to_region_;
+};
+
+}  // namespace ftspm

@@ -1,0 +1,67 @@
+// Standard SPM organisations — the paper's Table IV.
+//
+//   Pure SRAM baseline : 16 KiB SEC-DED I-SPM + 16 KiB SEC-DED D-SPM
+//   Pure STT-RAM       : 16 KiB STT I-SPM + 16 KiB STT D-SPM
+//   FTSPM              : 16 KiB STT I-SPM + {12 KiB STT, 2 KiB SEC-DED,
+//                        2 KiB parity} D-SPM
+//
+// All three sit behind 8 KiB unprotected 1-cycle L1 caches and share
+// one off-chip memory. Region names are exported as constants so the
+// mapping layer and the report layer agree on identity.
+#pragma once
+
+#include <cstdint>
+
+#include "ftspm/mem/technology_library.h"
+#include "ftspm/sim/simulator.h"
+#include "ftspm/sim/spm.h"
+
+namespace ftspm {
+
+/// Canonical region names.
+namespace region_names {
+inline constexpr const char* kInstruction = "I-SPM";
+inline constexpr const char* kDataStt = "D-STT";
+inline constexpr const char* kDataSecDed = "D-ECC";
+inline constexpr const char* kDataParity = "D-Parity";
+inline constexpr const char* kDataSram = "D-SRAM";
+}  // namespace region_names
+
+/// FTSPM region sizes (defaults = Table IV).
+struct FtspmDimensions {
+  std::uint64_t ispm_bytes = 16 * 1024;
+  std::uint64_t dspm_stt_bytes = 12 * 1024;
+  std::uint64_t dspm_secded_bytes = 2 * 1024;
+  std::uint64_t dspm_parity_bytes = 2 * 1024;
+  /// Physical bit interleaving of the protected SRAM regions (1 = the
+  /// paper's configuration; >1 enables the MBU-scattering extension).
+  std::uint32_t sram_interleave = 1;
+  /// Build the STT-RAM regions from the relaxed-retention variant
+  /// (cheap fast writes, scrub power) instead of the paper's cells.
+  bool relaxed_stt = false;
+};
+
+/// Baseline structures use the same total complement.
+struct BaselineDimensions {
+  std::uint64_t ispm_bytes = 16 * 1024;
+  std::uint64_t dspm_bytes = 16 * 1024;
+};
+
+/// FTSPM: STT-RAM I-SPM, hybrid D-SPM (region order: I-SPM, D-STT,
+/// D-ECC, D-Parity).
+SpmLayout make_ftspm_layout(const TechnologyLibrary& lib,
+                            const FtspmDimensions& dims = {});
+
+/// Pure SEC-DED SRAM baseline (region order: I-SPM, D-SRAM).
+SpmLayout make_pure_sram_layout(const TechnologyLibrary& lib,
+                                const BaselineDimensions& dims = {});
+
+/// Pure STT-RAM baseline (region order: I-SPM, D-STT).
+SpmLayout make_pure_stt_layout(const TechnologyLibrary& lib,
+                               const BaselineDimensions& dims = {});
+
+/// Processor-side configuration shared by all structures (Table IV's
+/// cache row, 200 MHz clock, off-chip memory).
+SimConfig make_sim_config(const TechnologyLibrary& lib);
+
+}  // namespace ftspm

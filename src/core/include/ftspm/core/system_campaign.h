@@ -1,0 +1,55 @@
+// System-level Monte-Carlo fault campaign.
+//
+// Bridges the mapped system to the bit-level injector: each SPM region
+// becomes an injection surface whose ACE occupancy is the
+// area-and-ACE-weighted share of architecturally-required bits it
+// holds (capped at 1 for time-shared regions). Running a campaign over
+// these surfaces measures the same quantity `compute_system_avf`
+// evaluates analytically — with the real parity/SEC-DED decoders in
+// the loop instead of Eqs. 4-7's single-codeword assumption. Agreement
+// between the two is asserted by tests and quantified by the
+// `ablation_mc_vs_avf` bench.
+#pragma once
+
+#include <vector>
+
+#include "ftspm/core/mapping_plan.h"
+#include "ftspm/fault/injector.h"
+#include "ftspm/profile/profiler.h"
+#include "ftspm/sim/spm.h"
+
+namespace ftspm {
+
+/// One injection surface per SPM region, with occupancy derived from
+/// the plan and the profiled ACE fractions.
+std::vector<InjectionRegion> make_injection_regions(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile);
+
+/// Convenience wrapper: builds the surfaces and runs the campaign.
+CampaignResult run_system_campaign(const SpmLayout& layout,
+                                   const MappingPlan& plan,
+                                   const Program& program,
+                                   const ProgramProfile& profile,
+                                   const StrikeMultiplicityModel& strikes,
+                                   const CampaignConfig& config = {});
+
+/// Temporal campaign: instead of folding residency into a static
+/// occupancy probability, each strike samples an *instant* of the
+/// execution (an index into the profiled reference sequence), resolves
+/// which block — if any — occupies the struck word at that instant
+/// using the transfer schedule's residency spans and addresses, and
+/// only then classifies the upset with the real codecs and the
+/// occupant's ACE fraction. Strikes into unoccupied SPM words are
+/// masked. This is the highest-fidelity reliability path in the
+/// repository; the static campaign and the analytic Eqs. 1-7 are its
+/// successively coarser approximations, and tests assert the three
+/// agree in that order.
+CampaignResult run_temporal_campaign(const SpmLayout& layout,
+                                     const MappingPlan& plan,
+                                     const Program& program,
+                                     const ProgramProfile& profile,
+                                     const StrikeMultiplicityModel& strikes,
+                                     const CampaignConfig& config = {});
+
+}  // namespace ftspm

@@ -1,0 +1,91 @@
+// The on-line phase, made explicit.
+//
+// After MDA fixes each block's region, the paper's tooling derives —
+// from the profiled sequence of block accesses — "the exact SPM address
+// of each block and the sequence of blocks transfer, i.e., the exact
+// point of mapping and un-mapping of blocks during application
+// execution", then splices transfer instructions (SMI-style commands,
+// after Janapsayta et al. ICCAD'04) into the code.
+//
+// TransferSchedule reproduces that artefact: it replays the profiled
+// reference sequence through a per-region address allocator (first-fit
+// over a real free list, LRU eviction) and emits the ordered command
+// stream a runtime or compiler would embed. The simulator's dynamic
+// allocator models the *cost* of these transfers; this module produces
+// the *plan itself*, with concrete region-relative word addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ftspm/core/mapping_plan.h"
+#include "ftspm/profile/profiler.h"
+#include "ftspm/sim/spm.h"
+
+namespace ftspm {
+
+/// One SPM management command, in execution order.
+struct TransferCommand {
+  enum class Op : std::uint8_t {
+    MapIn,      ///< DMA the block from off-chip memory into the SPM.
+    WriteBack,  ///< Flush a dirty block to off-chip memory.
+    Unmap,      ///< Release the block's SPM space.
+  };
+
+  std::uint64_t sequence_index = 0;  ///< Position in the profiled
+                                     ///< block-reference sequence.
+  Op op = Op::MapIn;
+  BlockId block = 0;
+  RegionId region = 0;
+  std::uint64_t base_word = 0;  ///< Region-relative word address.
+  std::uint64_t words = 0;
+};
+
+const char* to_string(TransferCommand::Op op) noexcept;
+
+/// A block's SPM placement during one residency span.
+struct ResidencySpan {
+  BlockId block = 0;
+  RegionId region = 0;
+  std::uint64_t base_word = 0;
+  std::uint64_t map_index = 0;    ///< Sequence index of the MapIn.
+  std::optional<std::uint64_t> unmap_index;  ///< Empty: resident at exit.
+};
+
+class TransferSchedule {
+ public:
+  /// Derives the schedule for `plan` from the profiled reference
+  /// sequence. Blocks the plan leaves unmapped never appear. Blocks
+  /// with any profiled writes are treated as dirty (write-back on
+  /// eviction and at program exit).
+  static TransferSchedule generate(const Program& program,
+                                   const ProgramProfile& profile,
+                                   const MappingPlan& plan,
+                                   const SpmLayout& layout);
+
+  const std::vector<TransferCommand>& commands() const noexcept {
+    return commands_;
+  }
+  const std::vector<ResidencySpan>& spans() const noexcept { return spans_; }
+
+  /// Total words moved into / out of the SPM.
+  std::uint64_t words_in() const noexcept { return words_in_; }
+  std::uint64_t words_out() const noexcept { return words_out_; }
+
+  /// Residency spans of one block, in time order.
+  std::vector<ResidencySpan> spans_of(BlockId block) const;
+
+  /// Human-readable command listing (the SMI insertion plan).
+  std::string render(const Program& program, const SpmLayout& layout,
+                     std::size_t max_commands = 64) const;
+
+ private:
+  std::vector<TransferCommand> commands_;
+  std::vector<ResidencySpan> spans_;
+  std::uint64_t words_in_ = 0;
+  std::uint64_t words_out_ = 0;
+};
+
+}  // namespace ftspm

@@ -1,0 +1,52 @@
+#include "ftspm/core/mapping_plan.h"
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+const char* to_string(MappingReason reason) noexcept {
+  switch (reason) {
+    case MappingReason::Mapped: return "mapped";
+    case MappingReason::TooLarge: return "too large for SPM";
+    case MappingReason::EvictedPerformance: return "evicted (performance)";
+    case MappingReason::EvictedEnergy: return "evicted (energy)";
+    case MappingReason::EvictedEndurance: return "evicted (endurance)";
+    case MappingReason::ReassignedSecDed: return "reassigned to SEC-DED";
+    case MappingReason::ReassignedParity: return "reassigned to parity";
+    case MappingReason::NoSramRoom: return "no SRAM region fits";
+    case MappingReason::CodeCapacity: return "I-SPM capacity";
+    case MappingReason::DemotedTimeSharing: return "demoted (time-sharing)";
+    case MappingReason::RestoredStt: return "restored to STT-RAM";
+  }
+  return "?";
+}
+
+MappingPlan::MappingPlan(const SpmLayout& layout,
+                         std::vector<BlockMapping> mappings)
+    : layout_name_(layout.name()), mappings_(std::move(mappings)) {
+  FTSPM_REQUIRE(!mappings_.empty(), "plan must cover at least one block");
+  block_to_region_.resize(mappings_.size(), kNoRegion);
+  for (std::size_t i = 0; i < mappings_.size(); ++i) {
+    const BlockMapping& m = mappings_[i];
+    FTSPM_REQUIRE(m.block == i, "mappings must be in block-id order");
+    if (m.region != kNoRegion) {
+      FTSPM_REQUIRE(m.region < layout.region_count(),
+                    "mapping references unknown region");
+    }
+    block_to_region_[i] = m.region;
+  }
+}
+
+const BlockMapping& MappingPlan::mapping(BlockId id) const {
+  FTSPM_REQUIRE(id < mappings_.size(), "block id out of range");
+  return mappings_[id];
+}
+
+std::size_t MappingPlan::mapped_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : mappings_)
+    if (m.mapped()) ++n;
+  return n;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,55 @@
+#include "ftspm/core/spm_config.h"
+
+namespace ftspm {
+
+SpmLayout make_ftspm_layout(const TechnologyLibrary& lib,
+                            const FtspmDimensions& dims) {
+  const TechnologyParams stt =
+      dims.relaxed_stt ? lib.stt_ram_relaxed() : lib.stt_ram();
+  return SpmLayout(
+      "FTSPM",
+      {SpmRegionSpec{region_names::kInstruction, SpmSpace::Instruction,
+                     dims.ispm_bytes, stt},
+       SpmRegionSpec{region_names::kDataStt, SpmSpace::Data,
+                     dims.dspm_stt_bytes, stt},
+       SpmRegionSpec{region_names::kDataSecDed, SpmSpace::Data,
+                     dims.dspm_secded_bytes, lib.secded_sram(),
+                     dims.sram_interleave},
+       SpmRegionSpec{region_names::kDataParity, SpmSpace::Data,
+                     dims.dspm_parity_bytes, lib.parity_sram(),
+                     dims.sram_interleave}});
+}
+
+SpmLayout make_pure_sram_layout(const TechnologyLibrary& lib,
+                                const BaselineDimensions& dims) {
+  return SpmLayout(
+      "Pure SRAM",
+      {SpmRegionSpec{region_names::kInstruction, SpmSpace::Instruction,
+                     dims.ispm_bytes, lib.secded_sram()},
+       SpmRegionSpec{region_names::kDataSram, SpmSpace::Data,
+                     dims.dspm_bytes, lib.secded_sram()}});
+}
+
+SpmLayout make_pure_stt_layout(const TechnologyLibrary& lib,
+                               const BaselineDimensions& dims) {
+  return SpmLayout(
+      "Pure STT-RAM",
+      {SpmRegionSpec{region_names::kInstruction, SpmSpace::Instruction,
+                     dims.ispm_bytes, lib.stt_ram()},
+       SpmRegionSpec{region_names::kDataStt, SpmSpace::Data,
+                     dims.dspm_bytes, lib.stt_ram()}});
+}
+
+SimConfig make_sim_config(const TechnologyLibrary& lib) {
+  SimConfig cfg;
+  cfg.clock_mhz = lib.corner().clock_mhz;
+  const TechnologyParams cache = lib.unprotected_sram();
+  cfg.cache_access_energy_pj =
+      (cache.read_energy_pj + cache.write_energy_pj) / 2.0;
+  // Table IV: 8 KiB unprotected 1-cycle L1 I/D caches.
+  cfg.icache = CacheConfig{8 * 1024, 32, 4, cache.read_latency_cycles};
+  cfg.dcache = CacheConfig{8 * 1024, 32, 4, cache.read_latency_cycles};
+  return cfg;
+}
+
+}  // namespace ftspm

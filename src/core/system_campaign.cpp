@@ -1,0 +1,132 @@
+#include "ftspm/core/system_campaign.h"
+
+#include "ftspm/core/transfer_schedule.h"
+#include "ftspm/util/rng.h"
+
+#include <algorithm>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+std::vector<InjectionRegion> make_injection_regions(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile) {
+  FTSPM_REQUIRE(plan.block_to_region().size() == program.block_count(),
+                "plan does not match program");
+  FTSPM_REQUIRE(profile.blocks.size() == program.block_count(),
+                "profile does not match program");
+
+  // ACE-weighted bits assigned per region (same weighting as
+  // compute_system_avf, before the region-surface cap).
+  std::vector<double> ace_bits(layout.region_count(), 0.0);
+  for (const BlockMapping& m : plan.mappings()) {
+    if (!m.mapped()) continue;
+    const RegionGeometry geom = layout.region(m.region).geometry();
+    ace_bits[m.region] +=
+        static_cast<double>(program.block(m.block).size_words()) *
+        geom.codeword_bits() *
+        profile.ace_fraction(program, m.block);
+  }
+
+  std::vector<InjectionRegion> regions;
+  regions.reserve(layout.region_count());
+  for (RegionId r = 0; r < layout.region_count(); ++r) {
+    const SpmRegionSpec& spec = layout.region(r);
+    InjectionRegion region;
+    region.geometry = spec.geometry();
+    region.protection = spec.tech.protection;
+    region.interleave = spec.interleave;
+    const double surface = static_cast<double>(region.geometry.physical_bits());
+    region.ace_occupancy = std::min(1.0, ace_bits[r] / surface);
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+CampaignResult run_system_campaign(const SpmLayout& layout,
+                                   const MappingPlan& plan,
+                                   const Program& program,
+                                   const ProgramProfile& profile,
+                                   const StrikeMultiplicityModel& strikes,
+                                   const CampaignConfig& config) {
+  return run_campaign(
+      make_injection_regions(layout, plan, program, profile), strikes,
+      config);
+}
+
+CampaignResult run_temporal_campaign(const SpmLayout& layout,
+                                     const MappingPlan& plan,
+                                     const Program& program,
+                                     const ProgramProfile& profile,
+                                     const StrikeMultiplicityModel& strikes,
+                                     const CampaignConfig& config) {
+  const TransferSchedule schedule =
+      TransferSchedule::generate(program, profile, plan, layout);
+  const std::uint64_t horizon = profile.reference_sequence.size();
+  FTSPM_REQUIRE(horizon > 0, "temporal campaign needs a non-empty trace");
+
+  // Per-region spans plus plain injection surfaces (interleave etc.).
+  std::vector<std::vector<const ResidencySpan*>> region_spans(
+      layout.region_count());
+  for (const ResidencySpan& span : schedule.spans())
+    region_spans[span.region].push_back(&span);
+
+  std::vector<InjectionRegion> surfaces;
+  std::vector<double> weights;
+  surfaces.reserve(layout.region_count());
+  for (RegionId r = 0; r < layout.region_count(); ++r) {
+    const SpmRegionSpec& spec = layout.region(r);
+    InjectionRegion surface;
+    surface.geometry = spec.geometry();
+    surface.protection = spec.tech.protection;
+    surface.interleave = spec.interleave;
+    surface.ace_occupancy = 1.0;  // residency resolved per strike below
+    surfaces.push_back(surface);
+    weights.push_back(static_cast<double>(surface.geometry.physical_bits()));
+  }
+
+  Rng rng(config.seed ^ 0x7e3a11ce);
+  CampaignResult result;
+  result.strikes = config.strikes;
+  for (std::uint64_t s = 0; s < config.strikes; ++s) {
+    const std::size_t rid = rng.next_discrete(weights);
+    const InjectionRegion& surface = surfaces[rid];
+    const std::uint64_t origin =
+        rng.next_below(surface.geometry.physical_bits());
+    const std::uint64_t word =
+        origin / surface.geometry.codeword_bits();
+    const std::uint64_t when = rng.next_below(horizon);
+
+    // Who holds this word right now?
+    const ResidencySpan* occupant = nullptr;
+    for (const ResidencySpan* span : region_spans[rid]) {
+      if (span->map_index > when) continue;
+      if (span->unmap_index && *span->unmap_index <= when) continue;
+      if (word < span->base_word ||
+          word >= span->base_word + program.block(span->block).size_words())
+        continue;
+      occupant = span;
+      break;
+    }
+
+    StrikeOutcome outcome = StrikeOutcome::Masked;
+    if (occupant != nullptr) {
+      const std::uint32_t flips =
+          strikes.sample_flips(rng, config.max_flips);
+      outcome = classify_strike(surface, origin, flips, rng);
+      if (outcome != StrikeOutcome::Masked &&
+          !rng.next_bool(profile.ace_fraction(program, occupant->block)))
+        outcome = StrikeOutcome::Masked;
+    }
+    switch (outcome) {
+      case StrikeOutcome::Masked: ++result.masked; break;
+      case StrikeOutcome::Dre: ++result.dre; break;
+      case StrikeOutcome::Due: ++result.due; break;
+      case StrikeOutcome::Sdc: ++result.sdc; break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,37 @@
+// Common vocabulary for the word-level error-protection codecs.
+//
+// These are real bit-level codecs, not probability tables: the
+// Monte-Carlo fault injector flips physical bits in stored codewords and
+// runs these decoders, which lets us validate the paper's analytic
+// SDC/DUE probabilities (Eqs. 4-7) against actual code behaviour —
+// including SEC-DED miscorrections on triple errors, which the analytic
+// model lumps into "SDC".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace ftspm {
+
+/// What the decoder reports for one word.
+enum class DecodeStatus : std::uint8_t {
+  Clean,      ///< Syndrome zero — word accepted as-is.
+  Corrected,  ///< Single-bit error corrected (SEC-DED only).
+  Detected,   ///< Error detected but not correctable (parity mismatch,
+              ///< or a SEC-DED double/multi-error syndrome).
+};
+
+/// Decoder output: status plus the (possibly corrected) data word.
+///
+/// Note Clean does NOT imply the data is right — an even number of flips
+/// defeats parity, and some >=3-bit flips alias to a zero or
+/// single-bit SEC-DED syndrome. Ground-truth classification against the
+/// originally written value is the fault module's job.
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::Clean;
+  std::uint64_t data = 0;
+  /// For Corrected: which codeword bit (0..71) was flipped back.
+  std::optional<std::uint32_t> corrected_bit;
+};
+
+}  // namespace ftspm

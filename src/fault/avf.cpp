@@ -1,0 +1,93 @@
+#include "ftspm/fault/avf.h"
+
+#include <vector>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+RegionErrorProbabilities region_error_probabilities(
+    ProtectionKind protection, const StrikeMultiplicityModel& strikes,
+    std::uint32_t interleave) {
+  FTSPM_REQUIRE(interleave >= 1, "interleave degree must be >= 1");
+  if (interleave == 1 || protection == ProtectionKind::Immune ||
+      protection == ProtectionKind::None)
+    return region_error_probabilities(protection, strikes);
+
+  // Transform the multiplicity pmf: an m-bit adjacent MBU leaves at
+  // most ceil(m / interleave) flips in any single codeword.
+  RegionErrorProbabilities p;
+  const std::vector<double> pmf = strikes.pmf();
+  for (std::uint32_t m = 1; m < pmf.size(); ++m) {
+    if (pmf[m] <= 0.0) continue;
+    const std::uint32_t per_word = (m + interleave - 1) / interleave;
+    switch (protection) {
+      case ProtectionKind::Parity:
+        (per_word == 1 ? p.p_due : p.p_sdc) += pmf[m];
+        break;
+      case ProtectionKind::SecDed:
+        if (per_word == 1)
+          p.p_dre += pmf[m];
+        else if (per_word == 2)
+          p.p_due += pmf[m];
+        else
+          p.p_sdc += pmf[m];
+        break;
+      default:
+        break;  // unreachable: handled above
+    }
+  }
+  return p;
+}
+
+RegionErrorProbabilities region_error_probabilities(
+    ProtectionKind protection, const StrikeMultiplicityModel& strikes) {
+  RegionErrorProbabilities p;
+  switch (protection) {
+    case ProtectionKind::Immune:
+      // STT-RAM cells cannot be upset; every strike is masked.
+      return p;
+    case ProtectionKind::None:
+      // No detection at all: every strike silently corrupts.
+      p.p_sdc = 1.0;
+      return p;
+    case ProtectionKind::Parity:
+      // Eq. (4): one flip is detected (no recovery); Eq. (6): two or
+      // more flips defeat single parity.
+      p.p_due = strikes.p_exactly(1);
+      p.p_sdc = strikes.p_at_least(2);
+      return p;
+    case ProtectionKind::SecDed:
+      // One flip is corrected; Eq. (5): exactly two flips are detected;
+      // Eq. (7): three or more escape or miscorrect.
+      p.p_dre = strikes.p_exactly(1);
+      p.p_due = strikes.p_exactly(2);
+      p.p_sdc = strikes.p_at_least(3);
+      return p;
+  }
+  throw InvalidArgument("unknown protection kind");
+}
+
+AvfResult compute_avf(const std::vector<AvfBlockTerm>& blocks,
+                      std::uint64_t total_physical_bits,
+                      const StrikeMultiplicityModel& strikes) {
+  FTSPM_REQUIRE(total_physical_bits > 0, "SPM has no physical bits");
+  AvfResult result;
+  const double total = static_cast<double>(total_physical_bits);
+  for (const AvfBlockTerm& b : blocks) {
+    FTSPM_REQUIRE(b.ace_fraction >= 0.0 && b.ace_fraction <= 1.0,
+                  "ACE fraction out of [0,1]");
+    FTSPM_REQUIRE(b.physical_bits <= total_physical_bits,
+                  "block larger than the SPM");
+    const RegionErrorProbabilities p =
+        region_error_probabilities(b.protection, strikes, b.interleave);
+    const double weight =
+        (static_cast<double>(b.physical_bits) / total) * b.ace_fraction;
+    result.sdc_avf += weight * p.p_sdc;
+    result.due_avf += weight * p.p_due;
+    result.dre_avf += weight * p.p_dre;
+  }
+  return result;
+}
+
+}  // namespace ftspm

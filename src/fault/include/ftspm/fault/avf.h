@@ -1,0 +1,74 @@
+// Analytic vulnerability model — the paper's Eqs. (1)-(7).
+//
+//   Vulnerability = SDC_AVF + DUE_AVF                              (1)
+//   SDC_AVF = sum_i ACE_i * P_SDC(region_i)                        (2)
+//   DUE_AVF = sum_i ACE_i * P_DUE(region_i)                        (3)
+//   P_DUE(parity)  = P(1 flip)            P_DUE(ECC) = P(2 flips)  (4,5)
+//   P_SDC(parity)  = P(>=2 flips)         P_SDC(ECC) = P(>=3)      (6,7)
+//
+// Each block's term is additionally weighted by the block's share of
+// the SPM's physical strike surface (a uniformly-aimed particle must
+// hit the block for its ACE time to matter). This weighting is what
+// produces the paper's observation that the pure-SRAM baseline is flat
+// across workloads — its whole surface is SEC-DED SRAM — while FTSPM's
+// vulnerability scales with the little SRAM it still exposes, giving
+// the ~7x reduction of Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftspm/fault/strike_model.h"
+#include "ftspm/mem/technology.h"
+
+namespace ftspm {
+
+/// Conditional outcome probabilities for a strike landing on live data
+/// in a region with the given protection.
+struct RegionErrorProbabilities {
+  double p_dre = 0.0;  ///< Detected & recovered (corrected).
+  double p_due = 0.0;  ///< Detected, unrecoverable.
+  double p_sdc = 0.0;  ///< Silent data corruption.
+
+  double p_harmful() const noexcept { return p_due + p_sdc; }
+};
+
+/// Eqs. (4)-(7) plus the immune/unprotected cases.
+RegionErrorProbabilities region_error_probabilities(
+    ProtectionKind protection, const StrikeMultiplicityModel& strikes);
+
+/// Interleaving-aware generalisation: with `interleave`-way physical
+/// bit interleaving an m-bit adjacent MBU deposits at most
+/// ceil(m / interleave) flips in any one codeword, so the outcome
+/// classes are evaluated over the transformed multiplicity pmf.
+/// `interleave == 1` reduces exactly to the paper's Eqs. (4)-(7).
+RegionErrorProbabilities region_error_probabilities(
+    ProtectionKind protection, const StrikeMultiplicityModel& strikes,
+    std::uint32_t interleave);
+
+/// One SPM-resident block, as the AVF equations see it.
+struct AvfBlockTerm {
+  std::uint64_t physical_bits = 0;  ///< Block words x codeword bits.
+  double ace_fraction = 0.0;        ///< From the profiler, in [0,1].
+  ProtectionKind protection = ProtectionKind::None;
+  std::uint32_t interleave = 1;     ///< Region's bit interleaving.
+};
+
+/// AVF decomposition for one structure/workload pair.
+struct AvfResult {
+  double sdc_avf = 0.0;
+  double due_avf = 0.0;
+  double dre_avf = 0.0;  ///< Not part of Eq. 1; reported for insight.
+
+  /// Eq. (1).
+  double vulnerability() const noexcept { return sdc_avf + due_avf; }
+};
+
+/// Evaluates the equations. `total_physical_bits` is the whole SPM
+/// strike surface (occupied or not); block terms outside the SPM must
+/// simply be omitted.
+AvfResult compute_avf(const std::vector<AvfBlockTerm>& blocks,
+                      std::uint64_t total_physical_bits,
+                      const StrikeMultiplicityModel& strikes);
+
+}  // namespace ftspm

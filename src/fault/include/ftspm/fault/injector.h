@@ -1,0 +1,87 @@
+// Monte-Carlo fault injection with real codecs.
+//
+// Where the AVF equations *assume* what parity and SEC-DED do under
+// 1/2/3/>3-bit upsets, the injector finds out: each simulated strike
+// flips `m` physically adjacent bits of a region surface holding real
+// encoded codewords, runs the real decoders, and classifies the outcome
+// against ground truth. Differences from the analytic model are real
+// physics, not bugs:
+//
+//  * an MBU that straddles a codeword boundary splits into smaller
+//    per-word errors (two adjacent single-bit errors -> both corrected),
+//    so measured SDC/DUE sit *below* the analytic Eqs. 6-7;
+//  * with bit interleaving (interleave > 1) an m-bit MBU scatters into
+//    m different codewords and SEC-DED corrects all of them — the
+//    classic mitigation, exposed here as an ablation knob.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftspm/ecc/codec.h"
+#include "ftspm/fault/strike_model.h"
+#include "ftspm/mem/geometry.h"
+#include "ftspm/mem/technology.h"
+#include "ftspm/util/rng.h"
+
+namespace ftspm {
+
+/// Severity-ordered outcome of one strike.
+enum class StrikeOutcome : std::uint8_t {
+  Masked = 0,  ///< No architectural effect (immune cells, dead data, or
+               ///< flips that cancelled).
+  Dre,         ///< Detected and recovered (ECC corrected everything).
+  Due,         ///< Detected, unrecoverable.
+  Sdc,         ///< Silent data corruption.
+};
+
+const char* to_string(StrikeOutcome outcome) noexcept;
+
+/// One region surface as the injector sees it.
+struct InjectionRegion {
+  RegionGeometry geometry{8, 0};
+  ProtectionKind protection = ProtectionKind::None;
+  /// Probability that a struck word holds architecturally-required
+  /// data (occupancy x ACE); strikes on dead words are masked.
+  double ace_occupancy = 1.0;
+  /// Physical bit interleaving degree: adjacent physical bits belong
+  /// to `interleave` different codewords. 1 = no interleaving.
+  std::uint32_t interleave = 1;
+};
+
+struct CampaignConfig {
+  std::uint64_t strikes = 100'000;
+  std::uint64_t seed = 0x57a1ce5eed;
+  std::uint32_t max_flips = 16;
+};
+
+struct CampaignResult {
+  std::uint64_t strikes = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t dre = 0;
+  std::uint64_t due = 0;
+  std::uint64_t sdc = 0;
+
+  double fraction(std::uint64_t n) const noexcept {
+    return strikes ? static_cast<double>(n) / strikes : 0.0;
+  }
+  /// Comparable to AvfResult::vulnerability().
+  double vulnerability() const noexcept {
+    return fraction(due + sdc);
+  }
+};
+
+/// Runs a campaign of uniformly-aimed strikes over the given surfaces
+/// (weighted by physical bits). Deterministic for a fixed config.
+CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
+                            const StrikeMultiplicityModel& strikes,
+                            const CampaignConfig& config = {});
+
+/// Injects one m-bit adjacent upset starting at `first_bit` of a region
+/// and classifies it (ACE filtering excluded — pure code behaviour).
+/// Exposed for unit tests and the analytic-vs-MC ablation.
+StrikeOutcome classify_strike(const InjectionRegion& region,
+                              std::uint64_t first_bit, std::uint32_t flips,
+                              Rng& rng);
+
+}  // namespace ftspm

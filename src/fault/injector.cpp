@@ -1,0 +1,151 @@
+#include "ftspm/fault/injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ftspm/ecc/parity_codec.h"
+#include "ftspm/ecc/secded_codec.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+const char* to_string(StrikeOutcome outcome) noexcept {
+  switch (outcome) {
+    case StrikeOutcome::Masked: return "masked";
+    case StrikeOutcome::Dre: return "DRE";
+    case StrikeOutcome::Due: return "DUE";
+    case StrikeOutcome::Sdc: return "SDC";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Locates physical bit `i` under the region's interleaving: with
+/// degree IL, consecutive physical bits rotate across IL codewords, so
+/// an adjacent MBU spreads over IL words.
+PhysicalBit locate_interleaved(const InjectionRegion& region,
+                               std::uint64_t i) {
+  const std::uint32_t cw = region.geometry.codeword_bits();
+  if (region.interleave <= 1) return region.geometry.locate(i);
+  const std::uint64_t group_bits =
+      static_cast<std::uint64_t>(cw) * region.interleave;
+  const std::uint64_t group = i / group_bits;
+  const std::uint64_t within = i % group_bits;
+  PhysicalBit pb;
+  pb.word_index = group * region.interleave + (within % region.interleave);
+  pb.bit_in_codeword = static_cast<std::uint32_t>(within / region.interleave);
+  return pb;
+}
+
+/// Classifies the flips that landed in one codeword.
+StrikeOutcome classify_word(ProtectionKind protection,
+                            const std::vector<std::uint32_t>& bits,
+                            Rng& rng) {
+  const std::uint64_t original = rng.next_u64();
+  switch (protection) {
+    case ProtectionKind::Immune:
+      return StrikeOutcome::Masked;
+    case ProtectionKind::None: {
+      // No check bits: any flip silently corrupts the stored word.
+      return bits.empty() ? StrikeOutcome::Masked : StrikeOutcome::Sdc;
+    }
+    case ProtectionKind::Parity: {
+      ParityWord w = ParityCodec::encode(original);
+      for (std::uint32_t b : bits) ParityCodec::flip_bit(w, b);
+      const DecodeResult r = ParityCodec::decode(w);
+      if (r.status == DecodeStatus::Detected) return StrikeOutcome::Due;
+      return r.data == original ? StrikeOutcome::Masked : StrikeOutcome::Sdc;
+    }
+    case ProtectionKind::SecDed: {
+      SecDedWord w = SecDedCodec::encode(original);
+      for (std::uint32_t b : bits) SecDedCodec::flip_bit(w, b);
+      const DecodeResult r = SecDedCodec::decode(w);
+      switch (r.status) {
+        case DecodeStatus::Clean:
+          return r.data == original ? StrikeOutcome::Masked
+                                    : StrikeOutcome::Sdc;
+        case DecodeStatus::Corrected:
+          return r.data == original ? StrikeOutcome::Dre
+                                    : StrikeOutcome::Sdc;
+        case DecodeStatus::Detected:
+          return StrikeOutcome::Due;
+      }
+      return StrikeOutcome::Sdc;
+    }
+  }
+  throw InvalidArgument("unknown protection kind");
+}
+
+}  // namespace
+
+StrikeOutcome classify_strike(const InjectionRegion& region,
+                              std::uint64_t first_bit, std::uint32_t flips,
+                              Rng& rng) {
+  FTSPM_REQUIRE(flips >= 1, "a strike flips at least one bit");
+  if (region.protection == ProtectionKind::Immune)
+    return StrikeOutcome::Masked;
+
+  const std::uint64_t surface = region.geometry.physical_bits();
+  FTSPM_REQUIRE(first_bit < surface, "strike origin outside the region");
+
+  // Gather flips per codeword (clipped at the array edge).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> hits;
+  for (std::uint32_t k = 0; k < flips && first_bit + k < surface; ++k) {
+    const PhysicalBit pb = locate_interleaved(region, first_bit + k);
+    if (pb.word_index >= region.geometry.words()) continue;
+    hits.emplace_back(pb.word_index, pb.bit_in_codeword);
+  }
+  std::sort(hits.begin(), hits.end());
+
+  StrikeOutcome worst = StrikeOutcome::Masked;
+  std::size_t i = 0;
+  while (i < hits.size()) {
+    std::vector<std::uint32_t> word_bits;
+    const std::uint64_t word = hits[i].first;
+    for (; i < hits.size() && hits[i].first == word; ++i)
+      word_bits.push_back(hits[i].second);
+    worst = std::max(worst, classify_word(region.protection, word_bits, rng));
+  }
+  return worst;
+}
+
+CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
+                            const StrikeMultiplicityModel& strikes,
+                            const CampaignConfig& config) {
+  FTSPM_REQUIRE(!regions.empty(), "campaign needs at least one region");
+  std::vector<double> weights;
+  weights.reserve(regions.size());
+  for (const auto& r : regions) {
+    FTSPM_REQUIRE(r.ace_occupancy >= 0.0 && r.ace_occupancy <= 1.0,
+                  "ace_occupancy out of [0,1]");
+    FTSPM_REQUIRE(r.interleave >= 1, "interleave degree must be >= 1");
+    weights.push_back(static_cast<double>(r.geometry.physical_bits()));
+  }
+
+  Rng rng(config.seed);
+  CampaignResult result;
+  result.strikes = config.strikes;
+  for (std::uint64_t s = 0; s < config.strikes; ++s) {
+    const std::size_t ri = rng.next_discrete(weights);
+    const InjectionRegion& region = regions[ri];
+    const std::uint64_t origin =
+        rng.next_below(region.geometry.physical_bits());
+    const std::uint32_t flips = strikes.sample_flips(rng, config.max_flips);
+    StrikeOutcome outcome = classify_strike(region, origin, flips, rng);
+    // Strikes on words holding no architecturally-required value are
+    // harmless regardless of what the codec would have reported.
+    if (outcome != StrikeOutcome::Masked &&
+        !rng.next_bool(region.ace_occupancy))
+      outcome = StrikeOutcome::Masked;
+    switch (outcome) {
+      case StrikeOutcome::Masked: ++result.masked; break;
+      case StrikeOutcome::Dre: ++result.dre; break;
+      case StrikeOutcome::Due: ++result.due; break;
+      case StrikeOutcome::Sdc: ++result.sdc; break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ftspm

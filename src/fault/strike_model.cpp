@@ -1,0 +1,91 @@
+#include "ftspm/fault/strike_model.h"
+
+#include <cmath>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+StrikeMultiplicityModel::StrikeMultiplicityModel(double p1, double p2,
+                                                 double p3, double p_gt3)
+    : p1_(p1), p2_(p2), p3_(p3), p_gt3_(p_gt3) {
+  for (double p : {p1, p2, p3, p_gt3})
+    FTSPM_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  FTSPM_REQUIRE(std::fabs(p1 + p2 + p3 + p_gt3 - 1.0) < 1e-9,
+                "multiplicity probabilities must sum to 1");
+}
+
+StrikeMultiplicityModel StrikeMultiplicityModel::at_40nm() {
+  return StrikeMultiplicityModel(0.62, 0.25, 0.06, 0.07);
+}
+StrikeMultiplicityModel StrikeMultiplicityModel::at_90nm() {
+  return StrikeMultiplicityModel(0.87, 0.09, 0.02, 0.02);
+}
+StrikeMultiplicityModel StrikeMultiplicityModel::at_65nm() {
+  return StrikeMultiplicityModel(0.76, 0.17, 0.04, 0.03);
+}
+StrikeMultiplicityModel StrikeMultiplicityModel::at_22nm() {
+  return StrikeMultiplicityModel(0.52, 0.29, 0.09, 0.10);
+}
+
+StrikeMultiplicityModel StrikeMultiplicityModel::for_node(double node_nm) {
+  FTSPM_REQUIRE(node_nm > 0.0, "node must be positive");
+  if (node_nm >= 78.0) return at_90nm();
+  if (node_nm >= 53.0) return at_65nm();
+  if (node_nm >= 31.0) return at_40nm();
+  return at_22nm();
+}
+
+double StrikeMultiplicityModel::p_exactly(unsigned flips) const {
+  switch (flips) {
+    case 1: return p1_;
+    case 2: return p2_;
+    case 3: return p3_;
+    default:
+      throw InvalidArgument("p_exactly is defined for 1..3 flips");
+  }
+}
+
+double StrikeMultiplicityModel::p_at_least(unsigned flips) const {
+  switch (flips) {
+    case 1: return 1.0;
+    case 2: return p2_ + p3_ + p_gt3_;
+    case 3: return p3_ + p_gt3_;
+    case 4: return p_gt3_;
+    default:
+      throw InvalidArgument("p_at_least is defined for 1..4 flips");
+  }
+}
+
+std::vector<double> StrikeMultiplicityModel::pmf(
+    std::uint32_t max_flips) const {
+  FTSPM_REQUIRE(max_flips >= 4, "max_flips must allow the >3 tail");
+  std::vector<double> p(max_flips + 1, 0.0);
+  p[1] = p1_;
+  p[2] = p2_;
+  p[3] = p3_;
+  // Tail: 4 + Geometric(1/2), truncated — the remaining mass collapses
+  // onto the cap, exactly as sample_flips realises it.
+  double remaining = p_gt3_;
+  for (std::uint32_t k = 4; k < max_flips; ++k) {
+    p[k] = remaining / 2.0;
+    remaining /= 2.0;
+  }
+  p[max_flips] = remaining;
+  return p;
+}
+
+std::uint32_t StrikeMultiplicityModel::sample_flips(
+    Rng& rng, std::uint32_t max_flips) const {
+  FTSPM_REQUIRE(max_flips >= 4, "max_flips must allow the >3 tail");
+  const double u = rng.next_double();
+  if (u < p1_) return 1;
+  if (u < p1_ + p2_) return 2;
+  if (u < p1_ + p2_ + p3_) return 3;
+  // Tail: 4 + Geometric(1/2), capped.
+  std::uint32_t n = 4;
+  while (n < max_flips && rng.next_bool(0.5)) ++n;
+  return n;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,83 @@
+// Memory-technology parameter model.
+//
+// This is the reproduction's substitute for NVSim (circuit-level
+// latency/energy/area model for emerging NVMs, Dong et al., TCAD'12) and
+// for the Synopsys Design Compiler measurements of the parity/SEC-DED
+// combinational circuits. The paper only consumes scalar per-access
+// latencies/energies and per-array leakage (its Table IV and Fig. 3);
+// `TechnologyLibrary` produces those scalars from a small, documented
+// analytic model calibrated at the paper's 40 nm node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftspm {
+
+/// Storage cell technology of a memory array.
+enum class MemoryTech : std::uint8_t {
+  Sram,    ///< 6T SRAM — fast, unlimited endurance, soft-error prone.
+  SttRam,  ///< STT-MRAM — immune to particle strikes, slow/costly writes.
+};
+
+/// Error-protection scheme wrapped around an array.
+enum class ProtectionKind : std::uint8_t {
+  None,    ///< Raw cells (the paper's unprotected L1 caches).
+  Parity,  ///< One even-parity bit per 64-bit word: detect 1 flip.
+  SecDed,  ///< Hamming(72,64): correct 1 flip, detect 2.
+  Immune,  ///< Structural immunity (STT-RAM cells); no code needed.
+};
+
+const char* to_string(MemoryTech tech) noexcept;
+const char* to_string(ProtectionKind kind) noexcept;
+
+/// Cost of the protection codec's combinational logic (the Synopsys DC
+/// numbers in the paper). Latencies are absorbed into whole-cycle region
+/// latencies at the paper's clock; energies are per protected word.
+struct CodecCost {
+  double encode_energy_pj = 0.0;  ///< Added to every write.
+  double decode_energy_pj = 0.0;  ///< Added to every read.
+  double static_power_mw = 0.0;   ///< Codec leakage per array instance.
+  std::uint32_t check_bits_per_word = 0;  ///< Physical overhead bits.
+};
+
+/// Per-access and static characteristics of one memory region as seen by
+/// the simulator. All energies are per 64-bit word access and already
+/// include the protection codec where applicable.
+struct TechnologyParams {
+  MemoryTech tech = MemoryTech::Sram;
+  ProtectionKind protection = ProtectionKind::None;
+
+  std::uint32_t read_latency_cycles = 1;
+  std::uint32_t write_latency_cycles = 1;
+
+  double read_energy_pj = 0.0;
+  double write_energy_pj = 0.0;
+
+  /// Leakage of the cell array per physical KiB (check bits included via
+  /// `physical_overhead`).
+  double cell_leakage_mw_per_kib = 0.0;
+
+  /// Fixed leakage per array instance: row/column decoders, sense amps,
+  /// write drivers, and (when protected) the codec.
+  double peripheral_static_mw = 0.0;
+
+  /// Physical bits stored per data bit (1.0 none, 65/64 parity, 72/64
+  /// SEC-DED).
+  double physical_overhead = 1.0;
+
+  /// Writes a cell tolerates before wear-out; 0 means unlimited (SRAM).
+  double endurance_writes = 0.0;
+
+  /// True when the cell structure cannot be upset by a particle strike.
+  bool soft_error_immune = false;
+
+  /// Total static power of an array holding `data_bytes` of payload.
+  double static_power_mw(std::uint64_t data_bytes) const noexcept {
+    const double kib = static_cast<double>(data_bytes) / 1024.0;
+    return kib * physical_overhead * cell_leakage_mw_per_kib +
+           peripheral_static_mw;
+  }
+};
+
+}  // namespace ftspm

@@ -1,0 +1,164 @@
+#include "ftspm/mem/technology_library.h"
+
+#include <cmath>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+const char* to_string(MemoryTech tech) noexcept {
+  switch (tech) {
+    case MemoryTech::Sram: return "SRAM";
+    case MemoryTech::SttRam: return "STT-RAM";
+  }
+  return "?";
+}
+
+const char* to_string(ProtectionKind kind) noexcept {
+  switch (kind) {
+    case ProtectionKind::None: return "Unprotected";
+    case ProtectionKind::Parity: return "Parity";
+    case ProtectionKind::SecDed: return "SEC-DED";
+    case ProtectionKind::Immune: return "Immune";
+  }
+  return "?";
+}
+
+namespace {
+
+// 40 nm calibration anchors. Dynamic energies are per 64-bit word
+// access; sources for the shape: STT-RAM reads cheaper than SRAM reads
+// (smaller bitline swing), STT-RAM writes ~an order of magnitude more
+// expensive and ~10x slower (Table IV: 1-cycle read / 10-cycle write at
+// 200 MHz), SEC-DED codec adds ~2 gate-levels' worth of energy per
+// access and one extra pipeline cycle (Table IV: 2-cycle SEC-DED SRAM vs
+// 1-cycle raw SRAM).
+constexpr double kSramReadPj40 = 20.0;
+constexpr double kSramWritePj40 = 22.0;
+constexpr double kSttReadPj40 = 9.0;
+constexpr double kSttWritePj40 = 300.0;
+
+constexpr double kSramLeakMwPerKib40 = 0.40;
+constexpr double kSttLeakMwPerKib40 = 0.08;
+constexpr double kPeripheralMw40 = 0.50;
+
+constexpr double kSttEnduranceWrites = 4.0e14;  // mid-range of 10^12..10^16
+
+// Relaxed-retention STT-RAM: ~60% lower write current and pulse width
+// (Swaminathan et al. report 2-5x write energy/latency gains), paid as
+// a scrub duty cycle that shows up as steady per-KiB power.
+constexpr double kSttRelaxedWritePj40 = 90.0;
+constexpr std::uint32_t kSttRelaxedWriteCycles = 4;
+constexpr double kSttScrubMwPerKib40 = 0.06;
+constexpr double kSttRelaxedEnduranceWrites = 4.0e15;
+
+}  // namespace
+
+TechnologyLibrary::TechnologyLibrary(ProcessCorner corner) : corner_(corner) {
+  FTSPM_REQUIRE(corner_.node_nm >= 10.0 && corner_.node_nm <= 180.0,
+                "process node out of modelled range [10,180] nm");
+  FTSPM_REQUIRE(corner_.clock_mhz > 0.0, "clock must be positive");
+  FTSPM_REQUIRE(corner_.vdd > 0.0, "vdd must be positive");
+  // Dynamic energy ~ C * V^2; capacitance ~ node. Normalised to the
+  // paper's 40 nm / 1.1 V corner.
+  scale_ = (corner_.node_nm / 40.0) * (corner_.vdd * corner_.vdd) / (1.1 * 1.1);
+}
+
+CodecCost TechnologyLibrary::codec(ProtectionKind protection) const {
+  CodecCost cost;
+  switch (protection) {
+    case ProtectionKind::None:
+    case ProtectionKind::Immune:
+      return cost;
+    case ProtectionKind::Parity:
+      // A 64-input XOR tree; negligible next to an array access.
+      cost.encode_energy_pj = 0.6 * scale_;
+      cost.decode_energy_pj = 0.7 * scale_;
+      cost.static_power_mw = 0.05;
+      cost.check_bits_per_word = 1;
+      return cost;
+    case ProtectionKind::SecDed:
+      // Hamming(72,64): 8 parallel parity trees to encode, plus a
+      // syndrome decoder and a 72-way correction mux on reads.
+      cost.encode_energy_pj = 4.5 * scale_;
+      cost.decode_energy_pj = 7.5 * scale_;
+      cost.static_power_mw = 0.25;
+      cost.check_bits_per_word = 8;
+      return cost;
+  }
+  throw InvalidArgument("unknown protection kind");
+}
+
+TechnologyParams TechnologyLibrary::region(MemoryTech tech,
+                                           ProtectionKind protection) const {
+  if (tech == MemoryTech::SttRam) {
+    FTSPM_REQUIRE(protection == ProtectionKind::Immune ||
+                      protection == ProtectionKind::None,
+                  "STT-RAM regions are structurally immune; parity/SEC-DED "
+                  "on STT-RAM is not modelled");
+  } else {
+    FTSPM_REQUIRE(protection != ProtectionKind::Immune,
+                  "SRAM cells are not soft-error immune");
+  }
+
+  const CodecCost cc = codec(protection);
+  TechnologyParams p;
+  p.tech = tech;
+  p.protection = protection;
+  p.physical_overhead = 1.0 + cc.check_bits_per_word / 64.0;
+  p.peripheral_static_mw = kPeripheralMw40 + cc.static_power_mw;
+
+  if (tech == MemoryTech::Sram) {
+    p.read_latency_cycles = 1;
+    p.write_latency_cycles = 1;
+    p.read_energy_pj = kSramReadPj40 * scale_ + cc.decode_energy_pj;
+    p.write_energy_pj = kSramWritePj40 * scale_ + cc.encode_energy_pj;
+    p.cell_leakage_mw_per_kib = kSramLeakMwPerKib40 * (40.0 / corner_.node_nm);
+    p.endurance_writes = 0.0;  // unlimited
+    p.soft_error_immune = false;
+    if (protection == ProtectionKind::SecDed) {
+      // The syndrome decode does not fit in the array access cycle at
+      // 200 MHz; the paper's Table IV charges 2 cycles for both
+      // directions (read-modify-write of check bits on writes).
+      p.read_latency_cycles = 2;
+      p.write_latency_cycles = 2;
+    }
+  } else {  // SttRam
+    p.protection = ProtectionKind::Immune;
+    p.read_latency_cycles = 1;
+    p.write_latency_cycles = 10;  // Table IV
+    p.read_energy_pj = kSttReadPj40 * scale_;
+    p.write_energy_pj = kSttWritePj40 * scale_;
+    // MTJ cells have no leakage path; residual leakage is in the access
+    // transistors and periphery.
+    p.cell_leakage_mw_per_kib = kSttLeakMwPerKib40 * (40.0 / corner_.node_nm);
+    p.endurance_writes = kSttEnduranceWrites;
+    p.soft_error_immune = true;
+    p.physical_overhead = 1.0;
+  }
+  return p;
+}
+
+TechnologyParams TechnologyLibrary::unprotected_sram() const {
+  return region(MemoryTech::Sram, ProtectionKind::None);
+}
+TechnologyParams TechnologyLibrary::parity_sram() const {
+  return region(MemoryTech::Sram, ProtectionKind::Parity);
+}
+TechnologyParams TechnologyLibrary::secded_sram() const {
+  return region(MemoryTech::Sram, ProtectionKind::SecDed);
+}
+TechnologyParams TechnologyLibrary::stt_ram() const {
+  return region(MemoryTech::SttRam, ProtectionKind::Immune);
+}
+
+TechnologyParams TechnologyLibrary::stt_ram_relaxed() const {
+  TechnologyParams p = stt_ram();
+  p.write_latency_cycles = kSttRelaxedWriteCycles;
+  p.write_energy_pj = kSttRelaxedWritePj40 * scale_;
+  p.cell_leakage_mw_per_kib += kSttScrubMwPerKib40 * (40.0 / corner_.node_nm);
+  p.endurance_writes = kSttRelaxedEnduranceWrites;
+  return p;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,26 @@
+// CSV renditions of every reproduced artefact — the raw series behind
+// Tables I-III and Figs. 2-8, ready for external plotting. Used by
+// `ftspm_tool report --out-dir <dir>`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ftspm/report/suite_runner.h"
+
+namespace ftspm {
+
+/// All artefact CSVs for one full evaluation: filename -> contents.
+/// `rows` must come from run_suite(evaluator, ...); the case-study
+/// artefacts are generated internally at full scale.
+std::map<std::string, std::string> export_all_csv(
+    const StructureEvaluator& evaluator, const std::vector<SuiteRow>& rows);
+
+/// Writes every entry of export_all_csv() under `directory` (created
+/// if needed). Returns the file paths written.
+std::vector<std::string> write_all_csv(const StructureEvaluator& evaluator,
+                                       const std::vector<SuiteRow>& rows,
+                                       const std::string& directory);
+
+}  // namespace ftspm

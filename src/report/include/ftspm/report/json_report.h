@@ -1,0 +1,24 @@
+// Machine-readable result serialization (consumed by ftspm_tool's
+// --json mode and by downstream analysis scripts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftspm/core/systems.h"
+#include "ftspm/report/suite_runner.h"
+
+namespace ftspm {
+
+/// One structure's full evaluation as a JSON object string: mapping,
+/// run counters, energies, AVF decomposition, endurance.
+std::string system_result_json(const SystemResult& result,
+                               const SpmLayout& layout,
+                               const Program& program);
+
+/// The whole 12-benchmark sweep as a JSON array (one element per
+/// benchmark with the three structures nested).
+std::string suite_json(const std::vector<SuiteRow>& rows,
+                       const StructureEvaluator& evaluator);
+
+}  // namespace ftspm

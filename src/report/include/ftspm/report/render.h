@@ -1,0 +1,50 @@
+// Rendering helpers shared by the bench harness and the examples:
+// ASCII reproductions of the paper's tables and horizontal bar charts
+// standing in for its figures.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftspm/core/mapping_plan.h"
+#include "ftspm/core/systems.h"
+#include "ftspm/profile/profiler.h"
+#include "ftspm/sim/simulator.h"
+#include "ftspm/sim/spm.h"
+#include "ftspm/workload/program.h"
+
+namespace ftspm {
+
+/// Table I: per-block profiling results.
+std::string render_profile_table(const Program& program,
+                                 const ProgramProfile& profile);
+
+/// Table II: MDA output (mapped? which technology/region?).
+std::string render_mapping_table(const Program& program,
+                                 const MappingPlan& plan,
+                                 const SpmLayout& layout);
+
+/// Table IV: configuration of one structure.
+std::string render_layout_table(const SpmLayout& layout);
+
+/// Figs. 2/4: percentage of reads/writes landing in each region.
+std::string render_rw_distribution(const SpmLayout& layout,
+                                   const RunResult& run);
+
+/// Per-block diagnostic table for one evaluated system: placement,
+/// access routing (SPM vs cache), hottest-word wear, and each block's
+/// share of the structure's vulnerability (Eq. 1 decomposition).
+std::string render_block_report(const Program& program,
+                                const SystemResult& result,
+                                const SpmLayout& layout,
+                                const ProgramProfile& profile,
+                                const StrikeMultiplicityModel& strikes);
+
+/// Generic horizontal bar chart (figures). Values must be >= 0.
+std::string render_bar_chart(const std::string& title,
+                             const std::vector<std::pair<std::string, double>>&
+                                 series,
+                             const std::string& unit, int width = 48);
+
+}  // namespace ftspm

@@ -1,0 +1,33 @@
+// Evaluation driver: runs the MiBench-style suite against the three
+// structures — the inner loop behind Figs. 4-8. Shared by the bench
+// binaries and the examples so every artefact reports the same numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftspm/core/systems.h"
+#include "ftspm/workload/suite.h"
+
+namespace ftspm {
+
+/// All three structures' results for one benchmark.
+struct SuiteRow {
+  MiBenchmark benchmark{};
+  std::string name;
+  SystemResult ftspm;
+  SystemResult pure_sram;
+  SystemResult pure_stt;
+};
+
+/// Runs every benchmark at the given scale. Deterministic.
+std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
+                                std::uint64_t scale_divisor = 1);
+
+/// Geometric mean of per-row ratios f(row); rows where the ratio is
+/// non-positive or non-finite are skipped.
+double geomean_ratio(const std::vector<SuiteRow>& rows,
+                     double (*ratio)(const SuiteRow&));
+
+}  // namespace ftspm

@@ -1,0 +1,37 @@
+#include "ftspm/report/suite_runner.h"
+
+#include <cmath>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
+                                std::uint64_t scale_divisor) {
+  std::vector<SuiteRow> rows;
+  rows.reserve(kMiBenchmarkCount);
+  for (MiBenchmark bench : all_benchmarks()) {
+    const Workload workload = make_benchmark(bench, scale_divisor);
+    std::vector<SystemResult> results = evaluator.evaluate_all(workload);
+    FTSPM_CHECK(results.size() == 3, "expected three structures");
+    rows.push_back(SuiteRow{bench, to_string(bench), std::move(results[0]),
+                            std::move(results[1]), std::move(results[2])});
+  }
+  return rows;
+}
+
+double geomean_ratio(const std::vector<SuiteRow>& rows,
+                     double (*ratio)(const SuiteRow&)) {
+  FTSPM_REQUIRE(ratio != nullptr, "ratio function required");
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const SuiteRow& row : rows) {
+    const double r = ratio(row);
+    if (!(r > 0.0) || !std::isfinite(r)) continue;
+    log_sum += std::log(r);
+    ++n;
+  }
+  return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace ftspm

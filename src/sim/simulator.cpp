@@ -1,0 +1,247 @@
+#include "ftspm/sim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+double RunResult::spm_dynamic_energy_pj() const noexcept {
+  double e = dma_energy_pj - dma_dram_side_energy_pj;
+  for (const auto& r : regions) e += r.energy_pj();
+  return e;
+}
+
+double RunResult::total_dynamic_energy_pj() const noexcept {
+  double e = cache_energy_pj + dram_energy_pj + dma_energy_pj;
+  for (const auto& r : regions) e += r.energy_pj();
+  return e;
+}
+
+std::uint64_t RunResult::spm_reads() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : regions) n += r.reads;
+  return n;
+}
+
+std::uint64_t RunResult::spm_writes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : regions) n += r.writes;
+  return n;
+}
+
+double RunResult::spm_energy_per_access_pj() const noexcept {
+  const std::uint64_t n = spm_accesses();
+  if (n == 0) return 0.0;
+  double e = 0.0;
+  for (const auto& r : regions) e += r.energy_pj();
+  return e / static_cast<double>(n);
+}
+
+Simulator::Simulator(SpmLayout layout, SimConfig config)
+    : layout_(std::move(layout)), config_(config) {
+  FTSPM_REQUIRE(config_.clock_mhz > 0.0, "clock must be positive");
+}
+
+namespace {
+
+/// Runtime residency bookkeeping for one block.
+struct BlockState {
+  bool resident = false;
+  bool dirty = false;
+  std::uint64_t last_use = 0;
+  std::vector<std::uint64_t> wear;  ///< Per-word program writes while
+                                    ///< resident (STT regions only).
+};
+
+/// Runtime state of one region's dynamic allocator.
+struct RegionState {
+  std::uint64_t used_words = 0;
+  std::vector<BlockId> resident;  ///< Blocks currently loaded.
+};
+
+}  // namespace
+
+RunResult Simulator::run(const Workload& workload,
+                         std::span<const RegionId> block_to_region) const {
+  const Program& program = workload.program;
+  FTSPM_REQUIRE(block_to_region.size() == program.block_count(),
+                "mapping must cover every block");
+  for (std::size_t i = 0; i < program.block_count(); ++i) {
+    const RegionId r = block_to_region[i];
+    if (r == kNoRegion) continue;
+    const Block& b = program.block(static_cast<BlockId>(i));
+    const SpmRegionSpec& spec = layout_.region(r);
+    FTSPM_REQUIRE(b.size_bytes <= spec.data_bytes,
+                  "block " + b.name + " does not fit region " + spec.name);
+    const bool wants_code = spec.space == SpmSpace::Instruction;
+    FTSPM_REQUIRE(b.is_code() == wants_code,
+                  "block " + b.name + " mapped to wrong space " + spec.name);
+  }
+
+  RunResult res;
+  res.layout_name = layout_.name();
+  res.clock_mhz = config_.clock_mhz;
+  res.regions.resize(layout_.region_count());
+  res.block_max_word_writes.assign(program.block_count(), 0);
+  res.block_spm_accesses.assign(program.block_count(), 0);
+  res.block_cache_accesses.assign(program.block_count(), 0);
+
+  Cache icache(config_.icache);
+  Cache dcache(config_.dcache);
+  const std::uint32_t line_words = config_.icache.line_bytes / 8;
+  const std::uint32_t dline_words = config_.dcache.line_bytes / 8;
+
+  std::vector<BlockState> blocks(program.block_count());
+  std::vector<RegionState> regions(layout_.region_count());
+  std::uint64_t tick = 0;
+
+  // DMA transfer of `words` words between DRAM and a region.
+  auto dma_transfer = [&](RegionId rid, std::uint64_t words, bool into_spm) {
+    const SpmRegionSpec& spec = layout_.region(rid);
+    const std::uint32_t spm_lat = into_spm ? spec.tech.write_latency_cycles
+                                           : spec.tech.read_latency_cycles;
+    const std::uint32_t per_word =
+        std::max<std::uint32_t>(config_.dram.word_latency_cycles, spm_lat);
+    res.dma_cycles += config_.dma.setup_cycles +
+                      config_.dram.line_latency_cycles + words * per_word;
+    const double dram_e = words * (into_spm ? config_.dram.read_energy_pj
+                                            : config_.dram.write_energy_pj);
+    const double spm_e = words * (into_spm ? spec.tech.write_energy_pj
+                                           : spec.tech.read_energy_pj);
+    res.dma_energy_pj += dram_e + spm_e;
+    res.dma_dram_side_energy_pj += dram_e;
+    if (into_spm)
+      res.regions[rid].dma_in_words += words;
+    else
+      res.regions[rid].dma_out_words += words;
+  };
+
+  auto evict = [&](RegionId rid, BlockId victim) {
+    RegionState& rs = regions[rid];
+    BlockState& vs = blocks[victim];
+    if (vs.dirty) dma_transfer(rid, program.block(victim).size_words(), false);
+    vs.resident = false;
+    vs.dirty = false;
+    rs.used_words -= program.block(victim).size_words();
+    rs.resident.erase(std::find(rs.resident.begin(), rs.resident.end(),
+                                victim));
+  };
+
+  auto ensure_resident = [&](BlockId id, RegionId rid) {
+    BlockState& bs = blocks[id];
+    bs.last_use = ++tick;
+    if (bs.resident) return;
+    RegionState& rs = regions[rid];
+    const std::uint64_t need = program.block(id).size_words();
+    while (rs.used_words + need > layout_.region(rid).data_words()) {
+      FTSPM_CHECK(!rs.resident.empty(),
+                  "allocator invariant: block fits an empty region");
+      // Evict the least-recently-used resident block.
+      BlockId victim = rs.resident.front();
+      for (BlockId b : rs.resident)
+        if (blocks[b].last_use < blocks[victim].last_use) victim = b;
+      ++res.regions[rid].capacity_evictions;
+      evict(rid, victim);
+    }
+    dma_transfer(rid, need, true);
+    rs.used_words += need;
+    rs.resident.push_back(id);
+    bs.resident = true;
+  };
+
+  auto cache_access = [&](Cache& cache, std::uint32_t cline_words,
+                          std::uint64_t addr, bool is_write) {
+    const CacheAccessResult r = cache.access(addr, is_write);
+    res.cache_cycles += cache.config().hit_latency_cycles;
+    res.cache_energy_pj += config_.cache_access_energy_pj;
+    if (!r.hit) {
+      res.dram_penalty_cycles += config_.dram.line_latency_cycles;
+      res.dram_energy_pj += cline_words * config_.dram.read_energy_pj;
+    }
+    if (r.writeback) {
+      res.dram_penalty_cycles += config_.dram.word_latency_cycles *
+                                 cline_words;
+      res.dram_energy_pj += cline_words * config_.dram.write_energy_pj;
+    }
+  };
+
+  for (const TraceEvent& e : workload.trace) {
+    if (e.is_marker()) continue;
+    const Block& blk = program.block(e.block);
+    const std::uint32_t n_words = blk.size_words();
+    res.compute_cycles += static_cast<std::uint64_t>(e.gap) * e.repeat;
+
+    const RegionId rid = block_to_region[e.block];
+    const bool is_write = e.type == AccessType::Write;
+
+    if (rid != kNoRegion) {
+      res.block_spm_accesses[e.block] += e.repeat;
+      ensure_resident(e.block, rid);
+      const SpmRegionSpec& spec = layout_.region(rid);
+      RegionRunStats& rstats = res.regions[rid];
+      BlockState& bs = blocks[e.block];
+      if (is_write) {
+        rstats.writes += e.repeat;
+        rstats.write_energy_pj += e.repeat * spec.tech.write_energy_pj;
+        res.spm_cycles += static_cast<std::uint64_t>(e.repeat) *
+                          spec.tech.write_latency_cycles;
+        bs.dirty = true;
+        if (spec.tech.endurance_writes > 0.0) {
+          // Endurance-limited technology: track per-word wear.
+          if (bs.wear.empty()) bs.wear.assign(n_words, 0);
+          for (std::uint32_t k = 0; k < e.repeat; ++k)
+            ++bs.wear[(e.offset + k) % n_words];
+        }
+      } else {
+        rstats.reads += e.repeat;
+        rstats.read_energy_pj += e.repeat * spec.tech.read_energy_pj;
+        res.spm_cycles += static_cast<std::uint64_t>(e.repeat) *
+                          spec.tech.read_latency_cycles;
+      }
+    } else {
+      res.block_cache_accesses[e.block] += e.repeat;
+      const bool is_code = e.type == AccessType::Fetch;
+      Cache& cache = is_code ? icache : dcache;
+      const std::uint32_t cline = is_code ? line_words : dline_words;
+      const std::uint64_t base = program.base_address(e.block);
+      for (std::uint32_t k = 0; k < e.repeat; ++k) {
+        const std::uint64_t addr =
+            base + static_cast<std::uint64_t>((e.offset + k) % n_words) * 8;
+        cache_access(cache, cline, addr, is_write);
+      }
+    }
+  }
+
+  // Final write-back of dirty resident blocks (end-of-program flush).
+  for (std::size_t i = 0; i < program.block_count(); ++i) {
+    const RegionId rid = block_to_region[i];
+    if (rid != kNoRegion && blocks[i].resident && blocks[i].dirty)
+      dma_transfer(rid, program.block(static_cast<BlockId>(i)).size_words(),
+                   false);
+  }
+
+  // Wear roll-up.
+  for (std::size_t i = 0; i < program.block_count(); ++i) {
+    if (blocks[i].wear.empty()) continue;
+    const std::uint64_t hottest =
+        *std::max_element(blocks[i].wear.begin(), blocks[i].wear.end());
+    res.block_max_word_writes[i] = hottest;
+    const RegionId rid = block_to_region[i];
+    if (rid != kNoRegion)
+      res.regions[rid].max_word_writes =
+          std::max(res.regions[rid].max_word_writes, hottest);
+  }
+
+  res.icache = icache.stats();
+  res.dcache = dcache.stats();
+  res.total_cycles = res.compute_cycles + res.spm_cycles + res.cache_cycles +
+                     res.dram_penalty_cycles + res.dma_cycles;
+  const double time_us = static_cast<double>(res.total_cycles) /
+                         config_.clock_mhz;
+  res.spm_static_energy_pj = layout_.static_power_mw() * time_us * 1000.0;
+  return res;
+}
+
+}  // namespace ftspm

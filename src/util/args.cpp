@@ -1,0 +1,112 @@
+#include "ftspm/util/args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+ArgParser& ArgParser::add_flag(const std::string& name, std::string help) {
+  FTSPM_REQUIRE(!specs_.count(name), "duplicate option --" + name);
+  specs_[name] = Spec{std::move(help), false, "", false};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_option(const std::string& name, std::string help,
+                                 std::string default_value) {
+  FTSPM_REQUIRE(!specs_.count(name), "duplicate option --" + name);
+  specs_[name] = Spec{std::move(help), true, std::move(default_value), false};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser::Spec& ArgParser::known(const std::string& name) {
+  auto it = specs_.find(name);
+  FTSPM_REQUIRE(it != specs_.end(), "unknown option --" + name);
+  return it->second;
+}
+
+const ArgParser::Spec& ArgParser::known(const std::string& name) const {
+  auto it = specs_.find(name);
+  FTSPM_REQUIRE(it != specs_.end(), "unknown option --" + name);
+  return it->second;
+}
+
+void ArgParser::parse(int argc, const char* const* argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_inline = true;
+    }
+    Spec& spec = known(arg);
+    spec.seen = true;
+    if (!spec.takes_value) {
+      FTSPM_REQUIRE(!has_inline, "--" + arg + " does not take a value");
+      continue;
+    }
+    if (has_inline) {
+      spec.value = std::move(inline_value);
+    } else {
+      FTSPM_REQUIRE(i + 1 < argc, "--" + arg + " needs a value");
+      spec.value = argv[++i];
+    }
+  }
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const Spec& spec = known(name);
+  FTSPM_REQUIRE(!spec.takes_value, "--" + name + " is not a flag");
+  return spec.seen;
+}
+
+const std::string& ArgParser::option(const std::string& name) const {
+  const Spec& spec = known(name);
+  FTSPM_REQUIRE(spec.takes_value, "--" + name + " is a flag");
+  return spec.value;
+}
+
+std::int64_t ArgParser::option_int(const std::string& name) const {
+  const std::string& raw = option(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  FTSPM_REQUIRE(end && *end == '\0' && !raw.empty(),
+                "--" + name + " expects an integer, got '" + raw + "'");
+  return v;
+}
+
+double ArgParser::option_double(const std::string& name) const {
+  const std::string& raw = option(name);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  FTSPM_REQUIRE(end && *end == '\0' && !raw.empty(),
+                "--" + name + " expects a number, got '" + raw + "'");
+  return v;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n";
+  for (const std::string& name : order_) {
+    const Spec& spec = specs_.at(name);
+    os << "  --" << name;
+    if (spec.takes_value) os << " <value (default: " << spec.value << ")>";
+    os << "\n      " << spec.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ftspm

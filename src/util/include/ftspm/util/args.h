@@ -1,0 +1,58 @@
+// Minimal command-line argument parsing for the ftspm_tool driver and
+// the examples. Supports `--flag`, `--option value`, `--option=value`,
+// and positional arguments; unknown options are errors. No external
+// dependencies, deterministic help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftspm {
+
+class ArgParser {
+ public:
+  /// `program` and `summary` head the usage text.
+  ArgParser(std::string program, std::string summary);
+
+  /// Registers a boolean `--name` flag.
+  ArgParser& add_flag(const std::string& name, std::string help);
+
+  /// Registers a value-taking `--name <value>` option with a default.
+  ArgParser& add_option(const std::string& name, std::string help,
+                        std::string default_value);
+
+  /// Parses argv[start..). Throws InvalidArgument on unknown options,
+  /// missing values, or malformed numbers requested later.
+  void parse(int argc, const char* const* argv, int start = 1);
+
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+  std::int64_t option_int(const std::string& name) const;
+  double option_double(const std::string& name) const;
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool takes_value = false;
+    std::string value;  // default, then parsed
+    bool seen = false;
+  };
+
+  Spec& known(const std::string& name);
+  const Spec& known(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace ftspm

@@ -1,0 +1,53 @@
+// Small bit-manipulation helpers used by the ECC codecs and the fault
+// injector. All operate on 64-bit words or word spans.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace ftspm {
+
+/// Number of set bits.
+constexpr int popcount64(std::uint64_t v) noexcept { return std::popcount(v); }
+
+/// Even parity of a 64-bit word: 1 when the number of set bits is odd.
+constexpr int parity64(std::uint64_t v) noexcept {
+  return std::popcount(v) & 1;
+}
+
+/// Tests bit `i` (0 = LSB) of `v`.
+constexpr bool get_bit(std::uint64_t v, unsigned i) noexcept {
+  return ((v >> i) & 1ULL) != 0;
+}
+
+/// Returns `v` with bit `i` set to `value`.
+constexpr std::uint64_t set_bit(std::uint64_t v, unsigned i,
+                                bool value) noexcept {
+  const std::uint64_t mask = 1ULL << i;
+  return value ? (v | mask) : (v & ~mask);
+}
+
+/// Returns `v` with bit `i` flipped.
+constexpr std::uint64_t flip_bit(std::uint64_t v, unsigned i) noexcept {
+  return v ^ (1ULL << i);
+}
+
+/// Tests bit `i` of a multi-word little-endian bit vector.
+inline bool get_bit(std::span<const std::uint64_t> words, std::size_t i) {
+  return get_bit(words[i / 64], static_cast<unsigned>(i % 64));
+}
+
+/// Flips bit `i` of a multi-word little-endian bit vector.
+inline void flip_bit(std::span<std::uint64_t> words, std::size_t i) {
+  words[i / 64] = flip_bit(words[i / 64], static_cast<unsigned>(i % 64));
+}
+
+/// Population count over a word span.
+inline std::size_t popcount(std::span<const std::uint64_t> words) {
+  std::size_t n = 0;
+  for (auto w : words) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,52 @@
+// Minimal JSON emission (no parsing) for machine-readable tool output.
+// A stack-based writer: push objects/arrays, emit key/value pairs, pop.
+// Produces deterministic, valid JSON with escaping; numbers use
+// shortest-round-trip formatting for doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftspm {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // --- structure -----------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // --- values ----------------------------------------------------------
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& element(std::string_view value);
+  JsonWriter& element(double value);
+
+  /// Finishes and returns the document. Throws if containers are
+  /// still open.
+  std::string str() const;
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+  void comma();
+  void key_prefix(std::string_view key);
+  static std::string escape(std::string_view s);
+  static std::string number(double v);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+};
+
+}  // namespace ftspm

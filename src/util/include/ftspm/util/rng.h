@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the reproduction (workload generators,
+// Monte-Carlo fault injection) draw from `Rng`, a xoshiro256** generator
+// seeded via SplitMix64. Determinism across platforms is a hard
+// requirement: identical seeds must yield identical traces, profiles,
+// mappings, and injection campaigns, so results in EXPERIMENTS.md are
+// exactly reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ftspm {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic PRNG with convenience distributions.
+///
+/// Not a std::uniform_random_bit_generator replacement on purpose: the
+/// standard distributions are implementation-defined, which would break
+/// cross-platform reproducibility.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's unbiased multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Samples an index from a discrete distribution given non-negative
+  /// weights. Throws InvalidArgument if weights are empty or all zero.
+  std::size_t next_discrete(std::span<const double> weights);
+
+  /// Geometric-ish burst length: 1 + number of successes of repeated
+  /// Bernoulli(p) trials, capped at `cap`. Used by workload generators
+  /// to produce bursty access runs.
+  std::uint32_t next_burst(double p, std::uint32_t cap);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks a statistically independent child generator; the child's seed
+  /// is derived from this generator's stream.
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ftspm

@@ -1,0 +1,61 @@
+// Minimal ASCII/CSV table rendering shared by the report layer, the
+// bench harness, and the examples. Kept in util (rather than report) so
+// low-level libraries can emit diagnostics without a dependency cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftspm {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { Left, Right };
+
+/// Builds fixed-width ASCII tables:
+///
+///   AsciiTable t({"Block", "Reads"});
+///   t.add_row({"Main", "3,327,700"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Sets the alignment of column `idx` (default Left for the first
+  /// column, Right for the rest — the common "name + numbers" shape).
+  void set_align(std::size_t idx, Align align);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with `+-|` borders.
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Escapes and joins rows into RFC-4180-ish CSV text.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftspm

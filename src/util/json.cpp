@@ -1,0 +1,177 @@
+#include "ftspm/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+void JsonWriter::comma() {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  FTSPM_REQUIRE(!stack_.empty() && stack_.back() == Frame::Object,
+                "keyed emission outside an object");
+  comma();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\":";
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  FTSPM_REQUIRE(std::isfinite(v), "JSON numbers must be finite");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == v) return candidate;
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  FTSPM_REQUIRE(stack_.empty() || stack_.back() == Frame::Array,
+                "unkeyed object belongs in an array or at the root");
+  comma();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  FTSPM_REQUIRE(!stack_.empty() && stack_.back() == Frame::Object,
+                "end_object without an open object");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  FTSPM_REQUIRE(stack_.empty() || stack_.back() == Frame::Array,
+                "unkeyed array belongs in an array or at the root");
+  comma();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  FTSPM_REQUIRE(!stack_.empty() && stack_.back() == Frame::Array,
+                "end_array without an open array");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  out_ += '"';
+  out_ += escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  out_ += number(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(std::string_view value) {
+  FTSPM_REQUIRE(!stack_.empty() && stack_.back() == Frame::Array,
+                "element outside an array");
+  comma();
+  out_ += '"';
+  out_ += escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(double value) {
+  FTSPM_REQUIRE(!stack_.empty() && stack_.back() == Frame::Array,
+                "element outside an array");
+  comma();
+  out_ += number(value);
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  FTSPM_REQUIRE(stack_.empty(), "unclosed JSON containers");
+  return out_;
+}
+
+}  // namespace ftspm

@@ -1,0 +1,106 @@
+#include "ftspm/util/rng.h"
+
+#include <cmath>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // xoshiro256** must not start from the all-zero state; SplitMix64 can
+  // in principle emit four zero words only for pathological seeds.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  FTSPM_REQUIRE(bound > 0, "next_below bound must be positive");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  FTSPM_REQUIRE(lo <= hi, "next_in requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::size_t Rng::next_discrete(std::span<const double> weights) {
+  FTSPM_REQUIRE(!weights.empty(), "next_discrete requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    FTSPM_REQUIRE(w >= 0.0 && std::isfinite(w),
+                  "weights must be finite and non-negative");
+    total += w;
+  }
+  FTSPM_REQUIRE(total > 0.0, "at least one weight must be positive");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point underflow fallback: return last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;)
+    if (weights[i] > 0.0) return i;
+  return weights.size() - 1;
+}
+
+std::uint32_t Rng::next_burst(double p, std::uint32_t cap) {
+  FTSPM_REQUIRE(cap >= 1, "burst cap must be >= 1");
+  std::uint32_t n = 1;
+  while (n < cap && next_bool(p)) ++n;
+  return n;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace ftspm

@@ -1,0 +1,106 @@
+#include "ftspm/util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FTSPM_REQUIRE(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::Right);
+  aligns_[0] = Align::Left;
+}
+
+void AsciiTable::set_align(std::size_t idx, Align align) {
+  FTSPM_REQUIRE(idx < aligns_.size(), "column index out of range");
+  aligns_[idx] = align;
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  FTSPM_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      s += " ";
+      if (aligns_[c] == Align::Right) s += std::string(pad, ' ');
+      s += cell;
+      if (aligns_[c] == Align::Left) s += std::string(pad, ' ');
+      s += " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << rule() << line(headers_) << rule();
+  for (const auto& row : rows_) {
+    if (row.separator)
+      os << rule();
+    else
+      os << line(row.cells);
+  }
+  os << rule();
+  return os.str();
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FTSPM_REQUIRE(!headers_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  FTSPM_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  return out + "\"";
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace ftspm

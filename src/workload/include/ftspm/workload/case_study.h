@@ -1,0 +1,81 @@
+// The paper's Section-IV motivational example (its Algorithm 2): a
+// program with two multiply phases, two add phases, and a quicksort over
+// four ~2 KB arrays, profiled in the paper's Table I and mapped in its
+// Table II.
+//
+// The generator distributes the Table-I access totals over the loop/call
+// structure with Bresenham-style splits, so profiling the generated
+// trace reproduces the paper's read/write/stack-call counts *exactly*
+// (lifetime and reads-per-reference emerge from the structure and match
+// in shape). Block sizes are chosen to trigger the same MDA decisions
+// the paper reports: Main exceeds the 16 KB I-SPM; Mul and Add fit;
+// Array1/Array3/Stack violate a 100k write threshold and are evicted
+// from STT-RAM; Array1/Array3 land in the 2 KB SEC-DED region and the
+// Stack in the parity region.
+#pragma once
+
+#include <cstdint>
+
+#include "ftspm/workload/trace.h"
+
+namespace ftspm {
+
+/// Tunable knobs of the case-study generator. Defaults reproduce the
+/// paper's Table I.
+struct CaseStudyTargets {
+  // Block geometry (bytes).
+  std::uint32_t main_code_bytes = 18 * 1024;  ///< > 16 KB I-SPM: unmappable.
+  std::uint32_t mul_code_bytes = 2 * 1024;
+  std::uint32_t add_code_bytes = 1 * 1024;
+  std::uint32_t array_bytes = 242 * 8;  ///< "about 2 KB" (1936 B).
+  std::uint32_t stack_bytes = 512;
+
+  // Call structure.
+  std::uint64_t outer_iterations = 50;
+  std::uint64_t mul_calls = 6'400;       // Table I "Number of Stack Calls"
+  std::uint64_t add_calls = 7'100;
+  std::uint64_t qsort_calls = 397'560;   // +1 top-level Main entry = 397,561
+  std::uint32_t mul_frame_bytes = 72;    // Table I "Maximum Stack Size"
+  std::uint32_t add_frame_bytes = 72;
+  std::uint32_t main_frame_bytes = 60;
+  std::uint32_t qsort_frame_bytes = 16;
+  std::uint32_t qsort_max_depth = 18;    // 60 + 18*16 = 348 B max stack
+
+  // Access totals (Table I).
+  std::uint64_t main_fetches = 3'327'700;
+  std::uint64_t mul_fetches = 25'973'000;
+  std::uint64_t add_fetches = 906'200;
+  std::uint64_t mul_reads_array1_per_call = 134;
+  std::uint64_t mul_writes_array1_per_call = 134;
+  std::uint64_t mul_reads_array2 = 1'113'200;
+  std::uint64_t add_reads_array3 = 2'178'000;
+  std::uint64_t add_writes_array3 = 1'113'200;
+  std::uint64_t add_reads_array4 = 1'113'200;
+  std::uint64_t qsort_reads_array1 = 1'324'030;
+  std::uint64_t qsort_writes_array1 = 256'810;
+  std::uint64_t init_passes = 2;  ///< 2 * 242 words = 484 init writes/array.
+  std::uint64_t qsort_stack_writes = 55'552;
+  std::uint64_t qsort_stack_reads = 112'509;
+  std::uint32_t frame_spill_words = 9;  ///< 72-byte frames spill 9 words.
+
+  /// Divides every count by `divisor` (structure preserved) — used by
+  /// tests that need a fast trace. Divisor must be >= 1.
+  CaseStudyTargets scaled_down(std::uint64_t divisor) const;
+};
+
+/// Fixed block ids of the case-study program, in Table I's row order.
+struct CaseStudyBlocks {
+  static constexpr BlockId kMain = 0;
+  static constexpr BlockId kMul = 1;
+  static constexpr BlockId kAdd = 2;
+  static constexpr BlockId kArray1 = 3;
+  static constexpr BlockId kArray2 = 4;
+  static constexpr BlockId kArray3 = 5;
+  static constexpr BlockId kArray4 = 6;
+  static constexpr BlockId kStack = 7;
+};
+
+/// Builds the case-study workload (program + trace).
+Workload make_case_study(const CaseStudyTargets& targets = {});
+
+}  // namespace ftspm

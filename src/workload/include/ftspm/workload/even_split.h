@@ -1,0 +1,45 @@
+// Exact integer apportionment of a total over N parts.
+//
+// Workload generators must hit the paper's access totals exactly while
+// spreading them over thousands of calls/iterations; EvenSplit hands
+// out floor-balanced shares (largest-remainder / Bresenham style) whose
+// sum over all parts equals the total precisely.
+#pragma once
+
+#include <cstdint>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+class EvenSplit {
+ public:
+  EvenSplit(std::uint64_t total, std::uint64_t parts)
+      : total_(total), parts_(parts) {
+    FTSPM_REQUIRE(parts > 0, "EvenSplit needs at least one part");
+  }
+
+  /// Budget for the next `k` parts. Sums to `total` once all parts are
+  /// taken. Throws if more than `parts` parts are requested.
+  std::uint64_t take(std::uint64_t k = 1) {
+    FTSPM_REQUIRE(parts_taken_ + k <= parts_, "EvenSplit over-consumed");
+    parts_taken_ += k;
+    // total * taken can overflow u64 for huge totals; use __uint128_t.
+    const auto target = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(total_) * parts_taken_) / parts_);
+    const std::uint64_t share = target - given_;
+    given_ = target;
+    return share;
+  }
+
+  std::uint64_t parts_left() const noexcept { return parts_ - parts_taken_; }
+  std::uint64_t amount_left() const noexcept { return total_ - given_; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t parts_;
+  std::uint64_t parts_taken_ = 0;
+  std::uint64_t given_ = 0;
+};
+
+}  // namespace ftspm

@@ -1,0 +1,58 @@
+// MiBench-style workload suite.
+//
+// The paper evaluates FTSPM on the MiBench embedded suite (Guthaus et
+// al., WWC'01) compiled for ARM and run under FaCSim. Neither the
+// binaries nor the simulator are reproducible offline, so this module
+// provides twelve synthetic kernels named after and shaped like their
+// MiBench counterparts: each defines the code/data block structure of
+// the original (tables, streams, in-place buffers, hot small state,
+// recursion) and emits a deterministic trace with a characteristic
+// read/write mix. MDA and every evaluation metric depend only on these
+// block-level statistics, which is what makes the substitution sound.
+//
+// Deliberate diversity across the suite (drives Figs 4-8):
+//  * read-dominated streamers: stringsearch, crc32, bitcount, susan
+//  * write-heavy in-place kernels: fft, qsort
+//  * tiny write-hot state blocks that stress STT-RAM endurance:
+//    sha (message schedule), crc32 (accumulator), adpcm (coder state),
+//    rijndael (cipher state)
+//  * blocks too large for the 2 KB protected SRAM regions, which MDA
+//    must leave unmapped: qsort records, fft re/im, jpeg coefficients
+//  * code footprints above the 16 KB I-SPM: jpeg
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftspm/workload/trace.h"
+
+namespace ftspm {
+
+enum class MiBenchmark : std::uint8_t {
+  Basicmath,
+  Bitcount,
+  Qsort,
+  Susan,
+  Jpeg,
+  Dijkstra,
+  StringSearch,
+  Sha,
+  Crc32,
+  Fft,
+  Adpcm,
+  Rijndael,
+};
+
+inline constexpr std::size_t kMiBenchmarkCount = 12;
+
+const char* to_string(MiBenchmark bench) noexcept;
+
+/// All twelve benchmarks in evaluation order.
+const std::vector<MiBenchmark>& all_benchmarks();
+
+/// Builds one benchmark's workload. `scale_divisor` shrinks iteration
+/// counts (structure preserved) for fast tests; 1 = evaluation scale.
+Workload make_benchmark(MiBenchmark bench, std::uint64_t scale_divisor = 1);
+
+}  // namespace ftspm

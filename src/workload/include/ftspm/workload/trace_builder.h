@@ -1,0 +1,97 @@
+// Structured trace construction.
+//
+// Workload generators describe programs in terms of calls, loops, and
+// streaming array passes; TraceBuilder turns that structure into a
+// validated TraceEvent stream, tracking call depth and stack usage so
+// the generated trace always has balanced markers and in-bounds
+// offsets. Stack frames are materialised as reads/writes to the
+// program's Stack block at the current depth, which is what makes the
+// stack show up in the profile (and later in MDA's endurance filter)
+// exactly like the paper's Table I "Stack" row.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ftspm/workload/trace.h"
+
+namespace ftspm {
+
+class TraceBuilder {
+ public:
+  /// `program` must outlive the builder.
+  explicit TraceBuilder(const Program& program);
+
+  // --- code ---------------------------------------------------------
+
+  /// Emits a CallEnter marker for `fn` requesting `frame_bytes` of
+  /// stack, then (when the program has a Stack block and
+  /// `spill_words > 0`) writes `spill_words` words of the frame to the
+  /// stack. Depth bookkeeping feeds max_stack_bytes().
+  void call(BlockId fn, std::uint32_t frame_bytes,
+            std::uint32_t spill_words = 0);
+
+  /// Emits the matching CallExit; optionally reads back `reload_words`
+  /// spilled words first.
+  void ret(std::uint32_t reload_words = 0);
+
+  /// Emits `count` instruction fetches from the innermost active code
+  /// block, starting at word 0 and wrapping; `gap` compute cycles
+  /// precede each fetch.
+  void fetch(std::uint64_t count, std::uint16_t gap = 0);
+
+  /// Fetches from an explicit code block (for sequences outside calls).
+  void fetch_from(BlockId code_block, std::uint64_t count,
+                  std::uint16_t gap = 0);
+
+  // --- data ---------------------------------------------------------
+
+  /// A run of `count` sequential word reads from `block` starting at
+  /// word `offset` (wrapping modulo the block size).
+  void read(BlockId block, std::uint64_t count, std::uint32_t offset = 0,
+            std::uint16_t gap = 0);
+
+  /// Sequential word writes, same conventions as read().
+  void write(BlockId block, std::uint64_t count, std::uint32_t offset = 0,
+             std::uint16_t gap = 0);
+
+  /// Single-word accesses at an arbitrary offset (random-access
+  /// patterns).
+  void read_at(BlockId block, std::uint32_t offset, std::uint16_t gap = 0);
+  void write_at(BlockId block, std::uint32_t offset, std::uint16_t gap = 0);
+
+  /// Reads/writes near the current stack top (requires a Stack block).
+  void stack_read(std::uint64_t count, std::uint16_t gap = 0);
+  void stack_write(std::uint64_t count, std::uint16_t gap = 0);
+
+  // --- results ------------------------------------------------------
+
+  /// Deepest stack usage seen so far, in bytes.
+  std::uint32_t max_stack_bytes() const noexcept { return max_stack_bytes_; }
+
+  /// Current call depth (0 at top level).
+  std::size_t call_depth() const noexcept { return frames_.size(); }
+
+  /// Finishes the trace: requires all calls returned; validates and
+  /// returns the event stream, leaving the builder empty.
+  std::vector<TraceEvent> take();
+
+ private:
+  struct Frame {
+    BlockId fn;
+    std::uint32_t frame_bytes;
+  };
+
+  void push(TraceEvent event);
+  std::uint32_t stack_top_word() const noexcept;
+
+  const Program& program_;
+  std::vector<TraceEvent> events_;
+  std::vector<Frame> frames_;
+  std::uint32_t stack_bytes_ = 0;
+  std::uint32_t max_stack_bytes_ = 0;
+  std::optional<BlockId> stack_block_;
+};
+
+}  // namespace ftspm

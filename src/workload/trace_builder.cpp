@@ -1,0 +1,126 @@
+#include "ftspm/workload/trace_builder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+TraceBuilder::TraceBuilder(const Program& program) : program_(program) {
+  for (std::size_t i = 0; i < program_.block_count(); ++i) {
+    if (program_.block(static_cast<BlockId>(i)).kind == BlockKind::Stack) {
+      stack_block_ = static_cast<BlockId>(i);
+      break;
+    }
+  }
+}
+
+void TraceBuilder::push(TraceEvent event) { events_.push_back(event); }
+
+std::uint32_t TraceBuilder::stack_top_word() const noexcept {
+  if (frames_.empty() || stack_bytes_ == 0) return 0;
+  const std::uint32_t frame = frames_.back().frame_bytes;
+  const std::uint32_t base = stack_bytes_ >= frame ? stack_bytes_ - frame : 0;
+  return base / 8;
+}
+
+void TraceBuilder::call(BlockId fn, std::uint32_t frame_bytes,
+                        std::uint32_t spill_words) {
+  FTSPM_REQUIRE(program_.block(fn).is_code(), "call target must be code");
+  FTSPM_REQUIRE(frame_bytes % 4 == 0, "frame bytes must be 4-aligned");
+  push(TraceEvent{fn, AccessType::CallEnter, 0, frame_bytes, 1});
+  frames_.push_back(Frame{fn, frame_bytes});
+  stack_bytes_ += frame_bytes;
+  max_stack_bytes_ = std::max(max_stack_bytes_, stack_bytes_);
+  if (spill_words > 0) stack_write(spill_words);
+}
+
+void TraceBuilder::ret(std::uint32_t reload_words) {
+  FTSPM_REQUIRE(!frames_.empty(), "ret without matching call");
+  if (reload_words > 0) stack_read(reload_words);
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  stack_bytes_ -= std::min(stack_bytes_, frame.frame_bytes);
+  push(TraceEvent{frame.fn, AccessType::CallExit, 0, 0, 1});
+}
+
+void TraceBuilder::fetch(std::uint64_t count, std::uint16_t gap) {
+  FTSPM_REQUIRE(!frames_.empty(), "fetch needs an active call frame");
+  fetch_from(frames_.back().fn, count, gap);
+}
+
+void TraceBuilder::fetch_from(BlockId code_block, std::uint64_t count,
+                              std::uint16_t gap) {
+  FTSPM_REQUIRE(program_.block(code_block).is_code(),
+                "fetch target must be code");
+  constexpr std::uint64_t kChunk = std::numeric_limits<std::uint32_t>::max();
+  while (count > 0) {
+    const auto n = static_cast<std::uint32_t>(std::min(count, kChunk));
+    push(TraceEvent{code_block, AccessType::Fetch, gap, 0, n});
+    count -= n;
+  }
+}
+
+namespace {
+void check_data_target(const Program& program, BlockId block,
+                       std::uint32_t offset) {
+  const Block& b = program.block(block);
+  FTSPM_REQUIRE(b.is_data(), "data access target must be a data block");
+  FTSPM_REQUIRE(offset < b.size_words(), "offset outside block " + b.name);
+}
+}  // namespace
+
+void TraceBuilder::read(BlockId block, std::uint64_t count,
+                        std::uint32_t offset, std::uint16_t gap) {
+  check_data_target(program_, block, offset);
+  constexpr std::uint64_t kChunk = std::numeric_limits<std::uint32_t>::max();
+  while (count > 0) {
+    const auto n = static_cast<std::uint32_t>(std::min(count, kChunk));
+    push(TraceEvent{block, AccessType::Read, gap, offset, n});
+    count -= n;
+  }
+}
+
+void TraceBuilder::write(BlockId block, std::uint64_t count,
+                         std::uint32_t offset, std::uint16_t gap) {
+  check_data_target(program_, block, offset);
+  constexpr std::uint64_t kChunk = std::numeric_limits<std::uint32_t>::max();
+  while (count > 0) {
+    const auto n = static_cast<std::uint32_t>(std::min(count, kChunk));
+    push(TraceEvent{block, AccessType::Write, gap, offset, n});
+    count -= n;
+  }
+}
+
+void TraceBuilder::read_at(BlockId block, std::uint32_t offset,
+                           std::uint16_t gap) {
+  read(block, 1, offset, gap);
+}
+
+void TraceBuilder::write_at(BlockId block, std::uint32_t offset,
+                            std::uint16_t gap) {
+  write(block, 1, offset, gap);
+}
+
+void TraceBuilder::stack_read(std::uint64_t count, std::uint16_t gap) {
+  FTSPM_REQUIRE(stack_block_.has_value(), "program has no stack block");
+  read(*stack_block_, count,
+       stack_top_word() % program_.block(*stack_block_).size_words(), gap);
+}
+
+void TraceBuilder::stack_write(std::uint64_t count, std::uint16_t gap) {
+  FTSPM_REQUIRE(stack_block_.has_value(), "program has no stack block");
+  write(*stack_block_, count,
+        stack_top_word() % program_.block(*stack_block_).size_words(), gap);
+}
+
+std::vector<TraceEvent> TraceBuilder::take() {
+  FTSPM_REQUIRE(frames_.empty(), "take() with unreturned calls");
+  validate_trace(program_, events_);
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace ftspm

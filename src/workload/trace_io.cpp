@@ -1,0 +1,150 @@
+#include "ftspm/workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+
+namespace {
+
+char type_code(AccessType type) {
+  switch (type) {
+    case AccessType::Fetch: return 'F';
+    case AccessType::Read: return 'R';
+    case AccessType::Write: return 'W';
+    case AccessType::CallEnter: return 'C';
+    case AccessType::CallExit: return 'X';
+  }
+  return '?';
+}
+
+AccessType type_of(char code, std::size_t line) {
+  switch (code) {
+    case 'F': return AccessType::Fetch;
+    case 'R': return AccessType::Read;
+    case 'W': return AccessType::Write;
+    case 'C': return AccessType::CallEnter;
+    case 'X': return AccessType::CallExit;
+    default:
+      throw Error("trace line " + std::to_string(line) +
+                  ": unknown event type '" + std::string(1, code) + "'");
+  }
+}
+
+BlockKind kind_of(const std::string& word, std::size_t line) {
+  if (word == "code") return BlockKind::Code;
+  if (word == "data") return BlockKind::Data;
+  if (word == "stack") return BlockKind::Stack;
+  throw Error("trace line " + std::to_string(line) + ": unknown block kind '" +
+              word + "'");
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw Error("trace line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string serialize_workload(const Workload& workload) {
+  std::ostringstream os;
+  os << "ftspm-trace v1\n";
+  os << "program " << workload.program.name() << "\n";
+  for (const Block& blk : workload.program.blocks())
+    os << "block " << blk.name << " " << to_string(blk.kind) << " "
+       << blk.size_bytes << "\n";
+  os << "trace " << workload.trace.size() << "\n";
+  for (const TraceEvent& e : workload.trace)
+    os << type_code(e.type) << " " << e.block << " " << e.offset << " "
+       << e.repeat << " " << e.gap << "\n";
+  return os.str();
+}
+
+Workload parse_workload(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "ftspm-trace v1")
+    fail(line_no ? line_no : 1, "missing 'ftspm-trace v1' header");
+
+  if (!next_line()) fail(line_no, "missing 'program' record");
+  std::istringstream header(line);
+  std::string keyword, program_name;
+  header >> keyword >> program_name;
+  if (keyword != "program" || program_name.empty())
+    fail(line_no, "expected 'program <name>'");
+
+  std::vector<Block> blocks;
+  std::size_t event_count = 0;
+  while (next_line()) {
+    std::istringstream fields(line);
+    fields >> keyword;
+    if (keyword == "block") {
+      std::string name, kind;
+      std::uint64_t bytes = 0;
+      fields >> name >> kind >> bytes;
+      if (fields.fail()) fail(line_no, "expected 'block <name> <kind> <bytes>'");
+      blocks.push_back(Block{name, kind_of(kind, line_no),
+                             static_cast<std::uint32_t>(bytes)});
+    } else if (keyword == "trace") {
+      fields >> event_count;
+      if (fields.fail()) fail(line_no, "expected 'trace <count>'");
+      break;
+    } else {
+      fail(line_no, "unexpected record '" + keyword + "'");
+    }
+  }
+  if (blocks.empty()) fail(line_no, "no blocks declared");
+
+  std::vector<TraceEvent> trace;
+  trace.reserve(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    if (!next_line()) fail(line_no, "trace truncated: expected " +
+                                        std::to_string(event_count) +
+                                        " events");
+    std::istringstream fields(line);
+    std::string code;
+    std::uint64_t block = 0, offset = 0, repeat = 0, gap = 0;
+    fields >> code >> block >> offset >> repeat >> gap;
+    if (fields.fail() || code.size() != 1)
+      fail(line_no, "expected '<type> <block> <offset> <repeat> <gap>'");
+    TraceEvent e;
+    e.type = type_of(code[0], line_no);
+    e.block = static_cast<BlockId>(block);
+    e.offset = static_cast<std::uint32_t>(offset);
+    e.repeat = static_cast<std::uint32_t>(repeat);
+    e.gap = static_cast<std::uint16_t>(gap);
+    trace.push_back(e);
+  }
+
+  Workload workload{Program(program_name, std::move(blocks)),
+                    std::move(trace)};
+  validate_trace(workload.program, workload.trace);
+  return workload;
+}
+
+void save_workload(const Workload& workload, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FTSPM_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << serialize_workload(workload);
+  FTSPM_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+Workload load_workload(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FTSPM_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_workload(buffer.str());
+}
+
+}  // namespace ftspm

@@ -1,0 +1,103 @@
+#include "ftspm/core/baseline_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/core/spm_config.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+const TechnologyLibrary& lib() {
+  static const TechnologyLibrary kLib;
+  return kLib;
+}
+
+ProgramProfile profile_with(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rw) {
+  ProgramProfile prof;
+  for (std::size_t i = 0; i < rw.size(); ++i) {
+    BlockProfile bp;
+    bp.id = static_cast<BlockId>(i);
+    bp.reads = rw[i].first;
+    bp.writes = rw[i].second;
+    bp.references = 1;
+    bp.lifetime_cycles = 1;
+    prof.blocks.push_back(bp);
+    prof.total_accesses += bp.accesses();
+  }
+  prof.total_cycles = prof.total_accesses;
+  return prof;
+}
+
+TEST(BaselineMapperTest, PacksByAccessDensity) {
+  const SpmLayout layout = make_pure_sram_layout(lib());
+  // Two 12 KiB arrays compete for the 16 KiB D-SPM: the denser one
+  // (more accesses per word) wins.
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"dense", BlockKind::Data, 12 * 1024},
+                              Block{"sparse", BlockKind::Data, 12 * 1024}});
+  const ProgramProfile prof =
+      profile_with({{1000, 0}, {90'000, 10'000}, {5'000, 0}});
+  const MappingPlan plan = determine_baseline_mapping(layout, program, prof);
+  EXPECT_TRUE(plan.mapping(1).mapped());
+  EXPECT_FALSE(plan.mapping(2).mapped());
+  EXPECT_TRUE(plan.mapping(0).mapped());
+}
+
+TEST(BaselineMapperTest, DensityNotRawCountDecides) {
+  const SpmLayout layout = make_pure_sram_layout(lib());
+  // A tiny red-hot block beats a large block with more total accesses
+  // but lower density.
+  const Program program("p",
+                        {Block{"fn", BlockKind::Code, 1024},
+                         Block{"tiny_hot", BlockKind::Data, 512},
+                         Block{"big_warm", BlockKind::Data, 16 * 1024}});
+  const ProgramProfile prof =
+      profile_with({{10, 0}, {50'000, 0}, {100'000, 0}});
+  const MappingPlan plan = determine_baseline_mapping(layout, program, prof);
+  // Both fit? big_warm fills the 16 KiB region alone, so tiny_hot must
+  // have been placed first (density 50000/64 >> 100000/2048).
+  EXPECT_TRUE(plan.mapping(1).mapped());
+  EXPECT_FALSE(plan.mapping(2).mapped());
+  EXPECT_EQ(plan.mapping(2).reason, MappingReason::NoSramRoom);
+}
+
+TEST(BaselineMapperTest, OversizedBlocksAreTooLarge) {
+  const SpmLayout layout = make_pure_sram_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 20 * 1024},
+                              Block{"arr", BlockKind::Data, 20 * 1024}});
+  const ProgramProfile prof = profile_with({{10, 0}, {10, 0}});
+  const MappingPlan plan = determine_baseline_mapping(layout, program, prof);
+  EXPECT_EQ(plan.mapping(0).reason, MappingReason::TooLarge);
+  EXPECT_EQ(plan.mapping(1).reason, MappingReason::TooLarge);
+}
+
+TEST(BaselineMapperTest, CodeAndDataUseTheirOwnRegions) {
+  const SpmLayout layout = make_pure_stt_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"arr", BlockKind::Data, 1024}});
+  const ProgramProfile prof = profile_with({{100, 0}, {100, 10}});
+  const MappingPlan plan = determine_baseline_mapping(layout, program, prof);
+  EXPECT_EQ(layout.region(plan.mapping(0).region).space,
+            SpmSpace::Instruction);
+  EXPECT_EQ(layout.region(plan.mapping(1).region).space, SpmSpace::Data);
+}
+
+TEST(BaselineMapperTest, RejectsHybridLayouts) {
+  const SpmLayout hybrid = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024}});
+  const ProgramProfile prof = profile_with({{10, 0}});
+  EXPECT_THROW(determine_baseline_mapping(hybrid, program, prof),
+               InvalidArgument);
+}
+
+TEST(BaselineMapperTest, RejectsMismatchedProfile) {
+  const SpmLayout layout = make_pure_sram_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024}});
+  EXPECT_THROW(determine_baseline_mapping(layout, program, ProgramProfile{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,119 @@
+#include "ftspm/core/endurance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftspm/core/spm_config.h"
+#include "ftspm/util/error.h"
+#include "ftspm/util/format.h"
+
+namespace ftspm {
+namespace {
+
+const TechnologyLibrary& lib() {
+  static const TechnologyLibrary kLib;
+  return kLib;
+}
+
+RunResult run_with(const SpmLayout& layout, std::uint64_t cycles,
+                   std::vector<std::uint64_t> max_writes) {
+  RunResult res;
+  res.layout_name = layout.name();
+  res.clock_mhz = 200.0;
+  res.total_cycles = cycles;
+  res.regions.resize(layout.region_count());
+  for (std::size_t i = 0; i < max_writes.size(); ++i)
+    res.regions[i].max_word_writes = max_writes[i];
+  return res;
+}
+
+TEST(EnduranceTest, RateIsHottestWordOverExecutionTime) {
+  const SpmLayout layout = make_pure_stt_layout(lib());
+  // 200 MHz, 2e8 cycles = 1 second; hottest word written 5000 times.
+  const RunResult res = run_with(layout, 200'000'000, {100, 5'000});
+  const EnduranceReport rep = compute_endurance(layout, res);
+  EXPECT_NEAR(rep.max_word_write_rate_per_s, 5'000.0, 1e-6);
+  EXPECT_FALSE(rep.unlimited());
+}
+
+TEST(EnduranceTest, SramRegionsDoNotLimitEndurance) {
+  const SpmLayout layout = make_pure_sram_layout(lib());
+  const RunResult res = run_with(layout, 200'000'000, {9'999, 9'999});
+  const EnduranceReport rep = compute_endurance(layout, res);
+  EXPECT_TRUE(rep.unlimited());
+  EXPECT_TRUE(std::isinf(rep.seconds_to(1e12)));
+}
+
+TEST(EnduranceTest, HybridPicksTheWorstSttRegion) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  // Regions: I-SPM (STT), D-STT, D-ECC (SRAM), D-Parity (SRAM). The
+  // SRAM wear numbers must be ignored even when larger.
+  const RunResult res =
+      run_with(layout, 200'000'000, {10, 400, 100'000, 100'000});
+  const EnduranceReport rep = compute_endurance(layout, res);
+  EXPECT_NEAR(rep.max_word_write_rate_per_s, 400.0, 1e-9);
+}
+
+TEST(EnduranceTest, SecondsToThresholdScalesLinearly) {
+  EnduranceReport rep;
+  rep.max_word_write_rate_per_s = 1e6;
+  EXPECT_NEAR(rep.seconds_to(1e12), 1e6, 1e-3);
+  EXPECT_NEAR(rep.seconds_to(1e13), 1e7, 1e-2);
+  EXPECT_THROW(rep.seconds_to(0.0), InvalidArgument);
+}
+
+TEST(EnduranceTest, TableIiiShapeAcrossThresholds) {
+  // Each 10x threshold step buys a 10x lifetime (the paper's Table III
+  // rows: minutes -> hours -> days -> ...).
+  EnduranceReport rep;
+  rep.max_word_write_rate_per_s = 1e12 / 2400.0;  // paper-implied rate
+  EXPECT_EQ(human_duration(rep.seconds_to(kEnduranceThresholds[0])),
+            "~40 Minutes");
+  double prev = rep.seconds_to(kEnduranceThresholds[0]);
+  for (std::size_t i = 1; i < kEnduranceThresholds.size(); ++i) {
+    const double next = rep.seconds_to(kEnduranceThresholds[i]);
+    EXPECT_NEAR(next / prev, 10.0, 1e-9);
+    prev = next;
+  }
+}
+
+TEST(EnduranceTest, ZeroTimeRunYieldsUnlimitedReport) {
+  const SpmLayout layout = make_pure_stt_layout(lib());
+  const RunResult res = run_with(layout, 0, {0, 0});
+  EXPECT_TRUE(compute_endurance(layout, res).unlimited());
+}
+
+TEST(EnduranceTest, RejectsMismatchedRun) {
+  const SpmLayout layout = make_pure_stt_layout(lib());
+  RunResult res;
+  res.regions.resize(1);
+  EXPECT_THROW(compute_endurance(layout, res), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm
+
+namespace ftspm {
+namespace {
+
+TEST(EnduranceTest, PerRegionBreakdownListsOnlyLimitedRegions) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const RunResult res =
+      run_with(layout, 200'000'000, {10, 400, 100'000, 100'000});
+  const EnduranceReport rep = compute_endurance(layout, res);
+  // Only the two STT-RAM regions appear.
+  ASSERT_EQ(rep.regions.size(), 2u);
+  EXPECT_EQ(rep.regions[0].region, *layout.find("I-SPM"));
+  EXPECT_EQ(rep.regions[1].region, *layout.find("D-STT"));
+  EXPECT_EQ(rep.regions[1].max_word_writes, 400u);
+  EXPECT_NEAR(rep.regions[1].write_rate_per_s, 400.0, 1e-9);
+  // The bound is the worst of the breakdown.
+  double worst = 0.0;
+  for (const RegionWear& w : rep.regions)
+    worst = std::max(worst, w.write_rate_per_s);
+  EXPECT_DOUBLE_EQ(rep.max_word_write_rate_per_s, worst);
+}
+
+}  // namespace
+}  // namespace ftspm

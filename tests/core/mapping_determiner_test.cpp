@@ -1,0 +1,276 @@
+#include "ftspm/core/mapping_determiner.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/core/spm_config.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+const TechnologyLibrary& lib() {
+  static const TechnologyLibrary kLib;
+  return kLib;
+}
+
+/// Hand-crafted profile: lets each test dial susceptibility and write
+/// intensity precisely.
+struct ProfileBuilder {
+  ProgramProfile prof;
+
+  ProfileBuilder& add(BlockId id, std::uint64_t reads, std::uint64_t writes,
+                      std::uint64_t references, std::uint64_t lifetime,
+                      std::uint64_t max_word_writes = 0) {
+    BlockProfile bp;
+    bp.id = id;
+    bp.reads = reads;
+    bp.writes = writes;
+    bp.references = references;
+    bp.lifetime_cycles = lifetime;
+    bp.max_word_writes = max_word_writes;
+    prof.blocks.push_back(bp);
+    prof.total_accesses += reads + writes;
+    return *this;
+  }
+
+  ProgramProfile done() {
+    prof.total_cycles = prof.total_accesses;  // gap-free timebase
+    // A bland alternating reference sequence (block ids round-robin).
+    for (int rep = 0; rep < 4; ++rep)
+      for (const auto& bp : prof.blocks)
+        prof.reference_sequence.push_back(bp.id);
+    return prof;
+  }
+};
+
+MdaConfig lenient() {
+  MdaConfig cfg;
+  cfg.thresholds.performance_overhead = 100.0;
+  cfg.thresholds.energy_overhead = 100.0;
+  cfg.thresholds.write_cycles_threshold = 1'000'000;
+  cfg.thresholds.word_write_threshold = 0;  // disabled
+  return cfg;
+}
+
+TEST(MdaTest, Step1MapsCodeAndDataThatFit) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 4096},
+                              Block{"arr", BlockKind::Data, 4096}});
+  const ProgramProfile prof =
+      ProfileBuilder{}.add(0, 1000, 0, 10, 100).add(1, 500, 10, 5, 50).done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), lenient());
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_EQ(plan.mapping(0).region, *layout.find("I-SPM"));
+  EXPECT_EQ(plan.mapping(1).region, *layout.find("D-STT"));
+  EXPECT_EQ(plan.mapped_count(), 2u);
+}
+
+TEST(MdaTest, OversizedBlocksAreTooLarge) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p",
+                        {Block{"huge_fn", BlockKind::Code, 20 * 1024},
+                         Block{"huge_arr", BlockKind::Data, 14 * 1024}});
+  const ProgramProfile prof =
+      ProfileBuilder{}.add(0, 10, 0, 1, 10).add(1, 10, 0, 1, 10).done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), lenient());
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_FALSE(plan.mapping(0).mapped());
+  EXPECT_EQ(plan.mapping(0).reason, MappingReason::TooLarge);
+  EXPECT_FALSE(plan.mapping(1).mapped());
+  EXPECT_EQ(plan.mapping(1).reason, MappingReason::TooLarge);
+}
+
+TEST(MdaTest, CodeCapacityPrefersHottestBlocks) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  // Three 8 KiB functions; only two fit the 16 KiB I-SPM. The coldest
+  // must be the one left out.
+  const Program program("p", {Block{"cold", BlockKind::Code, 8 * 1024},
+                              Block{"hot", BlockKind::Code, 8 * 1024},
+                              Block{"warm", BlockKind::Code, 8 * 1024}});
+  const ProgramProfile prof = ProfileBuilder{}
+                                  .add(0, 100, 0, 1, 10)
+                                  .add(1, 10'000, 0, 1, 10)
+                                  .add(2, 5'000, 0, 1, 10)
+                                  .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), lenient());
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_TRUE(plan.mapping(1).mapped());
+  EXPECT_TRUE(plan.mapping(2).mapped());
+  EXPECT_FALSE(plan.mapping(0).mapped());
+  EXPECT_EQ(plan.mapping(0).reason, MappingReason::CodeCapacity);
+}
+
+TEST(MdaTest, EnduranceFilterEvictsWriteIntensiveBlocks) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"hot", BlockKind::Data, 1024},
+                              Block{"cold", BlockKind::Data, 1024}});
+  MdaConfig cfg = lenient();
+  cfg.thresholds.write_cycles_threshold = 1'000;
+  const ProgramProfile prof = ProfileBuilder{}
+                                  .add(0, 100, 0, 1, 10)
+                                  .add(1, 10, 5'000, 4, 100)  // hot writer
+                                  .add(2, 100, 10, 4, 100)
+                                  .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_NE(plan.mapping(1).region, *layout.find("D-STT"));
+  EXPECT_EQ(plan.mapping(2).region, *layout.find("D-STT"));
+}
+
+TEST(MdaTest, WordLevelEnduranceCatchesHotSpots) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"acc", BlockKind::Data, 64}});
+  MdaConfig cfg = lenient();
+  cfg.thresholds.word_write_threshold = 100;
+  // Few total writes, but all on one word.
+  const ProgramProfile prof = ProfileBuilder{}
+                                  .add(0, 100, 0, 1, 10)
+                                  .add(1, 10, 500, 4, 100, /*max_word=*/500)
+                                  .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_NE(plan.mapping(1).region, *layout.find("D-STT"));
+  // Sole evictee: its susceptibility equals the average, so step 6
+  // prefers the SEC-DED region.
+  EXPECT_EQ(plan.mapping(1).reason, MappingReason::ReassignedSecDed);
+}
+
+TEST(MdaTest, Step6SplitsEvicteesAroundAverageSusceptibility) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"vulnerable", BlockKind::Data, 1024},
+                              Block{"benign", BlockKind::Data, 1024}});
+  MdaConfig cfg = lenient();
+  cfg.thresholds.write_cycles_threshold = 100;  // evict both data blocks
+  const ProgramProfile prof =
+      ProfileBuilder{}
+          .add(0, 100, 0, 1, 10)
+          .add(1, 10, 500, 100, 10'000)  // susceptibility 1e6
+          .add(2, 10, 500, 10, 100)      // susceptibility 1e3
+          .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_EQ(plan.mapping(1).region, *layout.find("D-ECC"));
+  EXPECT_EQ(plan.mapping(1).reason, MappingReason::ReassignedSecDed);
+  EXPECT_EQ(plan.mapping(2).region, *layout.find("D-Parity"));
+  EXPECT_EQ(plan.mapping(2).reason, MappingReason::ReassignedParity);
+}
+
+TEST(MdaTest, Step6FallsBackWhenPreferredRegionTooSmall) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"big_vulnerable", BlockKind::Data, 4096},
+                              Block{"small", BlockKind::Data, 512}});
+  MdaConfig cfg = lenient();
+  cfg.thresholds.write_cycles_threshold = 100;
+  const ProgramProfile prof = ProfileBuilder{}
+                                  .add(0, 100, 0, 1, 10)
+                                  .add(1, 10, 500, 100, 10'000)
+                                  .add(2, 10, 500, 10, 100)
+                                  .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  // 4 KiB exceeds both 2 KiB SRAM regions.
+  EXPECT_FALSE(plan.mapping(1).mapped());
+  EXPECT_EQ(plan.mapping(1).reason, MappingReason::NoSramRoom);
+  EXPECT_TRUE(plan.mapping(2).mapped());
+}
+
+TEST(MdaTest, ReliabilityPriorityEvictsLeastSusceptibleFirst) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"low_susc", BlockKind::Data, 1024},
+                              Block{"high_susc", BlockKind::Data, 1024}});
+  // Both write-heavy; a tight performance threshold forces one
+  // eviction before the endurance step would fire.
+  MdaConfig cfg = lenient();
+  cfg.thresholds.performance_overhead = 2.3;
+  const ProgramProfile prof = ProfileBuilder{}
+                                  .add(0, 1000, 0, 1, 10)
+                                  .add(1, 0, 500, 10, 100)
+                                  .add(2, 0, 500, 100, 10'000)
+                                  .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  // The low-susceptibility block is the perf victim (it may later be
+  // re-homed in an SRAM region by step 6, but never back in STT-RAM —
+  // the backfill re-check would blow the same threshold).
+  EXPECT_NE(plan.mapping(1).region, *layout.find("D-STT"));
+  EXPECT_EQ(plan.mapping(2).region, *layout.find("D-STT"));
+}
+
+TEST(MdaTest, EndurancePriorityEvictsHeaviestWriterFirst) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"many_writes", BlockKind::Data, 1024},
+                              Block{"few_writes", BlockKind::Data, 1024}});
+  MdaConfig cfg = lenient();
+  cfg.priority = OptimizationPriority::Endurance;
+  cfg.thresholds.performance_overhead = 2.3;
+  const ProgramProfile prof =
+      ProfileBuilder{}
+          .add(0, 1000, 0, 1, 10)
+          .add(1, 0, 600, 100, 10'000)  // heavy writer, high susc
+          .add(2, 0, 400, 10, 100)      // light writer, low susc
+          .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  // Under endurance priority the heavy writer goes first even though
+  // it is the more susceptible block.
+  EXPECT_NE(plan.mapping(1).region, *layout.find("D-STT"));
+  EXPECT_EQ(plan.mapping(2).region, *layout.find("D-STT"));
+}
+
+TEST(MdaTest, BackfillReturnsSafeEvicteesToSpareStt) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024},
+                              Block{"hot", BlockKind::Data, 1024},
+                              Block{"readonly", BlockKind::Data, 1024}});
+  // Tight perf threshold evicts both (ascending susceptibility), the
+  // endurance-safe read-only block must come back in step 7.
+  MdaConfig cfg = lenient();
+  cfg.thresholds.performance_overhead = 0.05;
+  cfg.thresholds.write_cycles_threshold = 100;
+  const ProgramProfile prof = ProfileBuilder{}
+                                  .add(0, 1000, 0, 1, 10)
+                                  .add(1, 0, 5'000, 100, 10'000)
+                                  .add(2, 2'000, 0, 10, 100)
+                                  .done();
+  const MappingDeterminer mda(layout, make_sim_config(lib()), cfg);
+  const MappingPlan plan = mda.determine(program, prof);
+  EXPECT_EQ(plan.mapping(2).region, *layout.find("D-STT"));
+  EXPECT_EQ(plan.mapping(2).reason, MappingReason::RestoredStt);
+  EXPECT_NE(plan.mapping(1).region, *layout.find("D-STT"));
+}
+
+TEST(MdaTest, RequiresInstructionAndSttRegions) {
+  const SpmLayout data_only(
+      "x", {SpmRegionSpec{"D", SpmSpace::Data, 1024, lib().stt_ram()}});
+  EXPECT_THROW(MappingDeterminer(data_only, make_sim_config(lib())),
+               InvalidArgument);
+  const SpmLayout no_stt(
+      "x", {SpmRegionSpec{"I", SpmSpace::Instruction, 1024, lib().stt_ram()},
+            SpmRegionSpec{"D", SpmSpace::Data, 1024, lib().secded_sram()}});
+  EXPECT_THROW(MappingDeterminer(no_stt, make_sim_config(lib())),
+               InvalidArgument);
+}
+
+TEST(MdaTest, RejectsMismatchedProfile) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  const Program program("p", {Block{"fn", BlockKind::Code, 1024}});
+  const ProgramProfile empty;
+  const MappingDeterminer mda(layout, make_sim_config(lib()), lenient());
+  EXPECT_THROW(mda.determine(program, empty), InvalidArgument);
+}
+
+TEST(MdaTest, PriorityToString) {
+  EXPECT_STREQ(to_string(OptimizationPriority::Reliability), "reliability");
+  EXPECT_STREQ(to_string(OptimizationPriority::Performance), "performance");
+  EXPECT_STREQ(to_string(OptimizationPriority::Power), "power");
+  EXPECT_STREQ(to_string(OptimizationPriority::Endurance), "endurance");
+}
+
+}  // namespace
+}  // namespace ftspm

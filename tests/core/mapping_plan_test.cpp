@@ -1,0 +1,60 @@
+#include "ftspm/core/mapping_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/core/spm_config.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+const SpmLayout& layout() {
+  static const SpmLayout kLayout =
+      make_ftspm_layout(TechnologyLibrary());
+  return kLayout;
+}
+
+TEST(MappingPlanTest, BuildsTheFlatRegionVector) {
+  std::vector<BlockMapping> m{
+      BlockMapping{0, 0, MappingReason::Mapped},
+      BlockMapping{1, kNoRegion, MappingReason::TooLarge},
+      BlockMapping{2, 2, MappingReason::ReassignedSecDed}};
+  const MappingPlan plan(layout(), std::move(m));
+  const std::vector<RegionId> expected{0, kNoRegion, 2};
+  EXPECT_EQ(plan.block_to_region(), expected);
+  EXPECT_EQ(plan.mapped_count(), 2u);
+  EXPECT_EQ(plan.layout_name(), "FTSPM");
+  EXPECT_TRUE(plan.mapping(0).mapped());
+  EXPECT_FALSE(plan.mapping(1).mapped());
+  EXPECT_THROW(plan.mapping(3), InvalidArgument);
+}
+
+TEST(MappingPlanTest, RejectsOutOfOrderBlocks) {
+  std::vector<BlockMapping> m{BlockMapping{1, 0, MappingReason::Mapped}};
+  EXPECT_THROW(MappingPlan(layout(), std::move(m)), InvalidArgument);
+}
+
+TEST(MappingPlanTest, RejectsUnknownRegions) {
+  std::vector<BlockMapping> m{BlockMapping{0, 99, MappingReason::Mapped}};
+  EXPECT_THROW(MappingPlan(layout(), std::move(m)), InvalidArgument);
+}
+
+TEST(MappingPlanTest, RejectsEmptyPlans) {
+  EXPECT_THROW(MappingPlan(layout(), {}), InvalidArgument);
+}
+
+TEST(MappingReasonTest, EveryReasonHasAString) {
+  for (MappingReason reason :
+       {MappingReason::Mapped, MappingReason::TooLarge,
+        MappingReason::EvictedPerformance, MappingReason::EvictedEnergy,
+        MappingReason::EvictedEndurance, MappingReason::ReassignedSecDed,
+        MappingReason::ReassignedParity, MappingReason::NoSramRoom,
+        MappingReason::CodeCapacity, MappingReason::DemotedTimeSharing,
+        MappingReason::RestoredStt}) {
+    EXPECT_STRNE(to_string(reason), "?");
+    EXPECT_GT(std::string(to_string(reason)).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,110 @@
+// Monotonicity properties of MDA's threshold knobs, swept
+// parametrically on the scaled case study: loosening any threshold
+// never shrinks the set of STT-RAM residents, and the vulnerability /
+// wear trade moves the expected way.
+#include <gtest/gtest.h>
+
+#include "ftspm/core/systems.h"
+#include "ftspm/workload/case_study.h"
+
+namespace ftspm {
+namespace {
+
+struct Fixture {
+  Workload workload = make_case_study(CaseStudyTargets{}.scaled_down(8));
+  ProgramProfile profile = profile_workload(workload);
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+std::size_t stt_residents(const SystemResult& r,
+                          const StructureEvaluator& evaluator) {
+  const RegionId d_stt = *evaluator.ftspm_layout().find("D-STT");
+  std::size_t n = 0;
+  for (const BlockMapping& m : r.plan.mappings())
+    if (m.region == d_stt) ++n;
+  return n;
+}
+
+class WriteThresholdSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WriteThresholdSweep, ProducesALegalPlanWithBoundedMetrics) {
+  MdaConfig cfg;
+  cfg.thresholds.write_cycles_threshold = GetParam();
+  cfg.thresholds.word_write_threshold = GetParam() / 100;
+  const StructureEvaluator evaluator(TechnologyLibrary(), cfg);
+  const SystemResult r =
+      evaluator.evaluate_ftspm(fixture().workload, fixture().profile);
+  EXPECT_LE(r.avf.vulnerability(), 1.0);
+  EXPECT_GT(r.run.total_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, WriteThresholdSweep,
+                         ::testing::Values(10, 1'000, 20'000, 100'000,
+                                           10'000'000));
+
+TEST(MdaThresholdSweepTest, LooserWriteThresholdKeepsMoreInStt) {
+  std::size_t previous = 0;
+  for (std::uint64_t threshold :
+       {std::uint64_t{10}, std::uint64_t{1'000}, std::uint64_t{50'000},
+        std::uint64_t{100'000'000}}) {
+    MdaConfig cfg;
+    cfg.thresholds.write_cycles_threshold = threshold;
+    cfg.thresholds.word_write_threshold = threshold / 50;
+    const StructureEvaluator evaluator(TechnologyLibrary(), cfg);
+    const SystemResult r =
+        evaluator.evaluate_ftspm(fixture().workload, fixture().profile);
+    const std::size_t residents = stt_residents(r, evaluator);
+    EXPECT_GE(residents, previous) << "threshold " << threshold;
+    previous = residents;
+  }
+  // At the loosest setting every data block that fits stays immune.
+  EXPECT_EQ(previous, 5u);  // 4 arrays + stack
+}
+
+TEST(MdaThresholdSweepTest, LooserThresholdLowersVulnerabilityRaisesWear) {
+  MdaConfig tight;
+  tight.thresholds.write_cycles_threshold = 100;
+  tight.thresholds.word_write_threshold = 10;
+  MdaConfig loose;
+  loose.thresholds.write_cycles_threshold = 1'000'000'000;
+  loose.thresholds.word_write_threshold = 0;
+
+  const StructureEvaluator tight_eval(TechnologyLibrary(), tight);
+  const StructureEvaluator loose_eval(TechnologyLibrary(), loose);
+  const SystemResult t =
+      tight_eval.evaluate_ftspm(fixture().workload, fixture().profile);
+  const SystemResult l =
+      loose_eval.evaluate_ftspm(fixture().workload, fixture().profile);
+
+  // Loose: everything immune -> lower vulnerability, but the write-hot
+  // arrays wear the STT-RAM orders of magnitude faster.
+  EXPECT_LT(l.avf.vulnerability(), t.avf.vulnerability());
+  EXPECT_GT(l.endurance.max_word_write_rate_per_s,
+            100.0 * t.endurance.max_word_write_rate_per_s);
+}
+
+TEST(MdaThresholdSweepTest, ZeroPerfThresholdEmptiesSttData) {
+  MdaConfig cfg;
+  cfg.thresholds.performance_overhead = 0.0;
+  const StructureEvaluator evaluator(TechnologyLibrary(), cfg);
+  const SystemResult r =
+      evaluator.evaluate_ftspm(fixture().workload, fixture().profile);
+  // Nothing can beat the 1-cycle ideal: STT-RAM data (with its 10-cycle
+  // writes) is evicted until the region is empty or only read-only
+  // blocks remain whose backfill satisfies the (zero) threshold via
+  // 1-cycle STT reads.
+  const RegionId d_stt = *evaluator.ftspm_layout().find("D-STT");
+  for (const BlockMapping& m : r.plan.mappings()) {
+    if (m.region != d_stt) continue;
+    EXPECT_EQ(fixture().profile.blocks[m.block].writes, 0u)
+        << fixture().workload.program.block(m.block).name;
+  }
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,119 @@
+#include "ftspm/core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+#include "ftspm/workload/suite.h"
+
+namespace ftspm {
+namespace {
+
+TEST(PartitionDimensionsTest, SharesSumToTheTotalPerRegion) {
+  const FtspmDimensions total;
+  const auto dims = partition_dimensions({3.0, 1.0}, total);
+  ASSERT_EQ(dims.size(), 2u);
+  EXPECT_EQ(dims[0].ispm_bytes + dims[1].ispm_bytes, total.ispm_bytes);
+  EXPECT_EQ(dims[0].dspm_stt_bytes + dims[1].dspm_stt_bytes,
+            total.dspm_stt_bytes);
+  EXPECT_EQ(dims[0].dspm_secded_bytes + dims[1].dspm_secded_bytes,
+            total.dspm_secded_bytes);
+  EXPECT_EQ(dims[0].dspm_parity_bytes + dims[1].dspm_parity_bytes,
+            total.dspm_parity_bytes);
+}
+
+TEST(PartitionDimensionsTest, SharesFollowDemand) {
+  const auto dims = partition_dimensions({3.0, 1.0}, FtspmDimensions{});
+  EXPECT_GT(dims[0].dspm_stt_bytes, dims[1].dspm_stt_bytes);
+  // 3:1 demand over 12 KiB at 512 B granules -> 9 KiB vs 3 KiB.
+  EXPECT_EQ(dims[0].dspm_stt_bytes, 9u * 1024u);
+  EXPECT_EQ(dims[1].dspm_stt_bytes, 3u * 1024u);
+}
+
+TEST(PartitionDimensionsTest, GranuleQuantisation) {
+  PartitionConfig cfg;
+  cfg.granule_bytes = 1024;
+  // Two tasks: the 2 KiB SRAM regions can still give each a granule.
+  const auto dims = partition_dimensions({1.0, 1.0}, FtspmDimensions{}, cfg);
+  for (const FtspmDimensions& d : dims) {
+    EXPECT_EQ(d.ispm_bytes % 1024, 0u);
+    EXPECT_EQ(d.dspm_stt_bytes % 1024, 0u);
+    EXPECT_GT(d.dspm_secded_bytes, 0u);
+  }
+}
+
+TEST(PartitionDimensionsTest, FloorsProtectStarvedTasks) {
+  // One task with overwhelming demand: the other still gets a granule
+  // of every region.
+  const auto dims = partition_dimensions({1e9, 1.0}, FtspmDimensions{});
+  EXPECT_GE(dims[1].ispm_bytes, 512u);
+  EXPECT_GE(dims[1].dspm_stt_bytes, 512u);
+  EXPECT_GE(dims[1].dspm_secded_bytes, 512u);
+  EXPECT_GE(dims[1].dspm_parity_bytes, 512u);
+}
+
+TEST(PartitionDimensionsTest, EqualDemandsSplitEvenly) {
+  const auto dims = partition_dimensions({2.0, 2.0}, FtspmDimensions{});
+  EXPECT_EQ(dims[0].ispm_bytes, dims[1].ispm_bytes);
+  EXPECT_EQ(dims[0].dspm_stt_bytes, dims[1].dspm_stt_bytes);
+}
+
+TEST(PartitionDimensionsTest, ZeroDemandFallsBackToEvenSplit) {
+  const auto dims = partition_dimensions({0.0, 0.0}, FtspmDimensions{});
+  EXPECT_EQ(dims[0].ispm_bytes, dims[1].ispm_bytes);
+}
+
+TEST(PartitionDimensionsTest, RejectsBadInputs) {
+  EXPECT_THROW(partition_dimensions({}, FtspmDimensions{}),
+               InvalidArgument);
+  EXPECT_THROW(partition_dimensions({-1.0}, FtspmDimensions{}),
+               InvalidArgument);
+  PartitionConfig bad;
+  bad.granule_bytes = 12;
+  EXPECT_THROW(partition_dimensions({1.0}, FtspmDimensions{}, bad),
+               InvalidArgument);
+  // 2 KiB region cannot give 512 B floors to 5 tasks.
+  FtspmDimensions tiny;
+  tiny.dspm_secded_bytes = 2 * 1024;
+  EXPECT_THROW(
+      partition_dimensions({1.0, 1.0, 1.0, 1.0, 1.0}, tiny),
+      InvalidArgument);
+}
+
+TEST(PartitionEvaluateTest, EndToEndTwoTasks) {
+  const Workload sha = make_benchmark(MiBenchmark::Sha, 8);
+  const Workload search = make_benchmark(MiBenchmark::StringSearch, 8);
+  const PartitionResult result = partition_and_evaluate(
+      {TaskSpec{&sha, 2.0}, TaskSpec{&search, 1.0}});
+  ASSERT_EQ(result.tasks.size(), 2u);
+  EXPECT_EQ(result.tasks[0].task_name, "sha");
+  EXPECT_EQ(result.tasks[1].task_name, "stringsearch");
+  // Each task produced a full pipeline result inside its share.
+  for (const TaskPartition& t : result.tasks) {
+    EXPECT_GT(t.result.run.total_cycles, 0u);
+    EXPECT_GE(t.result.avf.vulnerability(), 0.0);
+    EXPECT_LE(t.result.avf.vulnerability(), 1.0);
+  }
+  EXPECT_GT(result.total_dynamic_energy_pj(), 0.0);
+  EXPECT_GE(result.weighted_vulnerability(), 0.0);
+}
+
+TEST(PartitionEvaluateTest, HigherWeightBuysMoreSpm) {
+  const Workload a = make_benchmark(MiBenchmark::Sha, 8);
+  const PartitionResult skewed = partition_and_evaluate(
+      {TaskSpec{&a, 5.0}, TaskSpec{&a, 1.0}});
+  EXPECT_GT(skewed.tasks[0].dims.dspm_stt_bytes,
+            skewed.tasks[1].dims.dspm_stt_bytes);
+  EXPECT_GT(skewed.tasks[0].demand, skewed.tasks[1].demand);
+}
+
+TEST(PartitionEvaluateTest, RejectsBadTaskSets) {
+  EXPECT_THROW(partition_and_evaluate({}), InvalidArgument);
+  const Workload a = make_benchmark(MiBenchmark::Crc32, 16);
+  EXPECT_THROW(partition_and_evaluate({TaskSpec{nullptr, 1.0}}),
+               InvalidArgument);
+  EXPECT_THROW(partition_and_evaluate({TaskSpec{&a, 0.0}}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,129 @@
+#include "ftspm/core/spm_config.h"
+
+#include <gtest/gtest.h>
+
+namespace ftspm {
+namespace {
+
+const TechnologyLibrary& lib() {
+  static const TechnologyLibrary kLib;
+  return kLib;
+}
+
+TEST(SpmConfigTest, FtspmLayoutMatchesTableIv) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  ASSERT_EQ(layout.region_count(), 4u);
+
+  const SpmRegionSpec& ispm = layout.region(*layout.find("I-SPM"));
+  EXPECT_EQ(ispm.space, SpmSpace::Instruction);
+  EXPECT_EQ(ispm.data_bytes, 16u * 1024u);
+  EXPECT_EQ(ispm.tech.tech, MemoryTech::SttRam);
+
+  const SpmRegionSpec& stt = layout.region(*layout.find("D-STT"));
+  EXPECT_EQ(stt.data_bytes, 12u * 1024u);
+  EXPECT_TRUE(stt.tech.soft_error_immune);
+
+  const SpmRegionSpec& ecc = layout.region(*layout.find("D-ECC"));
+  EXPECT_EQ(ecc.data_bytes, 2u * 1024u);
+  EXPECT_EQ(ecc.tech.protection, ProtectionKind::SecDed);
+
+  const SpmRegionSpec& par = layout.region(*layout.find("D-Parity"));
+  EXPECT_EQ(par.data_bytes, 2u * 1024u);
+  EXPECT_EQ(par.tech.protection, ProtectionKind::Parity);
+
+  // Same total complement as the baselines: 32 KiB.
+  EXPECT_EQ(layout.total_data_bytes(), 32u * 1024u);
+}
+
+TEST(SpmConfigTest, BaselineLayouts) {
+  const SpmLayout sram = make_pure_sram_layout(lib());
+  ASSERT_EQ(sram.region_count(), 2u);
+  for (const auto& r : sram.regions()) {
+    EXPECT_EQ(r.tech.tech, MemoryTech::Sram);
+    EXPECT_EQ(r.tech.protection, ProtectionKind::SecDed);
+    EXPECT_EQ(r.data_bytes, 16u * 1024u);
+  }
+
+  const SpmLayout stt = make_pure_stt_layout(lib());
+  ASSERT_EQ(stt.region_count(), 2u);
+  for (const auto& r : stt.regions()) {
+    EXPECT_EQ(r.tech.tech, MemoryTech::SttRam);
+    EXPECT_TRUE(r.tech.soft_error_immune);
+  }
+}
+
+TEST(SpmConfigTest, StaticPowerOrderingMatchesThePaper) {
+  // Paper: pure SRAM 15.8 mW > FTSPM 7.1 mW > pure STT-RAM 3 mW.
+  const double sram = make_pure_sram_layout(lib()).static_power_mw();
+  const double ftspm = make_ftspm_layout(lib()).static_power_mw();
+  const double stt = make_pure_stt_layout(lib()).static_power_mw();
+  EXPECT_GT(sram, ftspm);
+  EXPECT_GT(ftspm, stt);
+  // Calibration bands (paper values +-35%).
+  EXPECT_NEAR(sram, 15.8, 15.8 * 0.35);
+  EXPECT_NEAR(ftspm, 7.1, 7.1 * 0.35);
+  EXPECT_NEAR(stt, 3.0, 3.0 * 0.45);
+}
+
+TEST(SpmConfigTest, SimConfigMatchesTableIvCaches) {
+  const SimConfig cfg = make_sim_config(lib());
+  EXPECT_EQ(cfg.icache.size_bytes, 8u * 1024u);
+  EXPECT_EQ(cfg.dcache.size_bytes, 8u * 1024u);
+  EXPECT_EQ(cfg.icache.hit_latency_cycles, 1u);
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 200.0);
+  EXPECT_GT(cfg.cache_access_energy_pj, 0.0);
+}
+
+TEST(SpmConfigTest, CustomDimensionsAreRespected) {
+  FtspmDimensions dims;
+  dims.ispm_bytes = 8 * 1024;
+  dims.dspm_stt_bytes = 6 * 1024;
+  dims.dspm_secded_bytes = 1024;
+  dims.dspm_parity_bytes = 1024;
+  const SpmLayout layout = make_ftspm_layout(lib(), dims);
+  EXPECT_EQ(layout.total_data_bytes(), 16u * 1024u);
+  EXPECT_EQ(layout.region(*layout.find("D-ECC")).data_bytes, 1024u);
+}
+
+TEST(SpmConfigTest, FtspmStrikeSurfaceIsMostlyImmune) {
+  const SpmLayout layout = make_ftspm_layout(lib());
+  std::uint64_t immune_bits = 0;
+  for (const auto& r : layout.regions())
+    if (r.tech.soft_error_immune) immune_bits += r.geometry().physical_bits();
+  const double share = static_cast<double>(immune_bits) /
+                       static_cast<double>(layout.total_physical_bits());
+  // 28 of 32 KiB payload is STT-RAM; with SRAM check-bit overhead the
+  // immune share of the physical surface is ~86%.
+  EXPECT_GT(share, 0.84);
+  EXPECT_LT(share, 0.90);
+}
+
+}  // namespace
+}  // namespace ftspm
+
+namespace ftspm {
+namespace {
+
+TEST(SpmConfigTest, RelaxedSttDimensionsSwapTheCell) {
+  FtspmDimensions dims;
+  dims.relaxed_stt = true;
+  const SpmLayout layout = make_ftspm_layout(lib(), dims);
+  const SpmRegionSpec& stt = layout.region(*layout.find("D-STT"));
+  EXPECT_LT(stt.tech.write_latency_cycles, 10u);
+  EXPECT_TRUE(stt.tech.soft_error_immune);
+  // SRAM regions are untouched.
+  EXPECT_EQ(layout.region(*layout.find("D-ECC")).tech.write_latency_cycles,
+            2u);
+}
+
+TEST(SpmConfigTest, InterleaveDimensionReachesTheSramRegions) {
+  FtspmDimensions dims;
+  dims.sram_interleave = 4;
+  const SpmLayout layout = make_ftspm_layout(lib(), dims);
+  EXPECT_EQ(layout.region(*layout.find("D-ECC")).interleave, 4u);
+  EXPECT_EQ(layout.region(*layout.find("D-Parity")).interleave, 4u);
+  EXPECT_EQ(layout.region(*layout.find("D-STT")).interleave, 1u);
+}
+
+}  // namespace
+}  // namespace ftspm

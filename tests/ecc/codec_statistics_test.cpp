@@ -1,0 +1,106 @@
+// Statistical / structural properties of the Hsiao SEC-DED code beyond
+// the per-bit guarantees: syndrome-space coverage and multi-error
+// aliasing behaviour the fault model's SDC accounting relies on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "ftspm/ecc/secded_codec.h"
+#include "ftspm/util/rng.h"
+
+namespace ftspm {
+namespace {
+
+TEST(SecDedStatisticsTest, SyndromeSpacePartition) {
+  // Of the 256 possible syndromes: 0 is clean, 72 decode to single-bit
+  // corrections (64 data columns + 8 check identities), the remaining
+  // 183 are detected-uncorrectable patterns.
+  std::set<std::uint8_t> correctable;
+  for (std::uint32_t i = 0; i < 64; ++i)
+    correctable.insert(SecDedCodec::column(i));
+  for (std::uint32_t j = 0; j < 8; ++j)
+    correctable.insert(static_cast<std::uint8_t>(1u << j));
+  EXPECT_EQ(correctable.size(), 72u);
+  EXPECT_FALSE(correctable.count(0));
+}
+
+TEST(SecDedStatisticsTest, QuadErrorOutcomeMix) {
+  // Four flips in one codeword: even weight, so the syndrome is even —
+  // never a clean decode is NOT guaranteed (distinct columns can cancel
+  // to zero), but cancellation and miscorrection must both be rare and
+  // detection must dominate.
+  Rng rng(101);
+  int clean = 0, corrected = 0, detected = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    SecDedWord w = SecDedCodec::encode(data);
+    std::set<std::uint32_t> bits;
+    while (bits.size() < 4)
+      bits.insert(static_cast<std::uint32_t>(rng.next_below(72)));
+    for (std::uint32_t b : bits) SecDedCodec::flip_bit(w, b);
+    switch (SecDedCodec::decode(w).status) {
+      case DecodeStatus::Clean: ++clean; break;
+      case DecodeStatus::Corrected: ++corrected; break;
+      case DecodeStatus::Detected: ++detected; break;
+    }
+  }
+  EXPECT_GT(detected, n * 7 / 10);   // detection dominates
+  EXPECT_LT(clean, n / 20);          // aliasing to zero is rare
+  // Even-weight syndromes never match odd-weight correction columns:
+  // 4-flip errors are never miscorrected by a Hsiao code.
+  EXPECT_EQ(corrected, 0);
+}
+
+TEST(SecDedStatisticsTest, TripleErrorMiscorrectionRateIsSubstantial) {
+  // Odd flip counts produce odd syndromes, which often alias to a
+  // correction column — that is exactly the paper's Eq. 7 SDC mass.
+  Rng rng(103);
+  int miscorrected = 0, detected = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    SecDedWord w = SecDedCodec::encode(data);
+    std::set<std::uint32_t> bits;
+    while (bits.size() < 3)
+      bits.insert(static_cast<std::uint32_t>(rng.next_below(72)));
+    for (std::uint32_t b : bits) SecDedCodec::flip_bit(w, b);
+    const DecodeResult r = SecDedCodec::decode(w);
+    ASSERT_NE(r.status, DecodeStatus::Clean);  // odd weight: never zero
+    if (r.status == DecodeStatus::Corrected) {
+      EXPECT_NE(r.data, data);  // a "correction" of a triple is wrong
+      ++miscorrected;
+    } else {
+      ++detected;
+    }
+  }
+  // A triple's syndrome has odd weight; 72 of the 128 odd-weight
+  // syndromes are correction columns, so ~56% of triples miscorrect.
+  const double rate = static_cast<double>(miscorrected) / n;
+  EXPECT_GT(rate, 0.45);
+  EXPECT_LT(rate, 0.70);
+}
+
+TEST(SecDedStatisticsTest, CheckBitsBalanceAcrossDataBits) {
+  // Hsiao's selling point over classic Hamming: near-equal fan-in per
+  // parity tree. Each of the 8 check equations covers between 20 and
+  // 28 of the 64 data bits with our column choice.
+  std::array<int, 8> fanin{};
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint8_t col = SecDedCodec::column(i);
+    for (int j = 0; j < 8; ++j)
+      if (col & (1u << j)) ++fanin[static_cast<std::size_t>(j)];
+  }
+  int total = 0;
+  for (int f : fanin) {
+    EXPECT_GE(f, 16);
+    EXPECT_LE(f, 36);
+    total += f;
+  }
+  // 56 weight-3 + 8 weight-5 columns -> 208 total member bits.
+  EXPECT_EQ(total, 56 * 3 + 8 * 5);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,102 @@
+#include "ftspm/ecc/parity_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/bitops.h"
+#include "ftspm/util/error.h"
+#include "ftspm/util/rng.h"
+
+namespace ftspm {
+namespace {
+
+TEST(ParityCodecTest, EncodeMakesTotalParityEven) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    const ParityWord w = ParityCodec::encode(data);
+    EXPECT_EQ(parity64(w.data) ^ (w.parity & 1), 0);
+  }
+}
+
+TEST(ParityCodecTest, CleanDecodeReturnsData) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    const DecodeResult r = ParityCodec::decode(ParityCodec::encode(data));
+    EXPECT_EQ(r.status, DecodeStatus::Clean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+/// Every one of the 65 codeword positions: a single flip is detected.
+class ParitySingleFlip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParitySingleFlip, IsDetected) {
+  const std::uint32_t bit = GetParam();
+  Rng rng(3 + bit);
+  for (int i = 0; i < 20; ++i) {
+    ParityWord w = ParityCodec::encode(rng.next_u64());
+    ParityCodec::flip_bit(w, bit);
+    EXPECT_EQ(ParityCodec::decode(w).status, DecodeStatus::Detected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, ParitySingleFlip,
+                         ::testing::Range(0u, ParityCodec::kCodewordBits));
+
+TEST(ParityCodecTest, DoubleFlipEscapesDetection) {
+  // Two flips restore even parity: the classic parity blind spot that
+  // Eq. (6) charges to SDC.
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    ParityWord w = ParityCodec::encode(data);
+    const auto b1 = static_cast<std::uint32_t>(rng.next_below(65));
+    auto b2 = static_cast<std::uint32_t>(rng.next_below(65));
+    while (b2 == b1) b2 = static_cast<std::uint32_t>(rng.next_below(65));
+    ParityCodec::flip_bit(w, b1);
+    ParityCodec::flip_bit(w, b2);
+    const DecodeResult r = ParityCodec::decode(w);
+    EXPECT_EQ(r.status, DecodeStatus::Clean);
+    if (b1 < 64 || b2 < 64) {
+      EXPECT_NE(r.data, data);  // silent corruption
+    }
+  }
+}
+
+TEST(ParityCodecTest, TripleFlipIsDetected) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ParityWord w = ParityCodec::encode(rng.next_u64());
+    // Three distinct bits.
+    std::uint32_t bits[3];
+    bits[0] = static_cast<std::uint32_t>(rng.next_below(65));
+    do {
+      bits[1] = static_cast<std::uint32_t>(rng.next_below(65));
+    } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<std::uint32_t>(rng.next_below(65));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    for (std::uint32_t b : bits) ParityCodec::flip_bit(w, b);
+    EXPECT_EQ(ParityCodec::decode(w).status, DecodeStatus::Detected);
+  }
+}
+
+TEST(ParityCodecTest, FlipBitIsAnInvolution) {
+  ParityWord w = ParityCodec::encode(0xDEADBEEFCAFEF00DULL);
+  const ParityWord original = w;
+  for (std::uint32_t b = 0; b < ParityCodec::kCodewordBits; ++b) {
+    ParityCodec::flip_bit(w, b);
+    ParityCodec::flip_bit(w, b);
+  }
+  EXPECT_EQ(w.data, original.data);
+  EXPECT_EQ(w.parity & 1, original.parity & 1);
+}
+
+TEST(ParityCodecTest, FlipRejectsOutOfRange) {
+  ParityWord w = ParityCodec::encode(0);
+  EXPECT_THROW(ParityCodec::flip_bit(w, 65), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

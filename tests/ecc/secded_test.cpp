@@ -1,0 +1,163 @@
+#include "ftspm/ecc/secded_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "ftspm/util/error.h"
+#include "ftspm/util/rng.h"
+
+namespace ftspm {
+namespace {
+
+TEST(SecDedConstructionTest, ColumnsAreOddWeightAndDistinct) {
+  std::set<std::uint8_t> seen;
+  for (std::uint32_t i = 0; i < SecDedCodec::kDataBits; ++i) {
+    const std::uint8_t col = SecDedCodec::column(i);
+    EXPECT_EQ(std::popcount(static_cast<unsigned>(col)) % 2, 1)
+        << "column " << i << " must have odd weight";
+    EXPECT_TRUE(seen.insert(col).second) << "column " << i << " duplicated";
+    // Identity columns are reserved for the check bits.
+    EXPECT_NE(std::popcount(static_cast<unsigned>(col)), 1)
+        << "column " << i << " collides with a check-bit column";
+  }
+}
+
+TEST(SecDedCodecTest, RoundTripIsClean) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    const DecodeResult r = SecDedCodec::decode(SecDedCodec::encode(data));
+    EXPECT_EQ(r.status, DecodeStatus::Clean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST(SecDedCodecTest, CheckBitsAreLinear) {
+  // Hamming codes are linear: check(a ^ b) == check(a) ^ check(b).
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    EXPECT_EQ(SecDedCodec::compute_check(a ^ b),
+              SecDedCodec::compute_check(a) ^ SecDedCodec::compute_check(b));
+  }
+}
+
+/// Property sweep: every one of the 72 positions is corrected.
+class SecDedSingleFlip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SecDedSingleFlip, IsCorrected) {
+  const std::uint32_t bit = GetParam();
+  Rng rng(17 + bit);
+  for (int i = 0; i < 25; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    SecDedWord w = SecDedCodec::encode(data);
+    SecDedCodec::flip_bit(w, bit);
+    const DecodeResult r = SecDedCodec::decode(w);
+    ASSERT_EQ(r.status, DecodeStatus::Corrected);
+    EXPECT_EQ(r.data, data) << "data must be restored";
+    ASSERT_TRUE(r.corrected_bit.has_value());
+    EXPECT_EQ(*r.corrected_bit, bit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SecDedSingleFlip,
+                         ::testing::Range(0u, SecDedCodec::kCodewordBits));
+
+TEST(SecDedCodecTest, EveryDoubleErrorIsDetected) {
+  // Exhaustive over all C(72,2) = 2556 pairs on a handful of words.
+  Rng rng(19);
+  for (int word = 0; word < 3; ++word) {
+    const std::uint64_t data = rng.next_u64();
+    for (std::uint32_t b1 = 0; b1 < 72; ++b1) {
+      for (std::uint32_t b2 = b1 + 1; b2 < 72; ++b2) {
+        SecDedWord w = SecDedCodec::encode(data);
+        SecDedCodec::flip_bit(w, b1);
+        SecDedCodec::flip_bit(w, b2);
+        const DecodeResult r = SecDedCodec::decode(w);
+        ASSERT_EQ(r.status, DecodeStatus::Detected)
+            << "double error (" << b1 << "," << b2 << ") must be detected";
+      }
+    }
+  }
+}
+
+TEST(SecDedCodecTest, OddErrorCountsNeverDecodeClean) {
+  // An odd number of flips XORs an odd-weight syndrome: never zero.
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    SecDedWord w = SecDedCodec::encode(rng.next_u64());
+    const std::uint32_t flips = 1 + 2 * static_cast<std::uint32_t>(
+                                        rng.next_below(4));  // 1,3,5,7
+    std::set<std::uint32_t> bits;
+    while (bits.size() < flips)
+      bits.insert(static_cast<std::uint32_t>(rng.next_below(72)));
+    for (std::uint32_t b : bits) SecDedCodec::flip_bit(w, b);
+    EXPECT_NE(SecDedCodec::decode(w).status, DecodeStatus::Clean);
+  }
+}
+
+TEST(SecDedCodecTest, TripleErrorsDetectOrMiscorrect) {
+  // >=3 flips are beyond SEC-DED's guarantee: legal outcomes are
+  // detection or a miscorrection (silent corruption), never a clean
+  // decode. Miscorrections must actually occur — they are what Eq. (7)
+  // charges to SDC.
+  Rng rng(29);
+  int miscorrections = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    SecDedWord w = SecDedCodec::encode(data);
+    std::set<std::uint32_t> bits;
+    while (bits.size() < 3)
+      bits.insert(static_cast<std::uint32_t>(rng.next_below(72)));
+    for (std::uint32_t b : bits) SecDedCodec::flip_bit(w, b);
+    const DecodeResult r = SecDedCodec::decode(w);
+    ASSERT_NE(r.status, DecodeStatus::Clean);
+    if (r.status == DecodeStatus::Corrected && r.data != data)
+      ++miscorrections;
+  }
+  EXPECT_GT(miscorrections, 0);
+}
+
+TEST(SecDedCodecTest, CheckBitCorrectionLeavesDataUntouched) {
+  const std::uint64_t data = 0x0123456789ABCDEFULL;
+  SecDedWord w = SecDedCodec::encode(data);
+  SecDedCodec::flip_bit(w, 67);  // check bit c3
+  const DecodeResult r = SecDedCodec::decode(w);
+  EXPECT_EQ(r.status, DecodeStatus::Corrected);
+  EXPECT_EQ(r.data, data);
+  EXPECT_EQ(*r.corrected_bit, 67u);
+}
+
+TEST(SecDedCodecTest, FlipBitIsAnInvolution) {
+  SecDedWord w = SecDedCodec::encode(0x5555AAAA5555AAAAULL);
+  const SecDedWord original = w;
+  for (std::uint32_t b = 0; b < SecDedCodec::kCodewordBits; ++b) {
+    SecDedCodec::flip_bit(w, b);
+    SecDedCodec::flip_bit(w, b);
+  }
+  EXPECT_EQ(w.data, original.data);
+  EXPECT_EQ(w.check, original.check);
+}
+
+TEST(SecDedCodecTest, FlipRejectsOutOfRange) {
+  SecDedWord w = SecDedCodec::encode(0);
+  EXPECT_THROW(SecDedCodec::flip_bit(w, 72), InvalidArgument);
+}
+
+TEST(SecDedCodecTest, EncodingIsPlatformStableGolden) {
+  // Golden values pin the Hsiao construction; a change here would
+  // silently re-encode every stored word.
+  EXPECT_EQ(SecDedCodec::compute_check(0x0000000000000000ULL), 0x00);
+  EXPECT_EQ(SecDedCodec::compute_check(0x0000000000000001ULL),
+            SecDedCodec::column(0));
+  EXPECT_EQ(SecDedCodec::compute_check(0x8000000000000000ULL),
+            SecDedCodec::column(63));
+  // First Hsiao column is the smallest weight-3 byte: 0b0000'0111.
+  EXPECT_EQ(SecDedCodec::column(0), 0x07);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,114 @@
+#include "ftspm/fault/avf.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+const StrikeMultiplicityModel& strikes() {
+  static const StrikeMultiplicityModel m =
+      StrikeMultiplicityModel::at_40nm();
+  return m;
+}
+
+TEST(RegionProbabilitiesTest, ParityImplementsEqs4And6) {
+  const RegionErrorProbabilities p =
+      region_error_probabilities(ProtectionKind::Parity, strikes());
+  EXPECT_DOUBLE_EQ(p.p_due, 0.62);  // Eq. (4): P(1 flip)
+  EXPECT_DOUBLE_EQ(p.p_sdc, 0.38);  // Eq. (6): P(>=2 flips)
+  EXPECT_DOUBLE_EQ(p.p_dre, 0.0);
+  EXPECT_DOUBLE_EQ(p.p_harmful(), 1.0);  // parity never recovers
+}
+
+TEST(RegionProbabilitiesTest, SecDedImplementsEqs5And7) {
+  const RegionErrorProbabilities p =
+      region_error_probabilities(ProtectionKind::SecDed, strikes());
+  EXPECT_DOUBLE_EQ(p.p_dre, 0.62);          // single flips corrected
+  EXPECT_DOUBLE_EQ(p.p_due, 0.25);          // Eq. (5): P(2 flips)
+  EXPECT_NEAR(p.p_sdc, 0.13, 1e-12);        // Eq. (7): P(>=3 flips)
+  EXPECT_NEAR(p.p_harmful(), 0.38, 1e-12);
+}
+
+TEST(RegionProbabilitiesTest, ImmuneAndUnprotectedExtremes) {
+  const RegionErrorProbabilities immune =
+      region_error_probabilities(ProtectionKind::Immune, strikes());
+  EXPECT_DOUBLE_EQ(immune.p_harmful(), 0.0);
+  EXPECT_DOUBLE_EQ(immune.p_dre, 0.0);
+
+  const RegionErrorProbabilities none =
+      region_error_probabilities(ProtectionKind::None, strikes());
+  EXPECT_DOUBLE_EQ(none.p_sdc, 1.0);
+  EXPECT_DOUBLE_EQ(none.p_due, 0.0);
+}
+
+TEST(ComputeAvfTest, SingleBlockFullSurface) {
+  // One parity block covering the whole SPM with ACE = 1: the
+  // vulnerability is exactly parity's harmful probability.
+  std::vector<AvfBlockTerm> terms{{1000, 1.0, ProtectionKind::Parity}};
+  const AvfResult r = compute_avf(terms, 1000, strikes());
+  EXPECT_DOUBLE_EQ(r.sdc_avf, 0.38);
+  EXPECT_DOUBLE_EQ(r.due_avf, 0.62);
+  EXPECT_DOUBLE_EQ(r.vulnerability(), 1.0);
+}
+
+TEST(ComputeAvfTest, AreaWeightingScalesContributions) {
+  // Half the surface is SEC-DED with ACE 0.5, the rest immune.
+  std::vector<AvfBlockTerm> terms{{500, 0.5, ProtectionKind::SecDed},
+                                  {500, 1.0, ProtectionKind::Immune}};
+  const AvfResult r = compute_avf(terms, 1000, strikes());
+  EXPECT_NEAR(r.vulnerability(), 0.5 * 0.5 * 0.38, 1e-12);
+  EXPECT_NEAR(r.dre_avf, 0.5 * 0.5 * 0.62, 1e-12);
+}
+
+TEST(ComputeAvfTest, EmptySpmHasZeroVulnerability) {
+  const AvfResult r = compute_avf({}, 1000, strikes());
+  EXPECT_DOUBLE_EQ(r.vulnerability(), 0.0);
+}
+
+TEST(ComputeAvfTest, ZeroAceMeansZeroVulnerability) {
+  std::vector<AvfBlockTerm> terms{{1000, 0.0, ProtectionKind::Parity}};
+  const AvfResult r = compute_avf(terms, 1000, strikes());
+  EXPECT_DOUBLE_EQ(r.vulnerability(), 0.0);
+}
+
+TEST(ComputeAvfTest, TermsAreAdditive) {
+  std::vector<AvfBlockTerm> both{{200, 1.0, ProtectionKind::Parity},
+                                 {300, 1.0, ProtectionKind::SecDed}};
+  const AvfResult r = compute_avf(both, 1000, strikes());
+  const AvfResult a =
+      compute_avf({{200, 1.0, ProtectionKind::Parity}}, 1000, strikes());
+  const AvfResult b =
+      compute_avf({{300, 1.0, ProtectionKind::SecDed}}, 1000, strikes());
+  EXPECT_NEAR(r.vulnerability(), a.vulnerability() + b.vulnerability(),
+              1e-12);
+}
+
+TEST(ComputeAvfTest, RejectsBadInputs) {
+  EXPECT_THROW(compute_avf({}, 0, strikes()), InvalidArgument);
+  EXPECT_THROW(
+      compute_avf({{100, 1.5, ProtectionKind::Parity}}, 1000, strikes()),
+      InvalidArgument);
+  EXPECT_THROW(
+      compute_avf({{2000, 0.5, ProtectionKind::Parity}}, 1000, strikes()),
+      InvalidArgument);
+}
+
+TEST(ComputeAvfTest, FtspmShapeSevenFoldReduction) {
+  // Sketch of the paper's headline: a pure SEC-DED SPM vs a hybrid
+  // whose SRAM share is ~1/8 of the surface. The area ratio alone
+  // yields the ~7x vulnerability gap of Fig. 5.
+  std::vector<AvfBlockTerm> baseline{{8000, 0.8, ProtectionKind::SecDed}};
+  std::vector<AvfBlockTerm> ftspm{
+      {7000, 0.8, ProtectionKind::Immune},
+      {600, 0.8, ProtectionKind::SecDed},
+      {400, 0.3, ProtectionKind::Parity}};
+  const double v_base = compute_avf(baseline, 8000, strikes()).vulnerability();
+  const double v_ft = compute_avf(ftspm, 8000, strikes()).vulnerability();
+  EXPECT_GT(v_base / v_ft, 4.0);
+  EXPECT_LT(v_base / v_ft, 12.0);
+}
+
+}  // namespace
+}  // namespace ftspm

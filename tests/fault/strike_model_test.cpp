@@ -1,0 +1,95 @@
+#include "ftspm/fault/strike_model.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(StrikeModelTest, PaperNumbersAt40nm) {
+  // Dixit & Wood, IRPS'11, as quoted by the paper: 62/25/6/7%.
+  const StrikeMultiplicityModel m = StrikeMultiplicityModel::at_40nm();
+  EXPECT_DOUBLE_EQ(m.p_exactly(1), 0.62);
+  EXPECT_DOUBLE_EQ(m.p_exactly(2), 0.25);
+  EXPECT_DOUBLE_EQ(m.p_exactly(3), 0.06);
+  EXPECT_DOUBLE_EQ(m.p_more_than_3(), 0.07);
+}
+
+TEST(StrikeModelTest, CumulativeTails) {
+  const StrikeMultiplicityModel m = StrikeMultiplicityModel::at_40nm();
+  EXPECT_DOUBLE_EQ(m.p_at_least(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.p_at_least(2), 0.38);
+  EXPECT_NEAR(m.p_at_least(3), 0.13, 1e-12);
+  EXPECT_DOUBLE_EQ(m.p_at_least(4), 0.07);
+}
+
+TEST(StrikeModelTest, DistributionMustSumToOne) {
+  EXPECT_THROW(StrikeMultiplicityModel(0.5, 0.5, 0.5, 0.5),
+               InvalidArgument);
+  EXPECT_THROW(StrikeMultiplicityModel(-0.1, 0.6, 0.3, 0.2),
+               InvalidArgument);
+  EXPECT_NO_THROW(StrikeMultiplicityModel(1.0, 0.0, 0.0, 0.0));
+}
+
+TEST(StrikeModelTest, MbusGrowAsNodesShrink) {
+  // Technology scaling shifts SEUs toward MBUs (the paper's motivation).
+  const double p90 = StrikeMultiplicityModel::at_90nm().p_at_least(2);
+  const double p65 = StrikeMultiplicityModel::at_65nm().p_at_least(2);
+  const double p40 = StrikeMultiplicityModel::at_40nm().p_at_least(2);
+  const double p22 = StrikeMultiplicityModel::at_22nm().p_at_least(2);
+  EXPECT_LT(p90, p65);
+  EXPECT_LT(p65, p40);
+  EXPECT_LT(p40, p22);
+}
+
+TEST(StrikeModelTest, ForNodeSnapsToNearestModel) {
+  EXPECT_DOUBLE_EQ(StrikeMultiplicityModel::for_node(90.0).p_exactly(1),
+                   StrikeMultiplicityModel::at_90nm().p_exactly(1));
+  EXPECT_DOUBLE_EQ(StrikeMultiplicityModel::for_node(40.0).p_exactly(1),
+                   0.62);
+  EXPECT_DOUBLE_EQ(StrikeMultiplicityModel::for_node(22.0).p_exactly(1),
+                   StrikeMultiplicityModel::at_22nm().p_exactly(1));
+  EXPECT_THROW(StrikeMultiplicityModel::for_node(0.0), InvalidArgument);
+}
+
+TEST(StrikeModelTest, SamplingMatchesDistribution) {
+  const StrikeMultiplicityModel m = StrikeMultiplicityModel::at_40nm();
+  Rng rng(99);
+  std::array<std::uint64_t, 5> counts{};  // 1,2,3,>3 buckets
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t flips = m.sample_flips(rng);
+    ASSERT_GE(flips, 1u);
+    ASSERT_LE(flips, 16u);
+    ++counts[std::min<std::uint32_t>(flips, 4)];
+  }
+  EXPECT_NEAR(counts[1] / double(n), 0.62, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[3] / double(n), 0.06, 0.01);
+  EXPECT_NEAR(counts[4] / double(n), 0.07, 0.01);
+}
+
+TEST(StrikeModelTest, SampleRespectsCap) {
+  const StrikeMultiplicityModel m(0.0, 0.0, 0.0, 1.0);  // always the tail
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t flips = m.sample_flips(rng, 6);
+    EXPECT_GE(flips, 4u);
+    EXPECT_LE(flips, 6u);
+  }
+  EXPECT_THROW(m.sample_flips(rng, 3), InvalidArgument);
+}
+
+TEST(StrikeModelTest, PExactlyRejectsOutOfRange) {
+  const StrikeMultiplicityModel m = StrikeMultiplicityModel::at_40nm();
+  EXPECT_THROW(m.p_exactly(0), InvalidArgument);
+  EXPECT_THROW(m.p_exactly(4), InvalidArgument);
+  EXPECT_THROW(m.p_at_least(0), InvalidArgument);
+  EXPECT_THROW(m.p_at_least(5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

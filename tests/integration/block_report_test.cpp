@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ftspm/report/render.h"
+#include "ftspm/workload/case_study.h"
+
+namespace ftspm {
+namespace {
+
+struct Fixture {
+  Workload workload = make_case_study(CaseStudyTargets{}.scaled_down(8));
+  ProgramProfile profile = profile_workload(workload);
+  StructureEvaluator evaluator;
+  SystemResult ftspm = evaluator.evaluate_ftspm(workload, profile);
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(PerBlockVulnerabilityTest, SumsToTheAggregate) {
+  const Fixture& f = fixture();
+  const std::vector<double> per_block = per_block_vulnerability(
+      f.evaluator.ftspm_layout(), f.ftspm.plan, f.workload.program,
+      f.profile, f.evaluator.strike_model());
+  const double sum =
+      std::accumulate(per_block.begin(), per_block.end(), 0.0);
+  EXPECT_NEAR(sum, f.ftspm.avf.vulnerability(), 1e-12);
+}
+
+TEST(PerBlockVulnerabilityTest, OnlySramResidentsContribute) {
+  const Fixture& f = fixture();
+  const std::vector<double> per_block = per_block_vulnerability(
+      f.evaluator.ftspm_layout(), f.ftspm.plan, f.workload.program,
+      f.profile, f.evaluator.strike_model());
+  using B = CaseStudyBlocks;
+  EXPECT_EQ(per_block[B::kMain], 0.0);    // unmapped
+  EXPECT_EQ(per_block[B::kMul], 0.0);     // immune I-SPM
+  EXPECT_EQ(per_block[B::kArray2], 0.0);  // immune D-STT
+  EXPECT_GT(per_block[B::kArray1], 0.0);  // SEC-DED
+  EXPECT_GT(per_block[B::kArray3], 0.0);
+  EXPECT_GT(per_block[B::kStack], 0.0);   // parity
+  // The two ECC-resident arrays dominate the residual risk.
+  const double sum =
+      std::accumulate(per_block.begin(), per_block.end(), 0.0);
+  EXPECT_GT((per_block[B::kArray1] + per_block[B::kArray3]) / sum, 0.9);
+}
+
+TEST(BlockRoutingCountersTest, SplitAccessesBySerfice) {
+  const Fixture& f = fixture();
+  using B = CaseStudyBlocks;
+  const RunResult& run = f.ftspm.run;
+  // Main is unmapped: everything through the cache.
+  EXPECT_EQ(run.block_spm_accesses[B::kMain], 0u);
+  EXPECT_GT(run.block_cache_accesses[B::kMain], 0u);
+  // Mapped blocks never touch the cache.
+  for (BlockId id : {B::kMul, B::kArray1, B::kStack}) {
+    EXPECT_GT(run.block_spm_accesses[id], 0u);
+    EXPECT_EQ(run.block_cache_accesses[id], 0u);
+  }
+  // Conservation per block.
+  const ProgramProfile& prof = f.profile;
+  for (std::size_t i = 0; i < f.workload.program.block_count(); ++i) {
+    EXPECT_EQ(run.block_spm_accesses[i] + run.block_cache_accesses[i],
+              prof.blocks[i].accesses());
+  }
+}
+
+TEST(BlockReportTest, RendersEveryBlockWithShares) {
+  const Fixture& f = fixture();
+  const std::string out = render_block_report(
+      f.workload.program, f.ftspm, f.evaluator.ftspm_layout(), f.profile,
+      f.evaluator.strike_model());
+  for (const Block& blk : f.workload.program.blocks())
+    EXPECT_NE(out.find(blk.name), std::string::npos) << blk.name;
+  EXPECT_NE(out.find("Vulnerability share"), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,78 @@
+#include "ftspm/report/csv_export.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace ftspm {
+namespace {
+
+struct Fixture {
+  StructureEvaluator evaluator;
+  std::vector<SuiteRow> rows = run_suite(evaluator, 16);
+  std::map<std::string, std::string> files =
+      export_all_csv(evaluator, rows);
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(CsvExportTest, EveryArtefactIsPresent) {
+  for (const char* name :
+       {"table1_profile.csv", "table2_mapping.csv", "table3_endurance.csv",
+        "fig2_case_rw_dist.csv", "fig4_rw_distribution.csv",
+        "fig5_vulnerability.csv", "fig6_static_energy_pj.csv",
+        "fig7_dynamic_energy_pj.csv", "fig8_wear_rate_per_s.csv"}) {
+    EXPECT_TRUE(fixture().files.count(name)) << name;
+  }
+}
+
+TEST(CsvExportTest, SuiteFigesHaveOneRowPerBenchmark) {
+  for (const char* name :
+       {"fig5_vulnerability.csv", "fig6_static_energy_pj.csv",
+        "fig7_dynamic_energy_pj.csv", "fig8_wear_rate_per_s.csv",
+        "fig4_rw_distribution.csv"}) {
+    const std::string& csv = fixture().files.at(name);
+    const std::size_t lines =
+        static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, kMiBenchmarkCount + 1) << name;  // header + rows
+  }
+}
+
+TEST(CsvExportTest, Table1HasTheCaseStudyBlocks) {
+  const std::string& csv = fixture().files.at("table1_profile.csv");
+  for (const char* block :
+       {"Main", "Mul", "Add", "Array1", "Array4", "Stack"})
+    EXPECT_NE(csv.find(block), std::string::npos) << block;
+  EXPECT_NE(csv.find("25973000"), std::string::npos);  // Mul fetches
+}
+
+TEST(CsvExportTest, Table3UsesInfForUnlimited) {
+  const std::string& csv = fixture().files.at("table3_endurance.csv");
+  EXPECT_NE(csv.find("1e+12"), std::string::npos);
+  // The pure STT column is always finite.
+  EXPECT_NE(csv.find(','), std::string::npos);
+}
+
+TEST(CsvExportTest, WritesFilesToDisk) {
+  const std::string dir =
+      ::testing::TempDir() + "/ftspm_csv_export_test";
+  const std::vector<std::string> written =
+      write_all_csv(fixture().evaluator, fixture().rows, dir);
+  EXPECT_EQ(written.size(), fixture().files.size());
+  for (const std::string& path : written) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_FALSE(first_line.empty()) << path;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ftspm

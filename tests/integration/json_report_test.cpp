@@ -1,0 +1,56 @@
+#include "ftspm/report/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/workload/case_study.h"
+
+namespace ftspm {
+namespace {
+
+TEST(JsonReportTest, SystemResultContainsTheKeyedSections) {
+  const Workload w = make_case_study(CaseStudyTargets{}.scaled_down(32));
+  const ProgramProfile prof = profile_workload(w);
+  const StructureEvaluator evaluator;
+  const SystemResult r = evaluator.evaluate_ftspm(w, prof);
+  const std::string json =
+      system_result_json(r, evaluator.ftspm_layout(), w.program);
+  for (const char* needle :
+       {"\"structure\":\"FTSPM\"", "\"cycles\":", "\"cycles_breakdown\"",
+        "\"energy_pj\"", "\"avf\"", "\"vulnerability\"", "\"endurance\"",
+        "\"mappings\"", "\"regions\"", "\"block\":\"Array1\"",
+        "\"name\":\"D-ECC\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Structurally valid: balanced braces/brackets (cheap sanity check;
+  // escaping is covered by the JsonWriter unit tests).
+  std::int64_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonReportTest, SuiteJsonHasTwelveEntries) {
+  const StructureEvaluator evaluator;
+  const std::vector<SuiteRow> rows = run_suite(evaluator, 16);
+  const std::string json = suite_json(rows, evaluator);
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"benchmark\":", pos)) != std::string::npos) {
+    ++count;
+    pos += 10;
+  }
+  EXPECT_EQ(count, kMiBenchmarkCount);
+  EXPECT_NE(json.find("\"pure_sram\""), std::string::npos);
+  EXPECT_NE(json.find("\"pure_stt\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+}  // namespace
+}  // namespace ftspm

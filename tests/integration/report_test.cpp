@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "ftspm/report/render.h"
+#include "ftspm/report/suite_runner.h"
+#include "ftspm/util/error.h"
+#include "ftspm/workload/case_study.h"
+
+namespace ftspm {
+namespace {
+
+struct CaseStudyFixture {
+  Workload workload = make_case_study(CaseStudyTargets{}.scaled_down(32));
+  ProgramProfile profile = profile_workload(workload);
+  StructureEvaluator evaluator;
+  SystemResult ftspm = evaluator.evaluate_ftspm(workload, profile);
+};
+
+const CaseStudyFixture& fixture() {
+  static const CaseStudyFixture f;
+  return f;
+}
+
+TEST(RenderTest, ProfileTableListsEveryBlock) {
+  const std::string out =
+      render_profile_table(fixture().workload.program, fixture().profile);
+  for (const Block& blk : fixture().workload.program.blocks())
+    EXPECT_NE(out.find(blk.name), std::string::npos) << blk.name;
+  EXPECT_NE(out.find("Life-time"), std::string::npos);
+  EXPECT_NE(out.find("Stack calls"), std::string::npos);
+}
+
+TEST(RenderTest, MappingTableShowsRegionsAndReasons) {
+  const std::string out =
+      render_mapping_table(fixture().workload.program, fixture().ftspm.plan,
+                           fixture().evaluator.ftspm_layout());
+  EXPECT_NE(out.find("I-SPM"), std::string::npos);
+  EXPECT_NE(out.find("STT-RAM"), std::string::npos);
+  EXPECT_NE(out.find("Yes"), std::string::npos);
+  EXPECT_NE(out.find("No"), std::string::npos);
+  EXPECT_NE(out.find("too large for SPM"), std::string::npos);
+}
+
+TEST(RenderTest, LayoutTableShowsStaticPowerAndRows) {
+  const std::string out =
+      render_layout_table(fixture().evaluator.ftspm_layout());
+  EXPECT_NE(out.find("Structure: FTSPM"), std::string::npos);
+  EXPECT_NE(out.find("mW"), std::string::npos);
+  EXPECT_NE(out.find("D-Parity"), std::string::npos);
+  EXPECT_NE(out.find("SEC-DED"), std::string::npos);
+}
+
+TEST(RenderTest, RwDistributionPercentagesArePresent) {
+  const std::string out = render_rw_distribution(
+      fixture().evaluator.ftspm_layout(), fixture().ftspm.run);
+  EXPECT_NE(out.find('%'), std::string::npos);
+  EXPECT_NE(out.find("D-ECC"), std::string::npos);
+}
+
+TEST(RenderTest, RwDistributionRejectsMismatchedRun) {
+  RunResult empty;
+  EXPECT_THROW(
+      render_rw_distribution(fixture().evaluator.ftspm_layout(), empty),
+      Error);
+}
+
+TEST(RenderTest, BarChartScalesToWidth) {
+  const std::string out = render_bar_chart(
+      "demo", {{"a", 10.0}, {"b", 5.0}, {"c", 0.0}}, "J", 20);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);  // max bar
+  EXPECT_NE(out.find(std::string(10, '#')), std::string::npos);  // half bar
+}
+
+TEST(RenderTest, BarChartRejectsBadValues) {
+  EXPECT_THROW(render_bar_chart("x", {{"a", -1.0}}, "J"), InvalidArgument);
+  EXPECT_THROW(render_bar_chart("x", {{"a", 1.0}}, "J", 2), InvalidArgument);
+}
+
+TEST(SuiteRunnerTest, GeomeanRatioBasics) {
+  std::vector<SuiteRow> empty;
+  EXPECT_DOUBLE_EQ(geomean_ratio(empty, [](const SuiteRow&) { return 2.0; }),
+                   0.0);
+  EXPECT_THROW(geomean_ratio(empty, nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,92 @@
+// Golden MDA decisions across the suite: pins down which blocks the
+// default configuration places where, so policy regressions surface as
+// named failures instead of drifting figures. (Full-scale workloads;
+// profiles are cached per benchmark by the fixture.)
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftspm/core/systems.h"
+#include "ftspm/workload/suite.h"
+
+namespace ftspm {
+namespace {
+
+const StructureEvaluator& evaluator() {
+  static const StructureEvaluator e;
+  return e;
+}
+
+/// Region name a block landed in, or "-" when unmapped.
+std::string region_of(MiBenchmark bench, const std::string& block) {
+  static std::map<MiBenchmark, std::pair<Workload, SystemResult>> cache;
+  auto it = cache.find(bench);
+  if (it == cache.end()) {
+    Workload w = make_benchmark(bench);
+    const ProgramProfile prof = profile_workload(w);
+    SystemResult r = evaluator().evaluate_ftspm(w, prof);
+    it = cache.emplace(bench, std::make_pair(std::move(w), std::move(r)))
+             .first;
+  }
+  const auto& [w, r] = it->second;
+  const auto id = w.program.find(block);
+  EXPECT_TRUE(id.has_value()) << block;
+  const BlockMapping& m = r.plan.mapping(*id);
+  if (!m.mapped()) return "-";
+  return evaluator().ftspm_layout().region(m.region).name;
+}
+
+TEST(SuiteMappingTest, ShaHotScheduleLeavesSttRam) {
+  // sha's message schedule and digest churn violently; both must be
+  // evicted from STT-RAM while the read-only message stream stays.
+  EXPECT_NE(region_of(MiBenchmark::Sha, "w_sched"), "D-STT");
+  EXPECT_NE(region_of(MiBenchmark::Sha, "digest"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::Sha, "msg"), "D-STT");
+}
+
+TEST(SuiteMappingTest, Crc32AccumulatorLeavesSttRam) {
+  EXPECT_NE(region_of(MiBenchmark::Crc32, "acc"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::Crc32, "stream"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::Crc32, "crc_tbl"), "D-STT");
+  // The diffuse journal stays: it is what keeps endurance finite.
+  EXPECT_EQ(region_of(MiBenchmark::Crc32, "block_sums"), "D-STT");
+}
+
+TEST(SuiteMappingTest, FftInPlaceBuffersAreUnmappable) {
+  // 4 KiB write-hot buffers fit no protected SRAM region: cache path.
+  EXPECT_EQ(region_of(MiBenchmark::Fft, "re"), "-");
+  EXPECT_EQ(region_of(MiBenchmark::Fft, "im"), "-");
+  EXPECT_EQ(region_of(MiBenchmark::Fft, "twiddle"), "D-STT");
+}
+
+TEST(SuiteMappingTest, JpegCodeOverflowsTheIspm) {
+  // 17 KiB of code: exactly one function stays out (the coldest).
+  int unmapped_code = 0;
+  for (const char* fn : {"main", "dct", "huffman", "quant"})
+    if (region_of(MiBenchmark::Jpeg, fn) == "-") ++unmapped_code;
+  EXPECT_EQ(unmapped_code, 1);
+  EXPECT_EQ(region_of(MiBenchmark::Jpeg, "coeff"), "-");  // 4 KiB, hot
+}
+
+TEST(SuiteMappingTest, DijkstraHeapRootLeavesSttRam) {
+  EXPECT_NE(region_of(MiBenchmark::Dijkstra, "pq"), "D-STT");
+  EXPECT_NE(region_of(MiBenchmark::Dijkstra, "dist"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::Dijkstra, "adj"), "D-STT");
+}
+
+TEST(SuiteMappingTest, ReadOnlyTablesAlwaysStayImmune) {
+  EXPECT_EQ(region_of(MiBenchmark::Bitcount, "lut"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::StringSearch, "text"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::Rijndael, "sbox"), "D-STT");
+  EXPECT_EQ(region_of(MiBenchmark::Adpcm, "pcm_in"), "D-STT");
+}
+
+TEST(SuiteMappingTest, StacksNeverRemainInSttRam) {
+  // Every suite stack is write-hammered enough to trip the endurance
+  // filter (block- or word-level).
+  for (MiBenchmark bench : all_benchmarks())
+    EXPECT_NE(region_of(bench, "stack"), "D-STT") << to_string(bench);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,70 @@
+#include "ftspm/mem/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/mem/technology_library.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(RegionGeometryTest, BasicCounts) {
+  const RegionGeometry g(2048, 8);  // 2 KiB SEC-DED
+  EXPECT_EQ(g.data_bytes(), 2048u);
+  EXPECT_EQ(g.words(), 256u);
+  EXPECT_EQ(g.check_bits_per_word(), 8u);
+  EXPECT_EQ(g.codeword_bits(), 72u);
+  EXPECT_EQ(g.physical_bits(), 256u * 72u);
+}
+
+TEST(RegionGeometryTest, NoCheckBits) {
+  const RegionGeometry g(1024, 0);
+  EXPECT_EQ(g.codeword_bits(), 64u);
+  EXPECT_EQ(g.physical_bits(), 128u * 64u);
+}
+
+TEST(RegionGeometryTest, LocateWalksCodewords) {
+  const RegionGeometry g(16, 1);  // 2 words of 65 bits
+  PhysicalBit pb = g.locate(0);
+  EXPECT_EQ(pb.word_index, 0u);
+  EXPECT_EQ(pb.bit_in_codeword, 0u);
+  pb = g.locate(64);  // the parity bit of word 0
+  EXPECT_EQ(pb.word_index, 0u);
+  EXPECT_EQ(pb.bit_in_codeword, 64u);
+  pb = g.locate(65);  // first data bit of word 1
+  EXPECT_EQ(pb.word_index, 1u);
+  EXPECT_EQ(pb.bit_in_codeword, 0u);
+  pb = g.locate(129);  // last bit overall
+  EXPECT_EQ(pb.word_index, 1u);
+  EXPECT_EQ(pb.bit_in_codeword, 64u);
+}
+
+TEST(RegionGeometryTest, LocateRejectsOutOfRange) {
+  const RegionGeometry g(16, 1);
+  EXPECT_THROW(g.locate(130), InvalidArgument);
+}
+
+TEST(RegionGeometryTest, RejectsBadShapes) {
+  EXPECT_THROW(RegionGeometry(0, 0), InvalidArgument);
+  EXPECT_THROW(RegionGeometry(12, 0), InvalidArgument);  // not word-aligned
+  EXPECT_THROW(RegionGeometry(64, 17), InvalidArgument);
+}
+
+TEST(RegionGeometryTest, ForParamsPicksCheckBits) {
+  const TechnologyLibrary lib;
+  EXPECT_EQ(RegionGeometry::for_params(64, lib.unprotected_sram())
+                .check_bits_per_word(),
+            0u);
+  EXPECT_EQ(
+      RegionGeometry::for_params(64, lib.parity_sram()).check_bits_per_word(),
+      1u);
+  EXPECT_EQ(
+      RegionGeometry::for_params(64, lib.secded_sram()).check_bits_per_word(),
+      8u);
+  EXPECT_EQ(
+      RegionGeometry::for_params(64, lib.stt_ram()).check_bits_per_word(),
+      0u);
+}
+
+}  // namespace
+}  // namespace ftspm

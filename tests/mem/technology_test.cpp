@@ -1,0 +1,150 @@
+#include "ftspm/mem/technology_library.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(TechnologyLibraryTest, TableIvLatencies) {
+  const TechnologyLibrary lib;
+  // Table IV: (1) unprotected SRAM 1/1, (2) parity SRAM 1/1,
+  // (3) SEC-DED SRAM 2/2, (4) STT-RAM 1/10.
+  EXPECT_EQ(lib.unprotected_sram().read_latency_cycles, 1u);
+  EXPECT_EQ(lib.unprotected_sram().write_latency_cycles, 1u);
+  EXPECT_EQ(lib.parity_sram().read_latency_cycles, 1u);
+  EXPECT_EQ(lib.parity_sram().write_latency_cycles, 1u);
+  EXPECT_EQ(lib.secded_sram().read_latency_cycles, 2u);
+  EXPECT_EQ(lib.secded_sram().write_latency_cycles, 2u);
+  EXPECT_EQ(lib.stt_ram().read_latency_cycles, 1u);
+  EXPECT_EQ(lib.stt_ram().write_latency_cycles, 10u);
+}
+
+TEST(TechnologyLibraryTest, ProtectionOverheadsOrdered) {
+  const TechnologyLibrary lib;
+  // Codec energy: none < parity < SEC-DED, for both directions.
+  EXPECT_LT(lib.unprotected_sram().read_energy_pj,
+            lib.parity_sram().read_energy_pj);
+  EXPECT_LT(lib.parity_sram().read_energy_pj,
+            lib.secded_sram().read_energy_pj);
+  EXPECT_LT(lib.unprotected_sram().write_energy_pj,
+            lib.parity_sram().write_energy_pj);
+  EXPECT_LT(lib.parity_sram().write_energy_pj,
+            lib.secded_sram().write_energy_pj);
+}
+
+TEST(TechnologyLibraryTest, SttRamShape) {
+  const TechnologyLibrary lib;
+  const TechnologyParams stt = lib.stt_ram();
+  EXPECT_TRUE(stt.soft_error_immune);
+  EXPECT_GT(stt.endurance_writes, 0.0);
+  // Reads cheaper than SRAM, writes far more expensive.
+  EXPECT_LT(stt.read_energy_pj, lib.unprotected_sram().read_energy_pj);
+  EXPECT_GT(stt.write_energy_pj,
+            5.0 * lib.unprotected_sram().write_energy_pj);
+  // Near-zero cell leakage relative to SRAM.
+  EXPECT_LT(stt.cell_leakage_mw_per_kib,
+            lib.unprotected_sram().cell_leakage_mw_per_kib / 2.0);
+  EXPECT_DOUBLE_EQ(stt.physical_overhead, 1.0);
+}
+
+TEST(TechnologyLibraryTest, SramIsNotImmuneAndHasNoEnduranceLimit) {
+  const TechnologyLibrary lib;
+  for (const TechnologyParams& p :
+       {lib.unprotected_sram(), lib.parity_sram(), lib.secded_sram()}) {
+    EXPECT_FALSE(p.soft_error_immune);
+    EXPECT_EQ(p.endurance_writes, 0.0);
+  }
+}
+
+TEST(TechnologyLibraryTest, PhysicalOverheadMatchesCheckBits) {
+  const TechnologyLibrary lib;
+  EXPECT_DOUBLE_EQ(lib.unprotected_sram().physical_overhead, 1.0);
+  EXPECT_DOUBLE_EQ(lib.parity_sram().physical_overhead, 65.0 / 64.0);
+  EXPECT_DOUBLE_EQ(lib.secded_sram().physical_overhead, 72.0 / 64.0);
+}
+
+TEST(TechnologyLibraryTest, CodecCosts) {
+  const TechnologyLibrary lib;
+  EXPECT_EQ(lib.codec(ProtectionKind::None).check_bits_per_word, 0u);
+  EXPECT_EQ(lib.codec(ProtectionKind::Parity).check_bits_per_word, 1u);
+  EXPECT_EQ(lib.codec(ProtectionKind::SecDed).check_bits_per_word, 8u);
+  EXPECT_GT(lib.codec(ProtectionKind::SecDed).decode_energy_pj,
+            lib.codec(ProtectionKind::Parity).decode_energy_pj);
+}
+
+TEST(TechnologyLibraryTest, RejectsNonsensicalCombinations) {
+  const TechnologyLibrary lib;
+  EXPECT_THROW(lib.region(MemoryTech::SttRam, ProtectionKind::Parity),
+               InvalidArgument);
+  EXPECT_THROW(lib.region(MemoryTech::SttRam, ProtectionKind::SecDed),
+               InvalidArgument);
+  EXPECT_THROW(lib.region(MemoryTech::Sram, ProtectionKind::Immune),
+               InvalidArgument);
+}
+
+TEST(TechnologyLibraryTest, StaticPowerScalesWithSize) {
+  const TechnologyLibrary lib;
+  const TechnologyParams p = lib.secded_sram();
+  const double p16k = p.static_power_mw(16 * 1024);
+  const double p32k = p.static_power_mw(32 * 1024);
+  EXPECT_GT(p32k, p16k);
+  // Doubling the array doubles cell leakage but not the peripheral.
+  EXPECT_LT(p32k, 2.0 * p16k);
+}
+
+TEST(TechnologyLibraryTest, DynamicEnergyScalesWithNode) {
+  const TechnologyLibrary at40(ProcessCorner{40.0, 200.0, 1.1});
+  const TechnologyLibrary at90(ProcessCorner{90.0, 200.0, 1.1});
+  EXPECT_GT(at90.unprotected_sram().read_energy_pj,
+            at40.unprotected_sram().read_energy_pj);
+}
+
+TEST(TechnologyLibraryTest, LeakageGrowsAsNodeShrinks) {
+  const TechnologyLibrary at40(ProcessCorner{40.0, 200.0, 1.1});
+  const TechnologyLibrary at22(ProcessCorner{22.0, 200.0, 1.1});
+  EXPECT_GT(at22.unprotected_sram().cell_leakage_mw_per_kib,
+            at40.unprotected_sram().cell_leakage_mw_per_kib);
+}
+
+TEST(TechnologyLibraryTest, RejectsBadCorners) {
+  EXPECT_THROW(TechnologyLibrary(ProcessCorner{5.0, 200.0, 1.1}),
+               InvalidArgument);
+  EXPECT_THROW(TechnologyLibrary(ProcessCorner{40.0, 0.0, 1.1}),
+               InvalidArgument);
+  EXPECT_THROW(TechnologyLibrary(ProcessCorner{40.0, 200.0, -1.0}),
+               InvalidArgument);
+}
+
+TEST(TechnologyTest, ToStringCoverage) {
+  EXPECT_STREQ(to_string(MemoryTech::Sram), "SRAM");
+  EXPECT_STREQ(to_string(MemoryTech::SttRam), "STT-RAM");
+  EXPECT_STREQ(to_string(ProtectionKind::None), "Unprotected");
+  EXPECT_STREQ(to_string(ProtectionKind::Parity), "Parity");
+  EXPECT_STREQ(to_string(ProtectionKind::SecDed), "SEC-DED");
+  EXPECT_STREQ(to_string(ProtectionKind::Immune), "Immune");
+}
+
+}  // namespace
+}  // namespace ftspm
+
+namespace ftspm {
+namespace {
+
+TEST(TechnologyLibraryTest, RelaxedSttTradesRetentionForWrites) {
+  const TechnologyLibrary lib;
+  const TechnologyParams base = lib.stt_ram();
+  const TechnologyParams relaxed = lib.stt_ram_relaxed();
+  EXPECT_LT(relaxed.write_energy_pj, base.write_energy_pj / 2.0);
+  EXPECT_LT(relaxed.write_latency_cycles, base.write_latency_cycles);
+  EXPECT_GT(relaxed.cell_leakage_mw_per_kib,
+            base.cell_leakage_mw_per_kib);  // scrub power
+  EXPECT_GT(relaxed.endurance_writes, base.endurance_writes);
+  EXPECT_TRUE(relaxed.soft_error_immune);
+  EXPECT_EQ(relaxed.read_latency_cycles, base.read_latency_cycles);
+  EXPECT_DOUBLE_EQ(relaxed.read_energy_pj, base.read_energy_pj);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,103 @@
+#include "ftspm/sim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+CacheConfig tiny_cache() {
+  // 2 sets x 2 ways x 32 B lines = 128 B.
+  return CacheConfig{128, 32, 2, 1};
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(24, false).hit);  // same line
+  EXPECT_EQ(c.stats().reads, 3u);
+  EXPECT_EQ(c.stats().read_misses, 1u);
+}
+
+TEST(CacheTest, SetsAreIndependent) {
+  Cache c(tiny_cache());
+  c.access(0, false);   // set 0
+  c.access(32, false);  // set 1
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(32, false).hit);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  Cache c(tiny_cache());
+  // Three distinct lines mapping to set 0 (stride = 64 bytes).
+  c.access(0, false);    // line A
+  c.access(64, false);   // line B
+  c.access(0, false);    // touch A: B is now LRU
+  c.access(128, false);  // line C evicts B
+  EXPECT_TRUE(c.access(0, false).hit);     // A survived
+  EXPECT_FALSE(c.access(64, false).hit);   // B was evicted
+}
+
+TEST(CacheTest, WritebackOnDirtyEviction) {
+  Cache c(tiny_cache());
+  c.access(0, true);  // dirty line A in set 0
+  c.access(64, false);
+  const CacheAccessResult r = c.access(128, false);  // evicts dirty A
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, CleanEvictionHasNoWriteback) {
+  Cache c(tiny_cache());
+  c.access(0, false);
+  c.access(64, false);
+  EXPECT_FALSE(c.access(128, false).writeback);
+}
+
+TEST(CacheTest, WriteHitMarksLineDirty) {
+  Cache c(tiny_cache());
+  c.access(0, false);  // clean fill
+  c.access(0, true);   // dirty it
+  c.access(64, false);
+  EXPECT_TRUE(c.access(128, false).writeback);
+}
+
+TEST(CacheTest, MissRateAccounting) {
+  Cache c(tiny_cache());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, true);
+  c.access(4096, true);
+  EXPECT_EQ(c.stats().accesses(), 4u);
+  EXPECT_EQ(c.stats().misses(), 2u);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+  EXPECT_EQ(c.stats().write_misses, 1u);
+}
+
+TEST(CacheTest, ResetClearsEverything) {
+  Cache c(tiny_cache());
+  c.access(0, true);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  EXPECT_FALSE(c.access(0, false).hit);  // cold again
+}
+
+TEST(CacheTest, DefaultConfigIsTableIvCache) {
+  const Cache c(CacheConfig{});
+  EXPECT_EQ(c.config().size_bytes, 8u * 1024u);
+  EXPECT_EQ(c.config().hit_latency_cycles, 1u);
+}
+
+TEST(CacheTest, RejectsBadConfigs) {
+  EXPECT_THROW(Cache(CacheConfig{128, 12, 2, 1}), InvalidArgument);
+  EXPECT_THROW(Cache(CacheConfig{100, 32, 2, 1}), InvalidArgument);
+  EXPECT_THROW(Cache(CacheConfig{128, 32, 0, 1}), InvalidArgument);
+  // 3 sets: not a power of two (96 = 32*3*1... construct via ways=1).
+  EXPECT_THROW(Cache(CacheConfig{96, 32, 1, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

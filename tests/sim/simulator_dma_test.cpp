@@ -1,0 +1,106 @@
+// Exact accounting of the simulator's DMA path: transfer cycle formula,
+// code reloads, flush semantics, and gap handling under aggregation.
+#include <gtest/gtest.h>
+
+#include "ftspm/mem/technology_library.h"
+#include "ftspm/sim/simulator.h"
+
+namespace ftspm {
+namespace {
+
+const TechnologyLibrary& lib() {
+  static const TechnologyLibrary kLib;
+  return kLib;
+}
+
+SpmLayout tiny_layout() {
+  return SpmLayout(
+      "tiny", {SpmRegionSpec{"I", SpmSpace::Instruction, 512, lib().stt_ram()},
+               SpmRegionSpec{"D", SpmSpace::Data, 64, lib().parity_sram()}});
+}
+
+Program two_functions() {
+  return Program("p", {Block{"f", BlockKind::Code, 512},   // 64 words
+                       Block{"g", BlockKind::Code, 512},
+                       Block{"a", BlockKind::Data, 64}});  // 8 words
+}
+
+TEST(SimulatorDmaTest, TransferCycleFormulaIsExact) {
+  const SpmLayout layout = tiny_layout();
+  SimConfig cfg;
+  const Simulator sim(layout, cfg);
+  // One read to block a: a single 8-word DMA-in, no flush (clean).
+  Workload w{two_functions(), {TraceEvent{2, AccessType::Read, 0, 0, 1}}};
+  const std::vector<RegionId> map{kNoRegion, kNoRegion, 1};
+  const RunResult res = sim.run(w, map);
+  const std::uint32_t per_word = std::max<std::uint32_t>(
+      cfg.dram.word_latency_cycles,
+      layout.region(1).tech.write_latency_cycles);
+  const std::uint64_t expected = cfg.dma.setup_cycles +
+                                 cfg.dram.line_latency_cycles +
+                                 8ull * per_word;
+  EXPECT_EQ(res.dma_cycles, expected);
+  EXPECT_DOUBLE_EQ(res.dma_dram_side_energy_pj,
+                   8.0 * cfg.dram.read_energy_pj);
+  EXPECT_DOUBLE_EQ(res.dma_energy_pj - res.dma_dram_side_energy_pj,
+                   8.0 * layout.region(1).tech.write_energy_pj);
+}
+
+TEST(SimulatorDmaTest, CodeBlocksReloadCleanlyAfterEviction) {
+  // Two 64-word functions share a 64-word I-SPM: every alternation
+  // reloads, but code is never dirty so nothing is written back.
+  const SpmLayout layout = tiny_layout();
+  const Simulator sim(layout, SimConfig{});
+  Workload w{two_functions(),
+             {TraceEvent{0, AccessType::Fetch, 0, 0, 10},
+              TraceEvent{1, AccessType::Fetch, 0, 0, 10},
+              TraceEvent{0, AccessType::Fetch, 0, 0, 10}}};
+  const std::vector<RegionId> map{0, 0, kNoRegion};
+  const RunResult res = sim.run(w, map);
+  EXPECT_EQ(res.regions[0].dma_in_words, 3u * 64u);
+  EXPECT_EQ(res.regions[0].dma_out_words, 0u);
+  EXPECT_EQ(res.regions[0].capacity_evictions, 2u);
+}
+
+TEST(SimulatorDmaTest, RereadAfterFlushlessEvictionStillCounts) {
+  // A dirty block evicted and re-read: write-back once, reload once.
+  const SpmLayout layout = tiny_layout();
+  Program p("p", {Block{"f", BlockKind::Code, 512},
+                  Block{"a", BlockKind::Data, 64},
+                  Block{"b", BlockKind::Data, 64}});
+  const Simulator sim(layout, SimConfig{});
+  Workload w{std::move(p),
+             {TraceEvent{1, AccessType::Write, 0, 0, 1},
+              TraceEvent{2, AccessType::Read, 0, 0, 1},   // evicts dirty a
+              TraceEvent{1, AccessType::Read, 0, 0, 1}}};  // reload a clean
+  const std::vector<RegionId> map{kNoRegion, 1, 1};
+  const RunResult res = sim.run(w, map);
+  EXPECT_EQ(res.regions[1].dma_in_words, 24u);
+  EXPECT_EQ(res.regions[1].dma_out_words, 8u);  // only the dirty eviction
+}
+
+TEST(SimulatorDmaTest, GapAppliesPerRepetition) {
+  const SpmLayout layout = tiny_layout();
+  const Simulator sim(layout, SimConfig{});
+  Workload w{two_functions(), {TraceEvent{2, AccessType::Read, 5, 0, 7}}};
+  const std::vector<RegionId> map{kNoRegion, kNoRegion, 1};
+  const RunResult res = sim.run(w, map);
+  EXPECT_EQ(res.compute_cycles, 35u);  // 5 * 7
+  EXPECT_EQ(res.regions[1].reads, 7u);
+}
+
+TEST(SimulatorDmaTest, SpmEnergyExcludesTheDramSideOfDma) {
+  const SpmLayout layout = tiny_layout();
+  const Simulator sim(layout, SimConfig{});
+  Workload w{two_functions(), {TraceEvent{2, AccessType::Read, 0, 0, 4}}};
+  const std::vector<RegionId> map{kNoRegion, kNoRegion, 1};
+  const RunResult res = sim.run(w, map);
+  const double expected_spm =
+      4.0 * layout.region(1).tech.read_energy_pj +       // demand reads
+      8.0 * layout.region(1).tech.write_energy_pj;       // DMA fill
+  EXPECT_NEAR(res.spm_dynamic_energy_pj(), expected_spm, 1e-9);
+  EXPECT_GT(res.total_dynamic_energy_pj(), res.spm_dynamic_energy_pj());
+}
+
+}  // namespace
+}  // namespace ftspm

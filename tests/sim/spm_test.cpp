@@ -1,0 +1,77 @@
+#include "ftspm/sim/spm.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/mem/technology_library.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+SpmLayout demo_layout() {
+  const TechnologyLibrary lib;
+  return SpmLayout("demo",
+                   {SpmRegionSpec{"I", SpmSpace::Instruction, 4096,
+                                  lib.stt_ram()},
+                    SpmRegionSpec{"D-ECC", SpmSpace::Data, 2048,
+                                  lib.secded_sram()},
+                    SpmRegionSpec{"D-P", SpmSpace::Data, 1024,
+                                  lib.parity_sram()}});
+}
+
+TEST(SpmLayoutTest, Accessors) {
+  const SpmLayout layout = demo_layout();
+  EXPECT_EQ(layout.name(), "demo");
+  EXPECT_EQ(layout.region_count(), 3u);
+  EXPECT_EQ(layout.region(0).name, "I");
+  EXPECT_EQ(layout.region(1).data_words(), 256u);
+  EXPECT_EQ(layout.find("D-P"), RegionId{2});
+  EXPECT_EQ(layout.find("nope"), std::nullopt);
+  EXPECT_THROW(layout.region(3), InvalidArgument);
+}
+
+TEST(SpmLayoutTest, ByteTotals) {
+  const SpmLayout layout = demo_layout();
+  EXPECT_EQ(layout.total_data_bytes(), 7168u);
+  EXPECT_EQ(layout.space_data_bytes(SpmSpace::Instruction), 4096u);
+  EXPECT_EQ(layout.space_data_bytes(SpmSpace::Data), 3072u);
+}
+
+TEST(SpmLayoutTest, PhysicalBitsIncludeCheckBits) {
+  const SpmLayout layout = demo_layout();
+  const std::uint64_t expected = 512u * 64u      // STT, no check bits
+                                 + 256u * 72u    // SEC-DED
+                                 + 128u * 65u;   // parity
+  EXPECT_EQ(layout.total_physical_bits(), expected);
+}
+
+TEST(SpmLayoutTest, StaticPowerSumsRegions) {
+  const SpmLayout layout = demo_layout();
+  double expected = 0.0;
+  for (const auto& r : layout.regions())
+    expected += r.tech.static_power_mw(r.data_bytes);
+  EXPECT_DOUBLE_EQ(layout.static_power_mw(), expected);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(SpmLayoutTest, RejectsBadShapes) {
+  const TechnologyLibrary lib;
+  EXPECT_THROW(SpmLayout("x", {}), InvalidArgument);
+  EXPECT_THROW(
+      SpmLayout("x", {SpmRegionSpec{"", SpmSpace::Data, 64, lib.stt_ram()}}),
+      InvalidArgument);
+  EXPECT_THROW(
+      SpmLayout("x", {SpmRegionSpec{"r", SpmSpace::Data, 60, lib.stt_ram()}}),
+      InvalidArgument);
+  EXPECT_THROW(
+      SpmLayout("x", {SpmRegionSpec{"r", SpmSpace::Data, 0, lib.stt_ram()}}),
+      InvalidArgument);
+}
+
+TEST(SpmSpaceTest, ToString) {
+  EXPECT_STREQ(to_string(SpmSpace::Instruction), "I-SPM");
+  EXPECT_STREQ(to_string(SpmSpace::Data), "D-SPM");
+}
+
+}  // namespace
+}  // namespace ftspm

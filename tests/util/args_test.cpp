@@ -1,0 +1,124 @@
+#include "ftspm/util/args.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args};
+}
+
+TEST(ArgParserTest, FlagsAndDefaults) {
+  ArgParser p("demo", "test");
+  p.add_flag("verbose", "talk more");
+  p.add_option("count", "how many", "7");
+  const auto argv = argv_of({"demo", "--verbose"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(p.flag("verbose"));
+  EXPECT_EQ(p.option("count"), "7");
+  EXPECT_EQ(p.option_int("count"), 7);
+}
+
+TEST(ArgParserTest, OptionWithSeparateValue) {
+  ArgParser p("demo", "test");
+  p.add_option("count", "how many", "0");
+  const auto argv = argv_of({"demo", "--count", "42"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.option_int("count"), 42);
+}
+
+TEST(ArgParserTest, OptionWithEqualsValue) {
+  ArgParser p("demo", "test");
+  p.add_option("ratio", "a ratio", "0.5");
+  const auto argv = argv_of({"demo", "--ratio=0.25"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(p.option_double("ratio"), 0.25);
+}
+
+TEST(ArgParserTest, PositionalsArePreserved) {
+  ArgParser p("demo", "test");
+  p.add_flag("x", "x");
+  const auto argv = argv_of({"demo", "first", "--x", "second"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positionals()[0], "first");
+  EXPECT_EQ(p.positionals()[1], "second");
+}
+
+TEST(ArgParserTest, StartOffsetSkipsSubcommand) {
+  ArgParser p("demo", "test");
+  p.add_option("n", "n", "1");
+  const auto argv = argv_of({"demo", "subcmd", "--n", "3"});
+  p.parse(static_cast<int>(argv.size()), argv.data(), 2);
+  EXPECT_EQ(p.option_int("n"), 3);
+  EXPECT_TRUE(p.positionals().empty());
+}
+
+TEST(ArgParserTest, UnknownOptionThrows) {
+  ArgParser p("demo", "test");
+  const auto argv = argv_of({"demo", "--nope"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(ArgParserTest, MissingValueThrows) {
+  ArgParser p("demo", "test");
+  p.add_option("count", "how many", "0");
+  const auto argv = argv_of({"demo", "--count"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(ArgParserTest, FlagWithValueThrows) {
+  ArgParser p("demo", "test");
+  p.add_flag("verbose", "talk");
+  const auto argv = argv_of({"demo", "--verbose=yes"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(ArgParserTest, BadNumbersThrow) {
+  ArgParser p("demo", "test");
+  p.add_option("count", "n", "x7");
+  p.add_option("ratio", "r", "1.2.3");
+  const auto argv = argv_of({"demo"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.option_int("count"), InvalidArgument);
+  EXPECT_THROW(p.option_double("ratio"), InvalidArgument);
+}
+
+TEST(ArgParserTest, TypeConfusionThrows) {
+  ArgParser p("demo", "test");
+  p.add_flag("verbose", "talk");
+  p.add_option("count", "n", "1");
+  const auto argv = argv_of({"demo"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.flag("count"), InvalidArgument);
+  EXPECT_THROW(p.option("verbose"), InvalidArgument);
+}
+
+TEST(ArgParserTest, DuplicateRegistrationThrows) {
+  ArgParser p("demo", "test");
+  p.add_flag("x", "x");
+  EXPECT_THROW(p.add_option("x", "again", "1"), InvalidArgument);
+}
+
+TEST(ArgParserTest, UsageListsOptionsInOrder) {
+  ArgParser p("demo", "a test program");
+  p.add_flag("alpha", "first");
+  p.add_option("beta", "second", "5");
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("demo — a test program"), std::string::npos);
+  const auto alpha = u.find("--alpha");
+  const auto beta = u.find("--beta");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(beta, std::string::npos);
+  EXPECT_LT(alpha, beta);
+  EXPECT_NE(u.find("default: 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,60 @@
+#include "ftspm/util/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftspm {
+namespace {
+
+TEST(BitopsTest, Popcount64) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+  EXPECT_EQ(popcount64(0xF0F0ULL), 8);
+}
+
+TEST(BitopsTest, Parity64) {
+  EXPECT_EQ(parity64(0), 0);
+  EXPECT_EQ(parity64(1), 1);
+  EXPECT_EQ(parity64(0b11), 0);
+  EXPECT_EQ(parity64(0b111), 1);
+  EXPECT_EQ(parity64(~0ULL), 0);
+}
+
+TEST(BitopsTest, GetSetFlipSingleWord) {
+  std::uint64_t v = 0;
+  v = set_bit(v, 5, true);
+  EXPECT_TRUE(get_bit(v, 5));
+  EXPECT_FALSE(get_bit(v, 4));
+  v = set_bit(v, 5, false);
+  EXPECT_EQ(v, 0u);
+  v = flip_bit(v, 63);
+  EXPECT_TRUE(get_bit(v, 63));
+  v = flip_bit(v, 63);
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(BitopsTest, SetBitIsIdempotent) {
+  std::uint64_t v = 0;
+  v = set_bit(v, 9, true);
+  v = set_bit(v, 9, true);
+  EXPECT_EQ(popcount64(v), 1);
+}
+
+TEST(BitopsTest, SpanGetFlip) {
+  std::vector<std::uint64_t> words(3, 0);
+  flip_bit(std::span<std::uint64_t>(words), 64);  // first bit of word 1
+  EXPECT_TRUE(get_bit(std::span<const std::uint64_t>(words), 64));
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1], 1u);
+  flip_bit(std::span<std::uint64_t>(words), 191);  // last bit of word 2
+  EXPECT_EQ(words[2], 1ULL << 63);
+}
+
+TEST(BitopsTest, SpanPopcount) {
+  std::vector<std::uint64_t> words{~0ULL, 0, 0xFF};
+  EXPECT_EQ(popcount(std::span<const std::uint64_t>(words)), 72u);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,58 @@
+// Edge cases of the formatting helpers that the happy-path tests skip.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ftspm/util/format.h"
+
+namespace ftspm {
+namespace {
+
+TEST(FormatEdgeTest, Int64ExtremesDoNotOverflow) {
+  EXPECT_EQ(with_commas(std::numeric_limits<std::int64_t>::min()),
+            "-9,223,372,036,854,775,808");
+  EXPECT_EQ(with_commas(std::numeric_limits<std::int64_t>::max()),
+            "9,223,372,036,854,775,807");
+  EXPECT_EQ(with_commas(std::numeric_limits<std::uint64_t>::max()),
+            "18,446,744,073,709,551,615");
+}
+
+TEST(FormatEdgeTest, SiStringFemtoFallback) {
+  EXPECT_EQ(si_string(3.0e-14, "J"), "30.00 fJ");
+  EXPECT_EQ(si_string(1.0e-12, "J"), "1.00 pJ");
+}
+
+TEST(FormatEdgeTest, SiStringBeyondTera) {
+  EXPECT_EQ(si_string(5.0e13, "writes", 1), "50.0 Twrites");
+}
+
+TEST(FormatEdgeTest, HumanDurationUnitBoundaries) {
+  EXPECT_EQ(human_duration(59.4), "~59.4 Seconds");
+  EXPECT_EQ(human_duration(60.0), "~1 Minutes");
+  EXPECT_EQ(human_duration(3600.0), "~1 Hours");
+  EXPECT_EQ(human_duration(86400.0), "~1 Days");
+  EXPECT_EQ(human_duration(3.0 * 30.4375 * 86400.0), "~3 Months");
+  EXPECT_EQ(human_duration(0.25), "~0.250 Seconds");
+  EXPECT_EQ(human_duration(0.0), "~0.000 Seconds");
+}
+
+TEST(FormatEdgeTest, HumanDurationPicksTheLargestWholeUnit) {
+  // 90 days is ~2.96 months: months win over days.
+  EXPECT_EQ(human_duration(90.0 * 86400.0), "~3 Months");
+  // 400 days crosses into years.
+  EXPECT_EQ(human_duration(400.0 * 86400.0), "~1.1 Years");
+}
+
+TEST(FormatEdgeTest, PercentOfTinyAndHugeFractions) {
+  EXPECT_EQ(percent(0.00004, 2), "0.00%");
+  EXPECT_EQ(percent(12.5, 0), "1250%");
+  EXPECT_EQ(percent(-0.25, 1), "-25.0%");
+}
+
+TEST(FormatEdgeTest, SciRespectsDecimals) {
+  EXPECT_EQ(sci(1.0e12, 0), "1e+12");
+  EXPECT_EQ(sci(-2.5e-3, 1), "-2.5e-03");
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,73 @@
+#include "ftspm/util/format.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(WithCommasTest, GroupsDigits) {
+  EXPECT_EQ(with_commas(std::uint64_t{0}), "0");
+  EXPECT_EQ(with_commas(std::uint64_t{7}), "7");
+  EXPECT_EQ(with_commas(std::uint64_t{999}), "999");
+  EXPECT_EQ(with_commas(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(with_commas(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(with_commas(std::uint64_t{25973000}), "25,973,000");
+}
+
+TEST(WithCommasTest, HandlesNegatives) {
+  EXPECT_EQ(with_commas(std::int64_t{-1}), "-1");
+  EXPECT_EQ(with_commas(std::int64_t{-1234567}), "-1,234,567");
+}
+
+TEST(FixedTest, RoundsToDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.145, 0), "3");
+  EXPECT_EQ(fixed(-2.5, 1), "-2.5");
+  EXPECT_THROW(fixed(1.0, -1), InvalidArgument);
+}
+
+TEST(PercentTest, ScalesFraction) {
+  EXPECT_EQ(percent(0.432), "43.2%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.0715, 2), "7.15%");
+}
+
+TEST(SiValueTest, PicksPrefix) {
+  EXPECT_EQ(si_string(1.7e-9, "J"), "1.70 nJ");
+  EXPECT_EQ(si_string(0.0032, "W"), "3.20 mW");
+  EXPECT_EQ(si_string(2.5e6, "Hz", 1), "2.5 MHz");
+  EXPECT_EQ(si_string(42.0, "B"), "42.00 B");
+  EXPECT_EQ(si_string(0.0, "J"), "0 J");
+}
+
+TEST(SiValueTest, HandlesNegativeValues) {
+  EXPECT_EQ(si_string(-1.5e3, "J", 1), "-1.5 kJ");
+}
+
+TEST(HumanDurationTest, MatchesTableIiiPhrasing) {
+  // The paper's Table III renders ~40 minutes, ~7 hours, ~3 days,
+  // ~28 days, ~3 months, ~1.5 years, ~16 years, ~166 years, ...
+  EXPECT_EQ(human_duration(40 * 60.0), "~40 Minutes");
+  EXPECT_EQ(human_duration(7 * 3600.0), "~7 Hours");
+  EXPECT_EQ(human_duration(3 * 86400.0), "~3 Days");
+  EXPECT_EQ(human_duration(1.5 * 365.25 * 86400.0), "~1.5 Years");
+  EXPECT_EQ(human_duration(16 * 365.25 * 86400.0), "~16 Years");
+}
+
+TEST(HumanDurationTest, SubMinuteUsesSeconds) {
+  EXPECT_EQ(human_duration(42.0), "~42 Seconds");
+}
+
+TEST(HumanDurationTest, RejectsNegative) {
+  EXPECT_THROW(human_duration(-1.0), InvalidArgument);
+}
+
+TEST(SciTest, FormatsExponent) {
+  EXPECT_EQ(sci(3.2e13), "3.2e+13");
+  EXPECT_EQ(sci(1.0e-3, 0), "1e-03");
+}
+
+}  // namespace
+}  // namespace ftspm

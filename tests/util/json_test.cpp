@@ -1,0 +1,101 @@
+#include "ftspm/util/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .field("name", "ftspm")
+      .field("count", std::uint64_t{42})
+      .field("ratio", 0.5)
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"ftspm","count":42,"ratio":0.5,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("xs").element(1.0).element(2.5).end_array();
+  w.begin_object("inner").field("k", "v").end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2.5],"inner":{"k":"v"}})");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().field("a", std::uint64_t{1}).end_object();
+  w.begin_object().field("a", std::uint64_t{2}).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"a":1},{"a":2}])");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object().field("s", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriterTest, ControlCharactersAreUnicodeEscaped) {
+  JsonWriter w;
+  w.begin_object().field("s", std::string_view("\x01", 1)).end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"\\u0001\"}");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripMinimally) {
+  JsonWriter w;
+  w.begin_array()
+      .element(1.0)
+      .element(0.1)
+      .element(1e-9)
+      .element(1234567.875)
+      .end_array();
+  EXPECT_EQ(w.str(), "[1,0.1,1e-09,1234567.875]");
+}
+
+TEST(JsonWriterTest, NegativeIntegers) {
+  JsonWriter w;
+  w.begin_object().field("n", std::int64_t{-7}).end_object();
+  EXPECT_EQ(w.str(), R"({"n":-7})");
+}
+
+TEST(JsonWriterTest, StructuralMisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), InvalidArgument);  // unclosed
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.end_object(), InvalidArgument);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.field("k", "v"), InvalidArgument);  // key in array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.element("x"), InvalidArgument);  // element in object
+    w.end_object();
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.field("bad", std::nan("")), InvalidArgument);
+    w.end_object();
+  }
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,168 @@
+#include "ftspm/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(SplitMix64Test, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);  // state advanced
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  std::uint64_t a = 1, b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowZeroThrows) {
+  Rng r(1);
+  EXPECT_THROW(r.next_below(0), InvalidArgument);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng r(11);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 7000; ++i) ++counts[r.next_below(7)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);  // roughly uniform: expected 1000 each
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng r(13);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(r.next_in(3, 3), 3);
+  EXPECT_THROW(r.next_in(4, 3), InvalidArgument);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+    EXPECT_FALSE(r.next_bool(-1.0));
+    EXPECT_TRUE(r.next_bool(2.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequencyTracksP) {
+  Rng r(23);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng r(29);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 8000; ++i) ++counts[r.next_discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, DiscreteRejectsBadWeights) {
+  Rng r(31);
+  EXPECT_THROW(r.next_discrete({}), InvalidArgument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(r.next_discrete(zeros), InvalidArgument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(r.next_discrete(negative), InvalidArgument);
+}
+
+TEST(RngTest, BurstWithinCap) {
+  Rng r(37);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t n = r.next_burst(0.9, 8);
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, 8u);
+  }
+  EXPECT_EQ(r.next_burst(0.0, 5), 1u);
+}
+
+TEST(RngTest, ForkedChildIsIndependent) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  // The child stream should not mirror the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ShuffleProducesPermutation) {
+  Rng r(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(RngTest, ShuffleIsDeterministic) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6}, b{1, 2, 3, 4, 5, 6};
+  Rng r1(47), r2(47);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ftspm

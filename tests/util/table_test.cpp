@@ -1,0 +1,98 @@
+#include "ftspm/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable t({"Name", "Count"});
+  t.add_row({"alpha", "10"});
+  t.add_row({"b", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name  | Count |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |    10 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |     2 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, FirstColumnLeftRestRightByDefault) {
+  AsciiTable t({"A", "B"});
+  t.add_row({"x", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x | 1 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, AlignmentOverride) {
+  AsciiTable t({"A", "B"});
+  t.set_align(1, Align::Left);
+  t.add_row({"x", "1"});
+  t.add_row({"y", "2345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1    |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnWidthTracksLongestCell) {
+  AsciiTable t({"A"});
+  t.add_row({"short"});
+  t.add_row({"a-much-longer-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| short              |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, SeparatorAddsRule) {
+  AsciiTable t({"A"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  const std::string out = t.render();
+  // Outer rules (3) + separator = 4 horizontal rules.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiTableTest, RejectsBadShapes) {
+  EXPECT_THROW(AsciiTable({}), InvalidArgument);
+  AsciiTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(t.set_align(2, Align::Left), InvalidArgument);
+}
+
+TEST(AsciiTableTest, RowCount) {
+  AsciiTable t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_separator();
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, RendersRows) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.render(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter w({"x"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  const std::string out = w.render();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, RejectsBadShapes) {
+  EXPECT_THROW(CsvWriter({}), InvalidArgument);
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

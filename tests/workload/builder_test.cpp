@@ -1,0 +1,187 @@
+#include "ftspm/workload/trace_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+Program demo_program() {
+  return Program("demo", {Block{"main", BlockKind::Code, 1024},
+                          Block{"leaf", BlockKind::Code, 512},
+                          Block{"arr", BlockKind::Data, 512},
+                          Block{"stack", BlockKind::Stack, 256}});
+}
+
+TEST(TraceBuilderTest, TakeValidatesAndBalances) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  b.call(0, 32);
+  b.fetch(10);
+  b.read(2, 4);
+  b.ret();
+  const std::vector<TraceEvent> trace = b.take();
+  EXPECT_NO_THROW(validate_trace(p, trace));
+  EXPECT_EQ(trace.front().type, AccessType::CallEnter);
+  EXPECT_EQ(trace.back().type, AccessType::CallExit);
+}
+
+TEST(TraceBuilderTest, TakeWithOpenCallThrows) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  b.call(0, 32);
+  EXPECT_THROW(b.take(), InvalidArgument);
+}
+
+TEST(TraceBuilderTest, RetWithoutCallThrows) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  EXPECT_THROW(b.ret(), InvalidArgument);
+}
+
+TEST(TraceBuilderTest, FetchNeedsActiveFrame) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  EXPECT_THROW(b.fetch(1), InvalidArgument);
+  EXPECT_NO_THROW(b.fetch_from(0, 1));  // explicit target works anywhere
+}
+
+TEST(TraceBuilderTest, FetchTargetsInnermostFrame) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  b.call(0, 32);
+  b.call(1, 16);
+  b.fetch(5);
+  b.ret();
+  b.ret();
+  const auto trace = b.take();
+  // Find the fetch event; it must target block 1 (leaf).
+  bool found = false;
+  for (const auto& e : trace) {
+    if (e.type == AccessType::Fetch) {
+      EXPECT_EQ(e.block, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceBuilderTest, SpillAndReloadTouchStack) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  b.call(0, 64, 4);  // spill 4 words
+  b.ret(4);          // reload 4 words
+  const auto trace = b.take();
+  std::uint64_t stack_reads = 0, stack_writes = 0;
+  for (const auto& e : trace) {
+    if (e.block != 3) continue;
+    if (e.type == AccessType::Read) stack_reads += e.repeat;
+    if (e.type == AccessType::Write) stack_writes += e.repeat;
+  }
+  EXPECT_EQ(stack_writes, 4u);
+  EXPECT_EQ(stack_reads, 4u);
+}
+
+TEST(TraceBuilderTest, MaxStackTracksNesting) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  b.call(0, 64);
+  EXPECT_EQ(b.max_stack_bytes(), 64u);
+  b.call(1, 32);
+  EXPECT_EQ(b.max_stack_bytes(), 96u);
+  b.ret();
+  b.call(1, 16);  // shallower: max unchanged
+  b.ret();
+  b.ret();
+  EXPECT_EQ(b.max_stack_bytes(), 96u);
+  EXPECT_EQ(b.call_depth(), 0u);
+}
+
+TEST(TraceBuilderTest, StackOpsWithoutStackBlockThrow) {
+  Program p("nostack", {Block{"main", BlockKind::Code, 1024},
+                        Block{"arr", BlockKind::Data, 512}});
+  TraceBuilder b(p);
+  b.call(0, 32);
+  EXPECT_THROW(b.stack_write(1), InvalidArgument);
+  EXPECT_THROW(b.stack_read(1), InvalidArgument);
+  b.ret();
+}
+
+TEST(TraceBuilderTest, DataAccessRejectsBadTargets) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  EXPECT_THROW(b.read(0, 1), InvalidArgument);      // code block
+  EXPECT_THROW(b.read(2, 1, 64), InvalidArgument);  // offset out of range
+  EXPECT_THROW(b.fetch_from(2, 1), InvalidArgument);
+}
+
+TEST(TraceBuilderTest, LargeCountsAreChunked) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  const std::uint64_t big = (1ULL << 32) + 5;  // exceeds u32 repeat
+  b.read(2, big);
+  const auto trace = b.take();
+  std::uint64_t total = 0;
+  for (const auto& e : trace) total += e.accesses();
+  EXPECT_EQ(total, big);
+  EXPECT_GE(trace.size(), 2u);
+}
+
+TEST(TraceBuilderTest, CallRejectsMisalignedFrame) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  EXPECT_THROW(b.call(0, 30), InvalidArgument);
+  EXPECT_THROW(b.call(2, 32), InvalidArgument);  // data block target
+}
+
+TEST(TraceBuilderTest, SingleWordHelpers) {
+  const Program p = demo_program();
+  TraceBuilder b(p);
+  b.read_at(2, 7);
+  b.write_at(2, 9, 2);
+  const auto trace = b.take();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].offset, 7u);
+  EXPECT_EQ(trace[0].repeat, 1u);
+  EXPECT_EQ(trace[1].offset, 9u);
+  EXPECT_EQ(trace[1].gap, 2u);
+}
+
+}  // namespace
+}  // namespace ftspm
+
+namespace ftspm {
+namespace {
+
+TEST(TraceBuilderTest, DeepStacksWrapTheStackBlock) {
+  // Frames deeper than the stack block: offsets must stay in bounds
+  // (the builder wraps rather than overflowing).
+  Program p("deep", {Block{"fn", BlockKind::Code, 512},
+                     Block{"stack", BlockKind::Stack, 64}});  // 8 words
+  TraceBuilder b(p);
+  for (int d = 0; d < 6; ++d) b.call(0, 32, 2);  // 192 B of frames
+  for (int d = 0; d < 6; ++d) b.ret(1);
+  const auto trace = b.take();
+  for (const TraceEvent& e : trace) {
+    if (e.block != 1) continue;
+    EXPECT_LT(e.offset, 8u);
+  }
+  // The high-water mark records the true (unwrapped) depth.
+  EXPECT_EQ(b.max_stack_bytes(), 192u);
+}
+
+TEST(TraceBuilderTest, MaxStackSurvivesTake) {
+  Program p("deep", {Block{"fn", BlockKind::Code, 512},
+                     Block{"stack", BlockKind::Stack, 64}});
+  TraceBuilder b(p);
+  b.call(0, 48);
+  b.call(0, 48);
+  b.ret();
+  b.ret();
+  (void)b.take();
+  EXPECT_EQ(b.max_stack_bytes(), 96u);
+}
+
+}  // namespace
+}  // namespace ftspm

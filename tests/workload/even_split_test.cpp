@@ -1,0 +1,66 @@
+#include "ftspm/workload/even_split.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+TEST(EvenSplitTest, SharesSumExactlyToTotal) {
+  for (std::uint64_t total : {0ULL, 1ULL, 7ULL, 100ULL, 25'973'000ULL}) {
+    for (std::uint64_t parts : {1ULL, 3ULL, 7ULL, 6400ULL}) {
+      EvenSplit split(total, parts);
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < parts; ++i) sum += split.take();
+      EXPECT_EQ(sum, total) << total << "/" << parts;
+      EXPECT_EQ(split.amount_left(), 0u);
+      EXPECT_EQ(split.parts_left(), 0u);
+    }
+  }
+}
+
+TEST(EvenSplitTest, SharesAreBalanced) {
+  EvenSplit split(100, 7);
+  std::uint64_t lo = 100, hi = 0;
+  for (int i = 0; i < 7; ++i) {
+    const std::uint64_t s = split.take();
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LE(hi - lo, 1u);  // floor-balanced: shares differ by at most 1
+}
+
+TEST(EvenSplitTest, BatchedTakesMatchSingles) {
+  EvenSplit batched(1000, 10);
+  EvenSplit singles(1000, 10);
+  std::uint64_t batch = batched.take(4);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 4; ++i) sum += singles.take();
+  EXPECT_EQ(batch, sum);
+  EXPECT_EQ(batched.take(6), [&] {
+    std::uint64_t rest = 0;
+    for (int i = 0; i < 6; ++i) rest += singles.take();
+    return rest;
+  }());
+}
+
+TEST(EvenSplitTest, HugeTotalsDoNotOverflow) {
+  // total * parts would overflow u64; the implementation must not.
+  const std::uint64_t total = 1ULL << 62;
+  EvenSplit split(total, 1'000'000);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 1'000'000; ++i) sum += split.take();
+  EXPECT_EQ(sum, total);
+}
+
+TEST(EvenSplitTest, OverConsumptionThrows) {
+  EvenSplit split(10, 2);
+  split.take();
+  split.take();
+  EXPECT_THROW(split.take(), InvalidArgument);
+  EXPECT_THROW(EvenSplit(5, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,81 @@
+#include "ftspm/workload/program.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+std::vector<Block> three_blocks() {
+  return {Block{"fn", BlockKind::Code, 1024},
+          Block{"arr", BlockKind::Data, 512},
+          Block{"stack", BlockKind::Stack, 256}};
+}
+
+TEST(ProgramTest, BasicAccessors) {
+  const Program p("demo", three_blocks());
+  EXPECT_EQ(p.name(), "demo");
+  EXPECT_EQ(p.block_count(), 3u);
+  EXPECT_EQ(p.block(0).name, "fn");
+  EXPECT_TRUE(p.block(0).is_code());
+  EXPECT_TRUE(p.block(1).is_data());
+  EXPECT_TRUE(p.block(2).is_data());  // stack counts as data
+  EXPECT_EQ(p.block(1).size_words(), 64u);
+}
+
+TEST(ProgramTest, BaseAddressesAreContiguous) {
+  const Program p("demo", three_blocks());
+  EXPECT_EQ(p.base_address(0), 0u);
+  EXPECT_EQ(p.base_address(1), 1024u);
+  EXPECT_EQ(p.base_address(2), 1536u);
+}
+
+TEST(ProgramTest, TotalsSplitByKind) {
+  const Program p("demo", three_blocks());
+  EXPECT_EQ(p.total_code_bytes(), 1024u);
+  EXPECT_EQ(p.total_data_bytes(), 768u);
+}
+
+TEST(ProgramTest, FindByName) {
+  const Program p("demo", three_blocks());
+  EXPECT_EQ(p.find("arr"), BlockId{1});
+  EXPECT_EQ(p.find("nope"), std::nullopt);
+}
+
+TEST(ProgramTest, RejectsEmptyBlockList) {
+  EXPECT_THROW(Program("x", {}), InvalidArgument);
+}
+
+TEST(ProgramTest, RejectsUnnamedBlock) {
+  EXPECT_THROW(Program("x", {Block{"", BlockKind::Data, 64}}),
+               InvalidArgument);
+}
+
+TEST(ProgramTest, RejectsMisalignedOrEmptyBlock) {
+  EXPECT_THROW(Program("x", {Block{"a", BlockKind::Data, 0}}),
+               InvalidArgument);
+  EXPECT_THROW(Program("x", {Block{"a", BlockKind::Data, 12}}),
+               InvalidArgument);
+}
+
+TEST(ProgramTest, RejectsTwoStacks) {
+  EXPECT_THROW(Program("x", {Block{"s1", BlockKind::Stack, 64},
+                             Block{"s2", BlockKind::Stack, 64}}),
+               InvalidArgument);
+}
+
+TEST(ProgramTest, OutOfRangeAccessThrows) {
+  const Program p("demo", three_blocks());
+  EXPECT_THROW(p.block(3), InvalidArgument);
+  EXPECT_THROW(p.base_address(3), InvalidArgument);
+}
+
+TEST(BlockKindTest, ToString) {
+  EXPECT_STREQ(to_string(BlockKind::Code), "code");
+  EXPECT_STREQ(to_string(BlockKind::Data), "data");
+  EXPECT_STREQ(to_string(BlockKind::Stack), "stack");
+}
+
+}  // namespace
+}  // namespace ftspm

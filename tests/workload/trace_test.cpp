@@ -1,0 +1,113 @@
+#include "ftspm/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm {
+namespace {
+
+Program demo_program() {
+  return Program("demo", {Block{"fn", BlockKind::Code, 1024},
+                          Block{"arr", BlockKind::Data, 512},
+                          Block{"stack", BlockKind::Stack, 256}});
+}
+
+TEST(TraceEventTest, NominalCyclesAndAccesses) {
+  const TraceEvent read{1, AccessType::Read, 0, 0, 10};
+  EXPECT_EQ(read.nominal_cycles(), 10u);
+  EXPECT_EQ(read.accesses(), 10u);
+
+  const TraceEvent gapped{1, AccessType::Write, 3, 0, 5};
+  EXPECT_EQ(gapped.nominal_cycles(), 20u);  // 5 * (3 + 1)
+
+  const TraceEvent marker{0, AccessType::CallEnter, 0, 64, 1};
+  EXPECT_TRUE(marker.is_marker());
+  EXPECT_EQ(marker.nominal_cycles(), 0u);
+  EXPECT_EQ(marker.accesses(), 0u);
+}
+
+TEST(WorkloadTest, TotalsSumEvents) {
+  Workload w{demo_program(),
+             {TraceEvent{0, AccessType::Fetch, 0, 0, 100},
+              TraceEvent{1, AccessType::Read, 1, 0, 50},
+              TraceEvent{0, AccessType::CallEnter, 0, 16, 1}}};
+  EXPECT_EQ(w.total_accesses(), 150u);
+  EXPECT_EQ(w.nominal_cycles(), 200u);  // 100 + 50*2
+}
+
+TEST(ValidateTraceTest, AcceptsWellFormedTrace) {
+  const Program p = demo_program();
+  const std::vector<TraceEvent> t{
+      TraceEvent{0, AccessType::CallEnter, 0, 16, 1},
+      TraceEvent{0, AccessType::Fetch, 0, 0, 10},
+      TraceEvent{1, AccessType::Read, 0, 63, 4},
+      TraceEvent{2, AccessType::Write, 0, 0, 2},
+      TraceEvent{0, AccessType::CallExit, 0, 0, 1}};
+  EXPECT_NO_THROW(validate_trace(p, t));
+}
+
+TEST(ValidateTraceTest, RejectsUnknownBlock) {
+  const Program p = demo_program();
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{9, AccessType::Read, 0, 0, 1}}), Error);
+}
+
+TEST(ValidateTraceTest, RejectsFetchFromData) {
+  const Program p = demo_program();
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{1, AccessType::Fetch, 0, 0, 1}}), Error);
+}
+
+TEST(ValidateTraceTest, RejectsDataAccessToCode) {
+  const Program p = demo_program();
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{0, AccessType::Read, 0, 0, 1}}), Error);
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{0, AccessType::Write, 0, 0, 1}}), Error);
+}
+
+TEST(ValidateTraceTest, RejectsOffsetOutsideBlock) {
+  const Program p = demo_program();
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{1, AccessType::Read, 0, 64, 1}}), Error);
+}
+
+TEST(ValidateTraceTest, RejectsUnbalancedCalls) {
+  const Program p = demo_program();
+  // Exit without enter.
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{0, AccessType::CallExit, 0, 0, 1}}),
+      Error);
+  // Enter without exit.
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{0, AccessType::CallEnter, 0, 16, 1}}),
+      Error);
+}
+
+TEST(ValidateTraceTest, RejectsRepeatedMarkers) {
+  const Program p = demo_program();
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{0, AccessType::CallEnter, 0, 16, 2},
+                         TraceEvent{0, AccessType::CallExit, 0, 0, 1}}),
+      Error);
+}
+
+TEST(ValidateTraceTest, RejectsCallIntoData) {
+  const Program p = demo_program();
+  EXPECT_THROW(
+      validate_trace(p, {TraceEvent{1, AccessType::CallEnter, 0, 16, 1},
+                         TraceEvent{1, AccessType::CallExit, 0, 0, 1}}),
+      Error);
+}
+
+TEST(AccessTypeTest, ToString) {
+  EXPECT_STREQ(to_string(AccessType::Fetch), "fetch");
+  EXPECT_STREQ(to_string(AccessType::Read), "read");
+  EXPECT_STREQ(to_string(AccessType::Write), "write");
+  EXPECT_STREQ(to_string(AccessType::CallEnter), "call-enter");
+  EXPECT_STREQ(to_string(AccessType::CallExit), "call-exit");
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,524 @@
+// ftspm_tool — command-line driver over the whole library.
+//
+//   ftspm_tool list
+//   ftspm_tool profile  <workload> [--scale N] [--csv]
+//   ftspm_tool map      <workload> [--priority P] [--perf-overhead F]
+//                       [--energy-overhead F] [--write-threshold N]
+//                       [--word-threshold N] [--scale N]
+//   ftspm_tool simulate <workload> [--structure ftspm|sram|stt] [--scale N]
+//   ftspm_tool evaluate <workload> [--scale N]
+//   ftspm_tool schedule <workload> [--scale N] [--max-commands N]
+//   ftspm_tool suite    [--scale N]
+//   ftspm_tool campaign [--protection parity|secded] [--strikes N]
+//                       [--interleave K] [--node NM]
+//
+// Workloads: `case_study` (the paper's Section-IV program) or any
+// MiBench-style suite name (`ftspm_tool list`).
+#include <iostream>
+#include <string>
+
+#include "ftspm/core/partition.h"
+#include "ftspm/core/systems.h"
+#include "ftspm/core/transfer_schedule.h"
+#include "ftspm/profile/reuse.h"
+#include "ftspm/fault/injector.h"
+#include "ftspm/report/csv_export.h"
+#include "ftspm/report/json_report.h"
+#include "ftspm/report/render.h"
+#include "ftspm/report/suite_runner.h"
+#include "ftspm/util/args.h"
+#include "ftspm/util/error.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+#include "ftspm/workload/case_study.h"
+#include "ftspm/workload/trace_io.h"
+#include "ftspm/workload/suite.h"
+
+namespace ftspm {
+namespace {
+
+Workload resolve_workload(const std::string& name, std::uint64_t scale) {
+  // Anything that looks like a path is loaded from the trace format.
+  if (name.find('/') != std::string::npos ||
+      name.find(".trace") != std::string::npos) {
+    return load_workload(name);
+  }
+  if (name == "case_study") {
+    return make_case_study(scale > 1 ? CaseStudyTargets{}.scaled_down(scale)
+                                     : CaseStudyTargets{});
+  }
+  for (MiBenchmark bench : all_benchmarks())
+    if (name == to_string(bench)) return make_benchmark(bench, scale);
+  throw InvalidArgument("unknown workload '" + name +
+                        "' (try `ftspm_tool list`)");
+}
+
+OptimizationPriority resolve_priority(const std::string& name) {
+  for (OptimizationPriority p :
+       {OptimizationPriority::Reliability, OptimizationPriority::Performance,
+        OptimizationPriority::Power, OptimizationPriority::Endurance})
+    if (name == to_string(p)) return p;
+  throw InvalidArgument("unknown priority '" + name + "'");
+}
+
+MdaConfig mda_config_from(const ArgParser& args) {
+  MdaConfig cfg;
+  cfg.priority = resolve_priority(args.option("priority"));
+  cfg.thresholds.performance_overhead = args.option_double("perf-overhead");
+  cfg.thresholds.energy_overhead = args.option_double("energy-overhead");
+  cfg.thresholds.write_cycles_threshold =
+      static_cast<std::uint64_t>(args.option_int("write-threshold"));
+  cfg.thresholds.word_write_threshold =
+      static_cast<std::uint64_t>(args.option_int("word-threshold"));
+  return cfg;
+}
+
+void add_common_options(ArgParser& args) {
+  args.add_option("scale", "trace scale divisor (1 = full size)", "1");
+  args.add_option("priority",
+                  "MDA priority: reliability|performance|power|endurance",
+                  "reliability");
+  args.add_option("perf-overhead", "MDA performance threshold", "0.75");
+  args.add_option("energy-overhead", "MDA energy threshold", "0.80");
+  args.add_option("write-threshold", "MDA block write-cycles threshold",
+                  "100000");
+  args.add_option("word-threshold", "MDA per-word write threshold (0=off)",
+                  "1000");
+}
+
+int cmd_list() {
+  std::cout << "case_study  (the paper's Section-IV motivational example)\n";
+  for (MiBenchmark bench : all_benchmarks())
+    std::cout << to_string(bench) << "\n";
+  return 0;
+}
+
+int cmd_profile(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool profile", "profile a workload (Table I)");
+  args.add_option("scale", "trace scale divisor", "1");
+  args.add_flag("csv", "emit CSV instead of an ASCII table");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const ProgramProfile prof = profile_workload(w);
+  if (args.flag("csv")) {
+    CsvWriter csv({"block", "kind", "size_bytes", "reads", "writes",
+                   "references", "stack_calls", "max_stack_bytes",
+                   "lifetime_cycles", "ace_cycles", "max_word_writes"});
+    for (const BlockProfile& bp : prof.blocks) {
+      const Block& blk = w.program.block(bp.id);
+      csv.add_row({blk.name, to_string(blk.kind),
+                   std::to_string(blk.size_bytes), std::to_string(bp.reads),
+                   std::to_string(bp.writes), std::to_string(bp.references),
+                   std::to_string(bp.stack_calls),
+                   std::to_string(bp.max_stack_bytes),
+                   std::to_string(bp.lifetime_cycles),
+                   std::to_string(bp.ace_cycles),
+                   std::to_string(bp.max_word_writes)});
+    }
+    std::cout << csv.render();
+  } else {
+    std::cout << render_profile_table(w.program, prof);
+  }
+  return 0;
+}
+
+int cmd_map(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool map", "run MDA on a workload (Table II)");
+  add_common_options(args);
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const ProgramProfile prof = profile_workload(w);
+  const StructureEvaluator evaluator(TechnologyLibrary(),
+                                     mda_config_from(args));
+  const SystemResult r = evaluator.evaluate_ftspm(w, prof);
+  std::cout << render_mapping_table(w.program, r.plan,
+                                    evaluator.ftspm_layout());
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool simulate",
+                 "simulate a workload on one structure");
+  add_common_options(args);
+  args.add_option("structure", "ftspm|sram|stt", "ftspm");
+  args.add_flag("blocks", "print the per-block diagnostic table");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const ProgramProfile prof = profile_workload(w);
+  const StructureEvaluator evaluator(TechnologyLibrary(),
+                                     mda_config_from(args));
+
+  const std::string structure = args.option("structure");
+  SystemResult r = [&] {
+    if (structure == "ftspm") return evaluator.evaluate_ftspm(w, prof);
+    if (structure == "sram") return evaluator.evaluate_pure_sram(w, prof);
+    if (structure == "stt") return evaluator.evaluate_pure_stt(w, prof);
+    throw InvalidArgument("unknown structure '" + structure + "'");
+  }();
+  const SpmLayout& layout = structure == "ftspm"
+                                ? evaluator.ftspm_layout()
+                                : (structure == "sram"
+                                       ? evaluator.pure_sram_layout()
+                                       : evaluator.pure_stt_layout());
+
+  std::cout << render_rw_distribution(layout, r.run) << "\n";
+  if (args.flag("blocks"))
+    std::cout << render_block_report(w.program, r, layout, prof,
+                                     evaluator.strike_model())
+              << "\n";
+  std::cout << "cycles:             " << with_commas(r.run.total_cycles)
+            << "  (compute " << with_commas(r.run.compute_cycles) << ", SPM "
+            << with_commas(r.run.spm_cycles) << ", cache "
+            << with_commas(r.run.cache_cycles) << ", DRAM "
+            << with_commas(r.run.dram_penalty_cycles) << ", DMA "
+            << with_commas(r.run.dma_cycles) << ")\n";
+  std::cout << "SPM dynamic energy: "
+            << si_string(r.run.spm_dynamic_energy_pj() * 1e-12, "J") << "\n";
+  std::cout << "SPM static energy:  "
+            << si_string(r.run.spm_static_energy_pj * 1e-12, "J") << "\n";
+  std::cout << "vulnerability:      " << percent(r.avf.vulnerability())
+            << "  (SDC " << percent(r.avf.sdc_avf) << ", DUE "
+            << percent(r.avf.due_avf) << ")\n";
+  std::cout << "max STT write rate: "
+            << (r.endurance.unlimited()
+                    ? std::string("none (unlimited endurance)")
+                    : fixed(r.endurance.max_word_write_rate_per_s, 2) +
+                          "/s")
+            << "\n";
+  return 0;
+}
+
+int cmd_evaluate(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool evaluate",
+                 "compare all three structures on a workload");
+  add_common_options(args);
+  args.add_flag("json", "emit machine-readable JSON");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const StructureEvaluator evaluator(TechnologyLibrary(),
+                                     mda_config_from(args));
+  if (args.flag("json")) {
+    const ProgramProfile prof = profile_workload(w);
+    std::cout << "[" << system_result_json(evaluator.evaluate_ftspm(w, prof),
+                                           evaluator.ftspm_layout(),
+                                           w.program)
+              << ","
+              << system_result_json(evaluator.evaluate_pure_sram(w, prof),
+                                    evaluator.pure_sram_layout(), w.program)
+              << ","
+              << system_result_json(evaluator.evaluate_pure_stt(w, prof),
+                                    evaluator.pure_stt_layout(), w.program)
+              << "]\n";
+    return 0;
+  }
+  AsciiTable t({"Structure", "Cycles", "Vulnerability", "Dyn E (uJ)",
+                "Stat E (uJ)", "Max STT wr/s"});
+  t.set_align(0, Align::Left);
+  for (const SystemResult& r : evaluator.evaluate_all(w)) {
+    t.add_row({r.structure, with_commas(r.run.total_cycles),
+               fixed(r.avf.vulnerability(), 4),
+               fixed(r.run.spm_dynamic_energy_pj() / 1e6, 1),
+               fixed(r.run.spm_static_energy_pj / 1e6, 1),
+               r.endurance.unlimited()
+                   ? "unlimited"
+                   : fixed(r.endurance.max_word_write_rate_per_s, 2)});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_schedule(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool schedule",
+                 "emit the on-line phase transfer commands");
+  add_common_options(args);
+  args.add_option("max-commands", "listing length cap", "40");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const ProgramProfile prof = profile_workload(w);
+  const StructureEvaluator evaluator(TechnologyLibrary(),
+                                     mda_config_from(args));
+  const SystemResult r = evaluator.evaluate_ftspm(w, prof);
+  const TransferSchedule sched = TransferSchedule::generate(
+      w.program, prof, r.plan, evaluator.ftspm_layout());
+  std::cout << sched.render(
+      w.program, evaluator.ftspm_layout(),
+      static_cast<std::size_t>(args.option_int("max-commands")));
+  return 0;
+}
+
+int cmd_suite(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool suite", "run the full evaluation sweep");
+  args.add_option("scale", "trace scale divisor", "1");
+  args.add_flag("json", "emit machine-readable JSON");
+  args.parse(argc, argv, 2);
+  const StructureEvaluator evaluator;
+  const std::vector<SuiteRow> rows = run_suite(
+      evaluator, static_cast<std::uint64_t>(args.option_int("scale")));
+  if (args.flag("json")) {
+    std::cout << suite_json(rows, evaluator) << "\n";
+    return 0;
+  }
+  AsciiTable t({"Benchmark", "Vuln FT", "Vuln SRAM", "Dyn FT/SRAM",
+                "Dyn FT/STT", "Endurance gain"});
+  for (const SuiteRow& row : rows) {
+    const double ft_rate = row.ftspm.endurance.max_word_write_rate_per_s;
+    t.add_row({row.name, fixed(row.ftspm.avf.vulnerability(), 4),
+               fixed(row.pure_sram.avf.vulnerability(), 4),
+               percent(row.ftspm.run.spm_dynamic_energy_pj() /
+                       row.pure_sram.run.spm_dynamic_energy_pj()),
+               percent(row.ftspm.run.spm_dynamic_energy_pj() /
+                       row.pure_stt.run.spm_dynamic_energy_pj()),
+               ft_rate > 0
+                   ? fixed(row.pure_stt.endurance.max_word_write_rate_per_s /
+                               ft_rate,
+                           0) +
+                         "x"
+                   : "unlimited"});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_reuse(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool reuse",
+                 "LRU reuse-distance analysis of a workload");
+  args.add_option("scale", "trace scale divisor", "8");
+  args.add_option("line-bytes", "cache line size", "32");
+  args.add_option("scope", "data|instructions", "data");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const ReuseScope scope = args.option("scope") == "instructions"
+                               ? ReuseScope::Instructions
+                               : ReuseScope::Data;
+  const ReuseProfile prof = compute_reuse_profile(
+      w, scope, static_cast<std::uint32_t>(args.option_int("line-bytes")));
+  std::cout << "accesses: " << with_commas(prof.total_accesses)
+            << ", mean finite reuse distance "
+            << fixed(prof.mean_finite_distance(), 1) << " lines\n";
+  AsciiTable t({"Distance (lines)", "Accesses", "Share"});
+  t.set_align(0, Align::Left);
+  for (std::size_t k = 0; k < ReuseProfile::kBuckets; ++k) {
+    if (prof.histogram[k] == 0) continue;
+    std::string label;
+    if (k + 1 == ReuseProfile::kBuckets) {
+      label = "cold / beyond horizon";
+    } else if (k == 0) {
+      label = "[0, 2)";
+    } else {
+      label = "[" + std::to_string(1ULL << k) + ", " +
+              std::to_string(1ULL << (k + 1)) + ")";
+    }
+    t.add_row({label, with_commas(prof.histogram[k]),
+               percent(static_cast<double>(prof.histogram[k]) /
+                       prof.total_accesses)});
+  }
+  std::cout << t.render();
+  for (std::uint64_t lines : {64ull, 256ull, 1024ull}) {
+    std::cout << "predicted hit rate @ " << lines
+              << "-line LRU cache: " << percent(prof.hit_rate_estimate(lines))
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_partition(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool partition",
+                 "split the hybrid SPM among a weighted task set");
+  args.add_option("scale", "trace scale divisor", "2");
+  args.add_option("granule", "allocation granule in bytes", "512");
+  args.parse(argc, argv, 2);
+  // Positionals: workload[:weight] ...
+  FTSPM_REQUIRE(!args.positionals().empty(),
+                "expected one or more workload[:weight] arguments");
+  std::vector<Workload> workloads;
+  std::vector<double> weights;
+  for (const std::string& spec : args.positionals()) {
+    std::string name = spec;
+    double weight = 1.0;
+    if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+      name = spec.substr(0, colon);
+      weight = std::stod(spec.substr(colon + 1));
+    }
+    workloads.push_back(resolve_workload(
+        name, static_cast<std::uint64_t>(args.option_int("scale"))));
+    weights.push_back(weight);
+  }
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < workloads.size(); ++i)
+    tasks.push_back(TaskSpec{&workloads[i], weights[i]});
+  PartitionConfig pcfg;
+  pcfg.granule_bytes =
+      static_cast<std::uint64_t>(args.option_int("granule"));
+  const PartitionResult result = partition_and_evaluate(
+      tasks, TechnologyLibrary(), MdaConfig{}, FtspmDimensions{}, pcfg);
+
+  AsciiTable t({"Task", "Weight", "I-SPM B", "D-STT B", "D-ECC B",
+                "D-Par B", "Cycles", "Vulnerability"});
+  t.set_align(0, Align::Left);
+  for (const TaskPartition& task : result.tasks) {
+    t.add_row({task.task_name, fixed(task.weight, 1),
+               with_commas(task.dims.ispm_bytes),
+               with_commas(task.dims.dspm_stt_bytes),
+               with_commas(task.dims.dspm_secded_bytes),
+               with_commas(task.dims.dspm_parity_bytes),
+               with_commas(task.result.run.total_cycles),
+               fixed(task.result.avf.vulnerability(), 4)});
+  }
+  std::cout << t.render();
+  std::cout << "weighted vulnerability: "
+            << fixed(result.weighted_vulnerability(), 4) << "\n";
+  return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool report",
+                 "write every table/figure as CSV for external plotting");
+  args.add_option("scale", "trace scale divisor for the suite", "1");
+  args.add_option("out-dir", "output directory", "ftspm_report");
+  args.parse(argc, argv, 2);
+  const StructureEvaluator evaluator;
+  const std::vector<SuiteRow> rows = run_suite(
+      evaluator, static_cast<std::uint64_t>(args.option_int("scale")));
+  for (const std::string& path :
+       write_all_csv(evaluator, rows, args.option("out-dir")))
+    std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+int cmd_campaign(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool campaign",
+                 "Monte-Carlo strike campaign on one protected surface");
+  args.add_option("protection", "parity|secded|none", "secded");
+  args.add_option("strikes", "number of simulated strikes", "100000");
+  args.add_option("interleave", "physical bit interleaving degree", "1");
+  args.add_option("node", "process node in nm (multiplicity model)", "40");
+  args.add_option("size", "surface payload size in bytes", "8192");
+  args.parse(argc, argv, 2);
+
+  const std::string name = args.option("protection");
+  ProtectionKind kind;
+  std::uint32_t check_bits;
+  if (name == "parity") {
+    kind = ProtectionKind::Parity;
+    check_bits = 1;
+  } else if (name == "secded") {
+    kind = ProtectionKind::SecDed;
+    check_bits = 8;
+  } else if (name == "none") {
+    kind = ProtectionKind::None;
+    check_bits = 0;
+  } else {
+    throw InvalidArgument("unknown protection '" + name + "'");
+  }
+
+  const InjectionRegion region{
+      RegionGeometry(static_cast<std::uint64_t>(args.option_int("size")),
+                     check_bits),
+      kind, 1.0, static_cast<std::uint32_t>(args.option_int("interleave"))};
+  CampaignConfig cfg;
+  cfg.strikes = static_cast<std::uint64_t>(args.option_int("strikes"));
+  const CampaignResult r = run_campaign(
+      {region},
+      StrikeMultiplicityModel::for_node(args.option_double("node")), cfg);
+  std::cout << "strikes: " << with_commas(r.strikes) << "\n"
+            << "masked:  " << percent(r.fraction(r.masked)) << "\n"
+            << "DRE:     " << percent(r.fraction(r.dre)) << "\n"
+            << "DUE:     " << percent(r.fraction(r.due)) << "\n"
+            << "SDC:     " << percent(r.fraction(r.sdc)) << "\n"
+            << "vulnerability (DUE+SDC): " << percent(r.vulnerability())
+            << "\n";
+  return 0;
+}
+
+int cmd_export(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool export",
+                 "write a workload out in the trace text format");
+  args.add_option("scale", "trace scale divisor", "1");
+  args.add_option("out", "output path ('-' = stdout)", "-");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  if (args.option("out") == "-") {
+    std::cout << serialize_workload(w);
+  } else {
+    save_workload(w, args.option("out"));
+    std::cout << "wrote " << w.trace.size() << " events ("
+              << with_commas(w.total_accesses()) << " accesses) to "
+              << args.option("out") << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout
+      << "ftspm_tool — FTSPM reproduction driver\n"
+         "commands:\n"
+         "  list                     list available workloads\n"
+         "  profile  <workload>      Table-I-style profile (--csv)\n"
+         "  map      <workload>      MDA mapping (Table II)\n"
+         "  simulate <workload>      one structure end to end\n"
+         "  evaluate <workload>      all three structures\n"
+         "  schedule <workload>      on-line phase transfer commands\n"
+         "  suite                    full 12-benchmark sweep\n"
+         "  campaign                 Monte-Carlo strike campaign\n"
+         "  export   <workload>      dump the trace text format\n"
+         "  report                   write all tables/figures as CSV\n"
+         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
+         "  reuse    <workload>      LRU reuse-distance analysis\n"
+         "workloads: case_study, any suite benchmark, or a path to a\n"
+         "           .trace file (see `export`).\n"
+         "run `ftspm_tool <command> --help` semantics: options are listed\n"
+         "in this source file's header comment.\n";
+  return 2;
+}
+
+int dispatch(int argc, const char* const* argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "profile") return cmd_profile(argc, argv);
+  if (cmd == "map") return cmd_map(argc, argv);
+  if (cmd == "simulate") return cmd_simulate(argc, argv);
+  if (cmd == "evaluate") return cmd_evaluate(argc, argv);
+  if (cmd == "schedule") return cmd_schedule(argc, argv);
+  if (cmd == "suite") return cmd_suite(argc, argv);
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "export") return cmd_export(argc, argv);
+  if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "partition") return cmd_partition(argc, argv);
+  if (cmd == "reuse") return cmd_reuse(argc, argv);
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace ftspm
+
+int main(int argc, char** argv) {
+  try {
+    return ftspm::dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
