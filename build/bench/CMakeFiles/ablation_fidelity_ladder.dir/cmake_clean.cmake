@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fidelity_ladder.dir/ablation_fidelity_ladder.cpp.o"
+  "CMakeFiles/ablation_fidelity_ladder.dir/ablation_fidelity_ladder.cpp.o.d"
+  "ablation_fidelity_ladder"
+  "ablation_fidelity_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fidelity_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ispm_sizing.dir/ablation_ispm_sizing.cpp.o"
+  "CMakeFiles/ablation_ispm_sizing.dir/ablation_ispm_sizing.cpp.o.d"
+  "ablation_ispm_sizing"
+  "ablation_ispm_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ispm_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

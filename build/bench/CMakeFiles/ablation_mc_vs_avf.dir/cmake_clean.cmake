@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mc_vs_avf.dir/ablation_mc_vs_avf.cpp.o"
+  "CMakeFiles/ablation_mc_vs_avf.dir/ablation_mc_vs_avf.cpp.o.d"
+  "ablation_mc_vs_avf"
+  "ablation_mc_vs_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mc_vs_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

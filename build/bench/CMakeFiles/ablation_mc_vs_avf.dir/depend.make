@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_mc_vs_avf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority_modes.dir/ablation_priority_modes.cpp.o"
+  "CMakeFiles/ablation_priority_modes.dir/ablation_priority_modes.cpp.o.d"
+  "ablation_priority_modes"
+  "ablation_priority_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_region_sizing.dir/ablation_region_sizing.cpp.o"
+  "CMakeFiles/ablation_region_sizing.dir/ablation_region_sizing.cpp.o.d"
+  "ablation_region_sizing"
+  "ablation_region_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_region_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relaxed_stt.dir/ablation_relaxed_stt.cpp.o"
+  "CMakeFiles/ablation_relaxed_stt.dir/ablation_relaxed_stt.cpp.o.d"
+  "ablation_relaxed_stt"
+  "ablation_relaxed_stt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relaxed_stt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

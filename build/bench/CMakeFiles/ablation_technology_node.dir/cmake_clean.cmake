@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_technology_node.dir/ablation_technology_node.cpp.o"
+  "CMakeFiles/ablation_technology_node.dir/ablation_technology_node.cpp.o.d"
+  "ablation_technology_node"
+  "ablation_technology_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_technology_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

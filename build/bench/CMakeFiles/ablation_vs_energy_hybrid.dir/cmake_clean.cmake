@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vs_energy_hybrid.dir/ablation_vs_energy_hybrid.cpp.o"
+  "CMakeFiles/ablation_vs_energy_hybrid.dir/ablation_vs_energy_hybrid.cpp.o.d"
+  "ablation_vs_energy_hybrid"
+  "ablation_vs_energy_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vs_energy_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_summary.dir/case_study_summary.cpp.o"
+  "CMakeFiles/case_study_summary.dir/case_study_summary.cpp.o.d"
+  "case_study_summary"
+  "case_study_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

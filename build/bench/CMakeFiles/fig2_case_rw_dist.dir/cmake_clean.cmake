@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_case_rw_dist.dir/fig2_case_rw_dist.cpp.o"
+  "CMakeFiles/fig2_case_rw_dist.dir/fig2_case_rw_dist.cpp.o.d"
+  "fig2_case_rw_dist"
+  "fig2_case_rw_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_case_rw_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_case_rw_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_energy_per_access.dir/fig3_energy_per_access.cpp.o"
+  "CMakeFiles/fig3_energy_per_access.dir/fig3_energy_per_access.cpp.o.d"
+  "fig3_energy_per_access"
+  "fig3_energy_per_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_energy_per_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

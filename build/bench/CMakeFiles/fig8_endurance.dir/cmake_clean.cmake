@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_endurance.dir/fig8_endurance.cpp.o"
+  "CMakeFiles/fig8_endurance.dir/fig8_endurance.cpp.o.d"
+  "fig8_endurance"
+  "fig8_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mapping.dir/table2_mapping.cpp.o"
+  "CMakeFiles/table2_mapping.dir/table2_mapping.cpp.o.d"
+  "table2_mapping"
+  "table2_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

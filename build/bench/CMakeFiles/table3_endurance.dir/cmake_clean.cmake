@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_endurance.dir/table3_endurance.cpp.o"
+  "CMakeFiles/table3_endurance.dir/table3_endurance.cpp.o.d"
+  "table3_endurance"
+  "table3_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

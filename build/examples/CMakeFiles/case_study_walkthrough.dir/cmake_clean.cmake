@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_walkthrough.dir/case_study_walkthrough.cpp.o"
+  "CMakeFiles/case_study_walkthrough.dir/case_study_walkthrough.cpp.o.d"
+  "case_study_walkthrough"
+  "case_study_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mibench_sweep.cpp" "examples/CMakeFiles/mibench_sweep.dir/mibench_sweep.cpp.o" "gcc" "examples/CMakeFiles/mibench_sweep.dir/mibench_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ftspm_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftspm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ftspm_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftspm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ftspm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ftspm_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ftspm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftspm_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftspm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mibench_sweep.dir/mibench_sweep.cpp.o"
+  "CMakeFiles/mibench_sweep.dir/mibench_sweep.cpp.o.d"
+  "mibench_sweep"
+  "mibench_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mibench_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask_partitioning.dir/multitask_partitioning.cpp.o"
+  "CMakeFiles/multitask_partitioning.dir/multitask_partitioning.cpp.o.d"
+  "multitask_partitioning"
+  "multitask_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_mapper.cpp" "src/core/CMakeFiles/ftspm_core.dir/baseline_mapper.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/baseline_mapper.cpp.o.d"
+  "/root/repo/src/core/endurance.cpp" "src/core/CMakeFiles/ftspm_core.dir/endurance.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/endurance.cpp.o.d"
+  "/root/repo/src/core/energy_hybrid_mapper.cpp" "src/core/CMakeFiles/ftspm_core.dir/energy_hybrid_mapper.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/energy_hybrid_mapper.cpp.o.d"
+  "/root/repo/src/core/mapping_determiner.cpp" "src/core/CMakeFiles/ftspm_core.dir/mapping_determiner.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/mapping_determiner.cpp.o.d"
+  "/root/repo/src/core/mapping_plan.cpp" "src/core/CMakeFiles/ftspm_core.dir/mapping_plan.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/mapping_plan.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/ftspm_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/scenario_estimator.cpp" "src/core/CMakeFiles/ftspm_core.dir/scenario_estimator.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/scenario_estimator.cpp.o.d"
+  "/root/repo/src/core/spm_config.cpp" "src/core/CMakeFiles/ftspm_core.dir/spm_config.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/spm_config.cpp.o.d"
+  "/root/repo/src/core/system_campaign.cpp" "src/core/CMakeFiles/ftspm_core.dir/system_campaign.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/system_campaign.cpp.o.d"
+  "/root/repo/src/core/systems.cpp" "src/core/CMakeFiles/ftspm_core.dir/systems.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/systems.cpp.o.d"
+  "/root/repo/src/core/transfer_schedule.cpp" "src/core/CMakeFiles/ftspm_core.dir/transfer_schedule.cpp.o" "gcc" "src/core/CMakeFiles/ftspm_core.dir/transfer_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ftspm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ftspm_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ftspm_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ftspm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ftspm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftspm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftspm_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

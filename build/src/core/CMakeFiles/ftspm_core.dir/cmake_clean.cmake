@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_core.dir/baseline_mapper.cpp.o"
+  "CMakeFiles/ftspm_core.dir/baseline_mapper.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/endurance.cpp.o"
+  "CMakeFiles/ftspm_core.dir/endurance.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/energy_hybrid_mapper.cpp.o"
+  "CMakeFiles/ftspm_core.dir/energy_hybrid_mapper.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/mapping_determiner.cpp.o"
+  "CMakeFiles/ftspm_core.dir/mapping_determiner.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/mapping_plan.cpp.o"
+  "CMakeFiles/ftspm_core.dir/mapping_plan.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/partition.cpp.o"
+  "CMakeFiles/ftspm_core.dir/partition.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/scenario_estimator.cpp.o"
+  "CMakeFiles/ftspm_core.dir/scenario_estimator.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/spm_config.cpp.o"
+  "CMakeFiles/ftspm_core.dir/spm_config.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/system_campaign.cpp.o"
+  "CMakeFiles/ftspm_core.dir/system_campaign.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/systems.cpp.o"
+  "CMakeFiles/ftspm_core.dir/systems.cpp.o.d"
+  "CMakeFiles/ftspm_core.dir/transfer_schedule.cpp.o"
+  "CMakeFiles/ftspm_core.dir/transfer_schedule.cpp.o.d"
+  "libftspm_core.a"
+  "libftspm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

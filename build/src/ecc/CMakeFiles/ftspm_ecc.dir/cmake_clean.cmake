@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_ecc.dir/parity_codec.cpp.o"
+  "CMakeFiles/ftspm_ecc.dir/parity_codec.cpp.o.d"
+  "CMakeFiles/ftspm_ecc.dir/secded_codec.cpp.o"
+  "CMakeFiles/ftspm_ecc.dir/secded_codec.cpp.o.d"
+  "libftspm_ecc.a"
+  "libftspm_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/avf.cpp" "src/fault/CMakeFiles/ftspm_fault.dir/avf.cpp.o" "gcc" "src/fault/CMakeFiles/ftspm_fault.dir/avf.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/fault/CMakeFiles/ftspm_fault.dir/injector.cpp.o" "gcc" "src/fault/CMakeFiles/ftspm_fault.dir/injector.cpp.o.d"
+  "/root/repo/src/fault/strike_model.cpp" "src/fault/CMakeFiles/ftspm_fault.dir/strike_model.cpp.o" "gcc" "src/fault/CMakeFiles/ftspm_fault.dir/strike_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ftspm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftspm_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftspm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

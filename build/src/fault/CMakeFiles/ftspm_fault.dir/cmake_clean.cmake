@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_fault.dir/avf.cpp.o"
+  "CMakeFiles/ftspm_fault.dir/avf.cpp.o.d"
+  "CMakeFiles/ftspm_fault.dir/injector.cpp.o"
+  "CMakeFiles/ftspm_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/ftspm_fault.dir/strike_model.cpp.o"
+  "CMakeFiles/ftspm_fault.dir/strike_model.cpp.o.d"
+  "libftspm_fault.a"
+  "libftspm_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_mem.dir/geometry.cpp.o"
+  "CMakeFiles/ftspm_mem.dir/geometry.cpp.o.d"
+  "CMakeFiles/ftspm_mem.dir/technology_library.cpp.o"
+  "CMakeFiles/ftspm_mem.dir/technology_library.cpp.o.d"
+  "libftspm_mem.a"
+  "libftspm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_profile.dir/profiler.cpp.o"
+  "CMakeFiles/ftspm_profile.dir/profiler.cpp.o.d"
+  "CMakeFiles/ftspm_profile.dir/reuse.cpp.o"
+  "CMakeFiles/ftspm_profile.dir/reuse.cpp.o.d"
+  "libftspm_profile.a"
+  "libftspm_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

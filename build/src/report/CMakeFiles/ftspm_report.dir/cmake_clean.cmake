@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_report.dir/csv_export.cpp.o"
+  "CMakeFiles/ftspm_report.dir/csv_export.cpp.o.d"
+  "CMakeFiles/ftspm_report.dir/json_report.cpp.o"
+  "CMakeFiles/ftspm_report.dir/json_report.cpp.o.d"
+  "CMakeFiles/ftspm_report.dir/render.cpp.o"
+  "CMakeFiles/ftspm_report.dir/render.cpp.o.d"
+  "CMakeFiles/ftspm_report.dir/suite_runner.cpp.o"
+  "CMakeFiles/ftspm_report.dir/suite_runner.cpp.o.d"
+  "libftspm_report.a"
+  "libftspm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

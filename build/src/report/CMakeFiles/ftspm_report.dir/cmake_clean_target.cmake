@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftspm_report.a"
+)

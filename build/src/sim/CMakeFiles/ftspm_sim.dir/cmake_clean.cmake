@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_sim.dir/cache.cpp.o"
+  "CMakeFiles/ftspm_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/ftspm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ftspm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ftspm_sim.dir/spm.cpp.o"
+  "CMakeFiles/ftspm_sim.dir/spm.cpp.o.d"
+  "libftspm_sim.a"
+  "libftspm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

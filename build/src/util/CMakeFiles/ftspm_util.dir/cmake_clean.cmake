@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_util.dir/args.cpp.o"
+  "CMakeFiles/ftspm_util.dir/args.cpp.o.d"
+  "CMakeFiles/ftspm_util.dir/format.cpp.o"
+  "CMakeFiles/ftspm_util.dir/format.cpp.o.d"
+  "CMakeFiles/ftspm_util.dir/json.cpp.o"
+  "CMakeFiles/ftspm_util.dir/json.cpp.o.d"
+  "CMakeFiles/ftspm_util.dir/rng.cpp.o"
+  "CMakeFiles/ftspm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ftspm_util.dir/table.cpp.o"
+  "CMakeFiles/ftspm_util.dir/table.cpp.o.d"
+  "libftspm_util.a"
+  "libftspm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

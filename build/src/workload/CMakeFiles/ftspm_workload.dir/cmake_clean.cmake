@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_workload.dir/case_study.cpp.o"
+  "CMakeFiles/ftspm_workload.dir/case_study.cpp.o.d"
+  "CMakeFiles/ftspm_workload.dir/program.cpp.o"
+  "CMakeFiles/ftspm_workload.dir/program.cpp.o.d"
+  "CMakeFiles/ftspm_workload.dir/suite.cpp.o"
+  "CMakeFiles/ftspm_workload.dir/suite.cpp.o.d"
+  "CMakeFiles/ftspm_workload.dir/trace.cpp.o"
+  "CMakeFiles/ftspm_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/ftspm_workload.dir/trace_builder.cpp.o"
+  "CMakeFiles/ftspm_workload.dir/trace_builder.cpp.o.d"
+  "CMakeFiles/ftspm_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/ftspm_workload.dir/trace_io.cpp.o.d"
+  "libftspm_workload.a"
+  "libftspm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

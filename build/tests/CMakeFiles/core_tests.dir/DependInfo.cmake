@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_mapper_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baseline_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baseline_mapper_test.cpp.o.d"
+  "/root/repo/tests/core/endurance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/endurance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/endurance_test.cpp.o.d"
+  "/root/repo/tests/core/energy_hybrid_test.cpp" "tests/CMakeFiles/core_tests.dir/core/energy_hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/energy_hybrid_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_consistency_test.cpp" "tests/CMakeFiles/core_tests.dir/core/estimator_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/estimator_consistency_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_determiner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mapping_determiner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mapping_determiner_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_plan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mapping_plan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mapping_plan_test.cpp.o.d"
+  "/root/repo/tests/core/mda_threshold_sweep_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mda_threshold_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mda_threshold_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/core_tests.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/spm_config_test.cpp" "tests/CMakeFiles/core_tests.dir/core/spm_config_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/spm_config_test.cpp.o.d"
+  "/root/repo/tests/core/system_campaign_test.cpp" "tests/CMakeFiles/core_tests.dir/core/system_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_campaign_test.cpp.o.d"
+  "/root/repo/tests/core/transfer_schedule_test.cpp" "tests/CMakeFiles/core_tests.dir/core/transfer_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/transfer_schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ftspm_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftspm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ftspm_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftspm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ftspm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ftspm_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ftspm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftspm_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftspm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/baseline_mapper_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/baseline_mapper_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/endurance_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/endurance_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/energy_hybrid_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/energy_hybrid_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/estimator_consistency_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/estimator_consistency_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/estimator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/estimator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mapping_determiner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mapping_determiner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mapping_plan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mapping_plan_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mda_threshold_sweep_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mda_threshold_sweep_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/partition_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/spm_config_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/spm_config_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/system_campaign_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/system_campaign_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/transfer_schedule_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/transfer_schedule_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

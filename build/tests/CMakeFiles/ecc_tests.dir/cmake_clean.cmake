@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_tests.dir/ecc/codec_statistics_test.cpp.o"
+  "CMakeFiles/ecc_tests.dir/ecc/codec_statistics_test.cpp.o.d"
+  "CMakeFiles/ecc_tests.dir/ecc/parity_test.cpp.o"
+  "CMakeFiles/ecc_tests.dir/ecc/parity_test.cpp.o.d"
+  "CMakeFiles/ecc_tests.dir/ecc/secded_test.cpp.o"
+  "CMakeFiles/ecc_tests.dir/ecc/secded_test.cpp.o.d"
+  "ecc_tests"
+  "ecc_tests.pdb"
+  "ecc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tests.dir/fault/avf_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/avf_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/injector_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/injector_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/interleave_avf_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/interleave_avf_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/strike_model_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/strike_model_test.cpp.o.d"
+  "fault_tests"
+  "fault_tests.pdb"
+  "fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/block_report_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/block_report_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/csv_export_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/csv_export_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_pipeline_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_pipeline_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/golden_tables_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/golden_tables_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/json_report_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/json_report_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/relaxed_stt_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/relaxed_stt_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/report_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/report_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/suite_invariants_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/suite_invariants_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/suite_mapping_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/suite_mapping_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/systems_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/systems_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

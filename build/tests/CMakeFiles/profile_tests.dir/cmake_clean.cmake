@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_tests.dir/profile/profiler_test.cpp.o"
+  "CMakeFiles/profile_tests.dir/profile/profiler_test.cpp.o.d"
+  "CMakeFiles/profile_tests.dir/profile/reuse_test.cpp.o"
+  "CMakeFiles/profile_tests.dir/profile/reuse_test.cpp.o.d"
+  "profile_tests"
+  "profile_tests.pdb"
+  "profile_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/builder_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/builder_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/case_study_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/case_study_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/even_split_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/even_split_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/program_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/program_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/suite_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/suite_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/trace_io_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/trace_io_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftspm_tool.dir/ftspm_tool.cpp.o"
+  "CMakeFiles/ftspm_tool.dir/ftspm_tool.cpp.o.d"
+  "ftspm_tool"
+  "ftspm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftspm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
