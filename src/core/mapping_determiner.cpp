@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "ftspm/obs/metrics.h"
+#include "ftspm/obs/trace_sink.h"
 #include "ftspm/util/error.h"
 
 namespace ftspm {
@@ -60,6 +62,32 @@ namespace {
 /// first. Reliability keeps the paper's rule (smallest susceptibility);
 /// the other priorities negate a benefit so that the largest benefit is
 /// evicted first.
+/// Records each MDA placement decision on its own trace lane
+/// (timestamped by decision index — the algorithm has no cycle domain)
+/// and tallies per-step eviction counters. No-op when observability is
+/// disabled.
+class MdaObserver {
+ public:
+  MdaObserver() {
+    if (obs::enabled() && (trace_ = obs::current_trace()) != nullptr)
+      lane_ = trace_->lane("mda", "decisions");
+  }
+
+  void decision(const char* step, const std::string& block_name,
+                double score) {
+    FTSPM_OBS_COUNT(std::string("mda.") + step, 1);
+    if (trace_ != nullptr)
+      trace_->instant(lane_, std::string(step) + " " + block_name, index_,
+                      {obs::TraceArg::num("score", score)});
+    ++index_;
+  }
+
+ private:
+  obs::TraceEventSink* trace_ = nullptr;
+  obs::TraceEventSink::LaneId lane_ = 0;
+  std::uint64_t index_ = 0;
+};
+
 double victim_score(OptimizationPriority priority, const BlockProfile& bp,
                     const TechnologyParams& stt) {
   switch (priority) {
@@ -84,6 +112,7 @@ MappingPlan MappingDeterminer::determine(const Program& program,
   FTSPM_REQUIRE(profile.blocks.size() == program.block_count(),
                 "profile does not match program");
 
+  MdaObserver observer;
   std::vector<BlockMapping> mappings(program.block_count());
   for (std::size_t i = 0; i < mappings.size(); ++i)
     mappings[i] = BlockMapping{static_cast<BlockId>(i), kNoRegion,
@@ -140,7 +169,7 @@ MappingPlan MappingDeterminer::determine(const Program& program,
   const ScenarioEstimator estimator(layout_, sim_, program, profile,
                                     config_.estimator);
   auto evict_until = [&](double threshold, auto overhead_of,
-                         MappingReason reason) {
+                         MappingReason reason, const char* step) {
     while (true) {
       std::vector<BlockId> resident = stt_data_blocks();
       if (resident.empty()) return;
@@ -160,6 +189,7 @@ MappingPlan MappingDeterminer::determine(const Program& program,
       }
       mappings[victim].region = kNoRegion;
       mappings[victim].reason = reason;
+      observer.decision(step, program.block(victim).name, best);
     }
   };
 
@@ -168,13 +198,13 @@ MappingPlan MappingDeterminer::determine(const Program& program,
       [&](const std::vector<RegionId>& s) {
         return estimator.performance_overhead(s);
       },
-      MappingReason::EvictedPerformance);
+      MappingReason::EvictedPerformance, "evict.performance");
   evict_until(
       config_.thresholds.energy_overhead,
       [&](const std::vector<RegionId>& s) {
         return estimator.energy_overhead(s);
       },
-      MappingReason::EvictedEnergy);
+      MappingReason::EvictedEnergy, "evict.energy");
 
   // ---- step 5: endurance filter --------------------------------------
   for (BlockId id : stt_data_blocks()) {
@@ -187,6 +217,8 @@ MappingPlan MappingDeterminer::determine(const Program& program,
     if (block_hot || word_hot) {
       mappings[id].region = kNoRegion;
       mappings[id].reason = MappingReason::EvictedEndurance;
+      observer.decision("evict.endurance", program.block(id).name,
+                        static_cast<double>(bp.writes));
     }
   }
 
@@ -226,6 +258,13 @@ MappingPlan MappingDeterminer::determine(const Program& program,
       } else {
         mappings[id].reason = MappingReason::NoSramRoom;
       }
+      observer.decision(mappings[id].reason == MappingReason::NoSramRoom
+                            ? "no_sram_room"
+                            : (mappings[id].region == d_secded_
+                                   ? "reassign.secded"
+                                   : "reassign.parity"),
+                        program.block(id).name,
+                        profile.blocks[id].susceptibility());
     }
 
     // Post-placement check: Algorithm 1 sizes evictees against the
@@ -256,6 +295,8 @@ MappingPlan MappingDeterminer::determine(const Program& program,
       if (!victim) break;
       mappings[*victim].region = kNoRegion;
       mappings[*victim].reason = MappingReason::DemotedTimeSharing;
+      observer.decision("demote.time_sharing",
+                        program.block(*victim).name, best);
     }
   }
 
@@ -304,6 +345,8 @@ MappingPlan MappingDeterminer::determine(const Program& program,
         continue;
       }
       stt_used += blk.size_bytes;
+      observer.decision("restore.stt", blk.name,
+                        profile.blocks[id].susceptibility());
     }
   }
 

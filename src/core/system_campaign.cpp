@@ -1,6 +1,7 @@
 #include "ftspm/core/system_campaign.h"
 
 #include "ftspm/core/transfer_schedule.h"
+#include "ftspm/fault/campaign_observer.h"
 #include "ftspm/util/rng.h"
 
 #include <algorithm>
@@ -89,6 +90,7 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
   Rng rng(config.seed ^ 0x7e3a11ce);
   CampaignResult result;
   result.strikes = config.strikes;
+  CampaignObserver observer(config, "temporal");
   for (std::uint64_t s = 0; s < config.strikes; ++s) {
     const std::size_t rid = rng.next_discrete(weights);
     const InjectionRegion& surface = surfaces[rid];
@@ -125,6 +127,7 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
       case StrikeOutcome::Due: ++result.due; break;
       case StrikeOutcome::Sdc: ++result.sdc; break;
     }
+    observer.on_strike(s, outcome);
   }
   return result;
 }

@@ -1,0 +1,63 @@
+// Per-strike observability shared by every Monte-Carlo campaign loop
+// (the static injector campaign and core's temporal campaign): registry
+// tallies, trace instants for vulnerable outcomes on a strike-indexed
+// lane, and the throttled progress callback from CampaignConfig.
+//
+// Construct once per campaign, call on_strike() after classifying each
+// strike. All members resolve to no-ops when observability is disabled,
+// and nothing here touches the RNG — attaching an observer can never
+// change campaign results.
+#pragma once
+
+#include <cstdint>
+
+#include "ftspm/fault/injector.h"
+#include "ftspm/obs/metrics.h"
+#include "ftspm/obs/trace_sink.h"
+
+namespace ftspm {
+
+class CampaignObserver {
+ public:
+  CampaignObserver(const CampaignConfig& config, const char* lane_name)
+      : config_(config) {
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::registry();
+      strikes_ = &reg.counter("campaign.strikes");
+      vulnerable_ = &reg.counter("campaign.vulnerable");
+      if ((trace_ = obs::current_trace()) != nullptr)
+        lane_ = trace_->lane("campaign", lane_name);
+    }
+  }
+
+  /// Call after classifying strike `s` (0-based). Timestamps in the
+  /// trace are strike indices, keeping the lane deterministic.
+  void on_strike(std::uint64_t s, StrikeOutcome outcome) {
+    if (strikes_ != nullptr) {
+      strikes_->add(1);
+      if (outcome == StrikeOutcome::Due || outcome == StrikeOutcome::Sdc)
+        vulnerable_->add(1);
+      if (trace_ != nullptr) {
+        if (outcome != StrikeOutcome::Masked)
+          trace_->instant(lane_, to_string(outcome), s);
+        if ((s + 1) % kCounterSamplePeriod == 0)
+          trace_->value(lane_, "vulnerable", s,
+                        static_cast<double>(vulnerable_->value()));
+      }
+    }
+    if (config_.progress_interval != 0 && config_.progress &&
+        ((s + 1) % config_.progress_interval == 0 ||
+         s + 1 == config_.strikes))
+      config_.progress(s + 1, config_.strikes);
+  }
+
+ private:
+  static constexpr std::uint64_t kCounterSamplePeriod = 4096;
+  const CampaignConfig& config_;
+  obs::Counter* strikes_ = nullptr;
+  obs::Counter* vulnerable_ = nullptr;
+  obs::TraceEventSink* trace_ = nullptr;
+  obs::TraceEventSink::LaneId lane_ = 0;
+};
+
+}  // namespace ftspm

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ftspm/ecc/codec.h"
@@ -53,6 +54,13 @@ struct CampaignConfig {
   std::uint64_t strikes = 100'000;
   std::uint64_t seed = 0x57a1ce5eed;
   std::uint32_t max_flips = 16;
+
+  /// When non-zero, `progress` is invoked every `progress_interval`
+  /// strikes and once at completion with (strikes_done, strikes_total).
+  /// Reporting only — it must not touch the RNG, so enabling it cannot
+  /// change campaign results.
+  std::uint64_t progress_interval = 0;
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
 };
 
 struct CampaignResult {

@@ -5,6 +5,7 @@
 
 #include "ftspm/ecc/parity_codec.h"
 #include "ftspm/ecc/secded_codec.h"
+#include "ftspm/fault/campaign_observer.h"
 #include "ftspm/util/error.h"
 
 namespace ftspm {
@@ -126,6 +127,7 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
   Rng rng(config.seed);
   CampaignResult result;
   result.strikes = config.strikes;
+  CampaignObserver observer(config, "static");
   for (std::uint64_t s = 0; s < config.strikes; ++s) {
     const std::size_t ri = rng.next_discrete(weights);
     const InjectionRegion& region = regions[ri];
@@ -144,6 +146,7 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
       case StrikeOutcome::Due: ++result.due; break;
       case StrikeOutcome::Sdc: ++result.sdc; break;
     }
+    observer.on_strike(s, outcome);
   }
   return result;
 }

@@ -1,0 +1,194 @@
+// Observability: the metrics registry.
+//
+// A process-wide registry of named counters, gauges, and fixed-bucket
+// histograms that any layer can increment without threading a handle
+// through every API. Two guards keep the cost near zero when nobody is
+// looking:
+//
+//  * compile time — building with -DFTSPM_OBS=0 turns the FTSPM_OBS_*
+//    macros into no-ops (no registry lookups are even compiled in);
+//  * run time — the registry starts disabled; `set_enabled(false)`
+//    (the default) makes every mutation a single predictable branch.
+//
+// Instruments cache their handles (`Counter&` etc.) outside hot loops:
+// name lookup happens once per run, not per event. Snapshots are
+// deterministic — entries are stored in a sorted map and the JSON/CSV
+// dumps contain only simulation-derived quantities. Wall-clock timer
+// entries (see timer.h) are excluded unless explicitly requested, so
+// two runs with the same seed produce byte-identical dumps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef FTSPM_OBS
+#define FTSPM_OBS 1
+#endif
+
+namespace ftspm::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations with
+/// `value <= bounds[i]`; one implicit overflow bucket catches the rest.
+/// Also tracks count/sum/min/max for cheap summary statistics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  ///< Strictly increasing.
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wall-clock duration accumulator fed by ScopedTimer (timer.h).
+/// Non-deterministic by nature, so snapshots skip timers by default.
+class TimerStat {
+ public:
+  void record_ns(std::uint64_t ns) noexcept {
+    ++count_;
+    total_ns_ += ns;
+    if (count_ == 1 || ns > max_ns_) max_ns_ = ns;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t total_ns() const noexcept { return total_ns_; }
+  std::uint64_t max_ns() const noexcept { return max_ns_; }
+  void reset() noexcept { count_ = total_ns_ = max_ns_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// What a snapshot should include.
+struct SnapshotOptions {
+  /// Wall-clock timers vary run to run; keep them out of dumps that
+  /// must be byte-identical for a fixed seed (the default).
+  bool include_wall_time = false;
+};
+
+/// Named-instrument registry. Lookup creates on first use; names are
+/// conventionally dot-separated ("sim.evictions", "mda.evicted.energy").
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Creates with `bucket_bounds` on first use; later calls with the
+  /// same name ignore the bounds argument.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> bucket_bounds);
+  TimerStat& timer(std::string_view name);
+
+  /// Deterministic JSON document: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with keys in sorted order.
+  std::string to_json(const SnapshotOptions& options = {}) const;
+  /// Flat CSV: kind,name,field,value — one row per scalar.
+  std::string to_csv(const SnapshotOptions& options = {}) const;
+
+  /// Zeroes every instrument but keeps registrations (and histogram
+  /// bucket layouts) so cached handles stay valid.
+  void reset_values();
+  /// Drops every instrument. Invalidates cached handles.
+  void clear();
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           timers_.size();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+/// The process-wide registry used by the FTSPM_OBS_* macros and by all
+/// built-in instrumentation.
+Registry& registry();
+
+/// Runtime master switch; instrumentation sites must check this before
+/// touching the registry or the trace sink. Starts false.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// RAII enable/disable for tests and tool scopes.
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : prev_(enabled()) { set_enabled(on); }
+  ~EnabledScope() { set_enabled(prev_); }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace ftspm::obs
+
+// Fire-and-forget instrumentation macros for sites too cold to bother
+// caching a handle. Hot loops should hoist `obs::enabled()` and the
+// handle lookup instead.
+#if FTSPM_OBS
+#define FTSPM_OBS_COUNT(name, n)                          \
+  do {                                                    \
+    if (::ftspm::obs::enabled())                          \
+      ::ftspm::obs::registry().counter(name).add(n);      \
+  } while (false)
+#define FTSPM_OBS_GAUGE(name, v)                          \
+  do {                                                    \
+    if (::ftspm::obs::enabled())                          \
+      ::ftspm::obs::registry().gauge(name).set(v);        \
+  } while (false)
+#else
+#define FTSPM_OBS_COUNT(name, n) \
+  do {                           \
+  } while (false)
+#define FTSPM_OBS_GAUGE(name, v) \
+  do {                           \
+  } while (false)
+#endif

@@ -1,0 +1,174 @@
+#include "ftspm/obs/metrics.h"
+
+#include <algorithm>
+
+#include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::obs {
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), buckets_(bounds_.size() + 1, 0) {
+  FTSPM_REQUIRE(!bounds_.empty() &&
+                    std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "histogram bounds must be non-empty and strictly increasing");
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bucket_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::string(name), Histogram(std::move(bucket_bounds)))
+      .first->second;
+}
+
+TimerStat& Registry::timer(std::string_view name) {
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return it->second;
+  return timers_.emplace(std::string(name), TimerStat{}).first->second;
+}
+
+std::string Registry::to_json(const SnapshotOptions& options) const {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("counters");
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, g] : gauges_) w.field(name, g.value());
+  w.end_object();
+  w.begin_object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    w.begin_object(name);
+    w.begin_array("bounds");
+    for (double b : h.bounds()) w.element(b);
+    w.end_array();
+    w.begin_array("buckets");
+    for (std::uint64_t n : h.buckets())
+      w.element(static_cast<double>(n));
+    w.end_array();
+    w.field("count", h.count())
+        .field("sum", h.sum())
+        .field("min", h.min())
+        .field("max", h.max())
+        .end_object();
+  }
+  w.end_object();
+  if (options.include_wall_time) {
+    w.begin_object("timers_ns");
+    for (const auto& [name, t] : timers_) {
+      w.begin_object(name)
+          .field("count", t.count())
+          .field("total_ns", t.total_ns())
+          .field("max_ns", t.max_ns())
+          .end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string Registry::to_csv(const SnapshotOptions& options) const {
+  std::string out = "kind,name,field,value\n";
+  auto row = [&out](std::string_view kind, const std::string& name,
+                    std::string_view field, const std::string& value) {
+    out += kind;
+    out += ',';
+    out += name;
+    out += ',';
+    out += field;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  auto num = [](double v) {
+    std::string s = std::to_string(v);
+    return s;
+  };
+  for (const auto& [name, c] : counters_)
+    row("counter", name, "value", std::to_string(c.value()));
+  for (const auto& [name, g] : gauges_)
+    row("gauge", name, "value", num(g.value()));
+  for (const auto& [name, h] : histograms_) {
+    row("histogram", name, "count", std::to_string(h.count()));
+    row("histogram", name, "sum", num(h.sum()));
+    row("histogram", name, "min", num(h.min()));
+    row("histogram", name, "max", num(h.max()));
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      const std::string field =
+          i < h.bounds().size() ? "le_" + num(h.bounds()[i]) : "overflow";
+      row("histogram", name, field, std::to_string(h.buckets()[i]));
+    }
+  }
+  if (options.include_wall_time) {
+    for (const auto& [name, t] : timers_) {
+      row("timer", name, "count", std::to_string(t.count()));
+      row("timer", name, "total_ns", std::to_string(t.total_ns()));
+      row("timer", name, "max_ns", std::to_string(t.max_ns()));
+    }
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, t] : timers_) t.reset();
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  timers_.clear();
+}
+
+namespace {
+bool g_enabled = false;
+}  // namespace
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+bool enabled() noexcept { return g_enabled; }
+void set_enabled(bool on) noexcept { g_enabled = on; }
+
+}  // namespace ftspm::obs

@@ -2,6 +2,7 @@
 // --json mode and by downstream analysis scripts).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,15 +11,32 @@
 
 namespace ftspm {
 
-/// One structure's full evaluation as a JSON object string: mapping,
-/// run counters, energies, AVF decomposition, endurance.
+/// Describes the run that produced an artefact, embedded as the
+/// "manifest" member of every JSON report so dumps are
+/// self-describing. The library version is added automatically.
+struct RunManifest {
+  std::string command;   ///< Producer, e.g. "ftspm_tool evaluate".
+  std::string workload;  ///< Workload/suite name ("" when N/A).
+  std::uint64_t scale = 1;
+  std::uint64_t seed = 0;
+};
+
+/// The manifest alone as a JSON object string (reusable by other
+/// emitters).
+std::string manifest_json(const RunManifest& manifest);
+
+/// One structure's full evaluation as a JSON object string: manifest,
+/// mapping, run counters, energies, AVF decomposition, endurance.
 std::string system_result_json(const SystemResult& result,
                                const SpmLayout& layout,
-                               const Program& program);
+                               const Program& program,
+                               const RunManifest& manifest = {});
 
-/// The whole 12-benchmark sweep as a JSON array (one element per
-/// benchmark with the three structures nested).
+/// The whole 12-benchmark sweep as a JSON object {"manifest":...,
+/// "benchmarks":[...]} (one element per benchmark with the three
+/// structures nested).
 std::string suite_json(const std::vector<SuiteRow>& rows,
-                       const StructureEvaluator& evaluator);
+                       const StructureEvaluator& evaluator,
+                       const RunManifest& manifest = {});
 
 }  // namespace ftspm

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,9 +22,19 @@ struct SuiteRow {
   SystemResult pure_stt;
 };
 
-/// Runs every benchmark at the given scale. Deterministic.
+/// Invoked after each benchmark completes with (benchmarks_done,
+/// benchmarks_total, name_of_the_one_just_finished). Reporting only;
+/// results are unaffected.
+using SuiteProgress =
+    std::function<void(std::size_t, std::size_t, const std::string&)>;
+
+/// Runs every benchmark at the given scale. Deterministic. When
+/// observability is enabled, each benchmark also gets a wall-clock
+/// timer in the registry ("suite.<name>") and a span on the trace's
+/// "suite" lane, timestamped by cumulative simulated FTSPM cycles.
 std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
-                                std::uint64_t scale_divisor = 1);
+                                std::uint64_t scale_divisor = 1,
+                                const SuiteProgress& progress = {});
 
 /// Geometric mean of per-row ratios f(row); rows where the ratio is
 /// non-positive or non-finite are skipped.

@@ -1,10 +1,19 @@
 #include "ftspm/report/json_report.h"
 
 #include "ftspm/util/json.h"
+#include "ftspm/util/version.h"
 
 namespace ftspm {
 
 namespace {
+
+void write_manifest(JsonWriter& w, const RunManifest& m) {
+  w.field("library_version", kLibraryVersion)
+      .field("command", m.command)
+      .field("workload", m.workload)
+      .field("scale", m.scale)
+      .field("seed", m.seed);
+}
 
 void write_system_result(JsonWriter& w, const SystemResult& r,
                          const SpmLayout& layout, const Program& program) {
@@ -62,20 +71,37 @@ void write_system_result(JsonWriter& w, const SystemResult& r,
 
 }  // namespace
 
-std::string system_result_json(const SystemResult& result,
-                               const SpmLayout& layout,
-                               const Program& program) {
+std::string manifest_json(const RunManifest& manifest) {
   JsonWriter w;
   w.begin_object();
+  write_manifest(w, manifest);
+  w.end_object();
+  return w.str();
+}
+
+std::string system_result_json(const SystemResult& result,
+                               const SpmLayout& layout,
+                               const Program& program,
+                               const RunManifest& manifest) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("manifest");
+  write_manifest(w, manifest);
+  w.end_object();
   write_system_result(w, result, layout, program);
   w.end_object();
   return w.str();
 }
 
 std::string suite_json(const std::vector<SuiteRow>& rows,
-                       const StructureEvaluator& evaluator) {
+                       const StructureEvaluator& evaluator,
+                       const RunManifest& manifest) {
   JsonWriter w;
-  w.begin_array();
+  w.begin_object();
+  w.begin_object("manifest");
+  write_manifest(w, manifest);
+  w.end_object();
+  w.begin_array("benchmarks");
   for (const SuiteRow& row : rows) {
     const Workload workload = make_benchmark(row.benchmark);
     w.begin_object();
@@ -95,6 +121,7 @@ std::string suite_json(const std::vector<SuiteRow>& rows,
     w.end_object();
   }
   w.end_array();
+  w.end_object();
   return w.str();
 }
 

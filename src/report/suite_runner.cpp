@@ -2,20 +2,45 @@
 
 #include <cmath>
 
+#include "ftspm/obs/timer.h"
 #include "ftspm/util/error.h"
 
 namespace ftspm {
 
 std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
-                                std::uint64_t scale_divisor) {
+                                std::uint64_t scale_divisor,
+                                const SuiteProgress& progress) {
+  obs::TraceEventSink* trace =
+      obs::enabled() ? obs::current_trace() : nullptr;
+  const obs::TraceEventSink::LaneId lane =
+      trace != nullptr ? trace->lane("suite", "benchmarks") : 0;
+  std::uint64_t cumulative_cycles = 0;
+
   std::vector<SuiteRow> rows;
   rows.reserve(kMiBenchmarkCount);
+  std::size_t done = 0;
   for (MiBenchmark bench : all_benchmarks()) {
-    const Workload workload = make_benchmark(bench, scale_divisor);
-    std::vector<SystemResult> results = evaluator.evaluate_all(workload);
+    const std::string name = to_string(bench);
+    std::vector<SystemResult> results;
+    {
+      const obs::ScopedTimer timer("suite." + name);
+      const Workload workload = make_benchmark(bench, scale_divisor);
+      results = evaluator.evaluate_all(workload);
+    }
     FTSPM_CHECK(results.size() == 3, "expected three structures");
-    rows.push_back(SuiteRow{bench, to_string(bench), std::move(results[0]),
+    if (trace != nullptr) {
+      // Span the benchmark over its own FTSPM run on a cumulative
+      // simulated-cycle axis (deterministic, unlike wall time).
+      trace->complete(lane, name, cumulative_cycles,
+                      results[0].run.total_cycles,
+                      {obs::TraceArg::num("cycles",
+                                          results[0].run.total_cycles)});
+      cumulative_cycles += results[0].run.total_cycles;
+    }
+    rows.push_back(SuiteRow{bench, name, std::move(results[0]),
                             std::move(results[1]), std::move(results[2])});
+    ++done;
+    if (progress) progress(done, kMiBenchmarkCount, name);
   }
   return rows;
 }

@@ -67,6 +67,32 @@ struct RegionRunStats {
   }
 };
 
+/// Cycle/energy attribution for one execution phase. Phases follow the
+/// trace's CallEnter/CallExit markers: costs are charged to the
+/// innermost active code block, and to "(top)" outside any call.
+/// Populated only when observability is enabled during run()
+/// (obs::set_enabled) so the default hot path pays nothing.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t spm_cycles = 0;
+  std::uint64_t cache_cycles = 0;
+  std::uint64_t dram_penalty_cycles = 0;
+  std::uint64_t dma_cycles = 0;
+  std::uint64_t accesses = 0;
+  double spm_energy_pj = 0.0;    ///< Region arrays + SPM side of DMA.
+  double cache_energy_pj = 0.0;
+  double dram_energy_pj = 0.0;   ///< Cache-miss traffic + DRAM-side DMA.
+
+  std::uint64_t total_cycles() const noexcept {
+    return compute_cycles + spm_cycles + cache_cycles +
+           dram_penalty_cycles + dma_cycles;
+  }
+  double energy_pj() const noexcept {
+    return spm_energy_pj + cache_energy_pj + dram_energy_pj;
+  }
+};
+
 /// Everything a run produced.
 struct RunResult {
   std::string layout_name;
@@ -90,6 +116,10 @@ struct RunResult {
   /// SPM-only dynamic energy).
   double dma_dram_side_energy_pj = 0.0;
   double spm_static_energy_pj = 0.0;
+
+  /// Per-phase attribution in first-appearance order; empty unless
+  /// observability was enabled during the run.
+  std::vector<PhaseStats> phases;
 
   /// Per-block hottest-word write count while SPM-resident (wear).
   std::vector<std::uint64_t> block_max_word_writes;
@@ -130,6 +160,13 @@ class Simulator {
                 std::span<const RegionId> block_to_region) const;
 
  private:
+  /// The actual engine. Instantiated twice so the WithObs=false hot
+  /// path carries no instrumentation code at all — run() picks the
+  /// variant from obs::enabled() once per call.
+  template <bool WithObs>
+  RunResult run_impl(const Workload& workload,
+                     std::span<const RegionId> block_to_region) const;
+
   SpmLayout layout_;
   SimConfig config_;
 };

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <memory>
 
+#include "ftspm/obs/metrics.h"
+#include "ftspm/obs/trace_sink.h"
 #include "ftspm/util/error.h"
 
 namespace ftspm {
@@ -44,6 +48,17 @@ Simulator::Simulator(SpmLayout layout, SimConfig config)
   FTSPM_REQUIRE(config_.clock_mhz > 0.0, "clock must be positive");
 }
 
+// Per-event helper lambdas must stay inlined into the run loop: at -O2
+// the inliner's unit-growth budget otherwise outlines evict() and
+// ensure_resident(), a measured ~10% throughput loss on
+// bench/micro_simulator. Mandatory-inline keeps codegen identical to a
+// build without the instrumented run_impl<true> instantiation.
+#if defined(__GNUC__) || defined(__clang__)
+#define FTSPM_SIM_INLINE __attribute__((always_inline))
+#else
+#define FTSPM_SIM_INLINE
+#endif
+
 namespace {
 
 /// Runtime residency bookkeeping for one block.
@@ -61,10 +76,36 @@ struct RegionState {
   std::vector<BlockId> resident;  ///< Blocks currently loaded.
 };
 
+/// Everything the optional observability path needs; only the
+/// run_impl<true> instantiation creates or touches it, so the default
+/// run() executes instrumentation-free code.
+struct ObsState {
+  obs::TraceEventSink* trace = nullptr;
+  obs::TraceEventSink::LaneId phase_lane = 0;
+  obs::TraceEventSink::LaneId dma_lane = 0;
+  obs::TraceEventSink::LaneId spm_lane = 0;
+  obs::TraceEventSink::LaneId cache_lane = 0;
+  obs::Counter* evictions = nullptr;
+  obs::Counter* dma_transfers = nullptr;
+  obs::Counter* dma_words = nullptr;
+  obs::Counter* cache_fills = nullptr;
+  obs::Histogram* dma_span = nullptr;  ///< Words per DMA transfer.
+
+  /// Phase bookkeeping: stack of indices into RunResult::phases.
+  std::map<std::string, std::size_t> phase_index;
+  std::vector<std::size_t> phase_stack;
+};
+
+/// Sampling period for cache-fill counter events in the trace (every
+/// fill would swamp the file on cache-heavy workloads).
+constexpr std::uint64_t kCacheFillSamplePeriod = 256;
+
 }  // namespace
 
-RunResult Simulator::run(const Workload& workload,
-                         std::span<const RegionId> block_to_region) const {
+template <bool WithObs>
+RunResult Simulator::run_impl(
+    const Workload& workload,
+    std::span<const RegionId> block_to_region) const {
   const Program& program = workload.program;
   FTSPM_REQUIRE(block_to_region.size() == program.block_count(),
                 "mapping must cover every block");
@@ -97,19 +138,77 @@ RunResult Simulator::run(const Workload& workload,
   std::vector<RegionState> regions(layout_.region_count());
   std::uint64_t tick = 0;
 
-  // DMA transfer of `words` words between DRAM and a region.
-  auto dma_transfer = [&](RegionId rid, std::uint64_t words, bool into_spm) {
+  // --- optional observability ---------------------------------------
+  // Everything obs-related sits behind `if constexpr (WithObs)` so the
+  // common WithObs=false instantiation is instrumentation-free code.
+  [[maybe_unused]] std::unique_ptr<ObsState> obs_state;
+  [[maybe_unused]] PhaseStats* cur_phase = nullptr;
+  [[maybe_unused]] auto now = [&res]() noexcept {
+    return res.compute_cycles + res.spm_cycles + res.cache_cycles +
+           res.dram_penalty_cycles + res.dma_cycles;
+  };
+  [[maybe_unused]] auto enter_phase = [&](const std::string& name) {
+    auto [it, inserted] =
+        obs_state->phase_index.emplace(name, res.phases.size());
+    if (inserted) res.phases.push_back(PhaseStats{name, 0, 0, 0, 0, 0, 0,
+                                                  0.0, 0.0, 0.0});
+    obs_state->phase_stack.push_back(it->second);
+    cur_phase = &res.phases[it->second];
+  };
+  if constexpr (WithObs) {
+    obs_state = std::make_unique<ObsState>();
+    obs::Registry& reg = obs::registry();
+    reg.counter("sim.runs").add(1);
+    obs_state->evictions = &reg.counter("sim.evictions");
+    obs_state->dma_transfers = &reg.counter("sim.dma_transfers");
+    obs_state->dma_words = &reg.counter("sim.dma_words");
+    obs_state->cache_fills = &reg.counter("sim.cache_fills");
+    obs_state->dma_span = &reg.histogram(
+        "sim.dma_words_per_transfer",
+        {8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+    if (obs::TraceEventSink* tr = obs::current_trace()) {
+      obs_state->trace = tr;
+      obs_state->phase_lane = tr->lane("sim", "phases");
+      obs_state->dma_lane = tr->lane("sim", "dma");
+      obs_state->spm_lane = tr->lane("sim", "spm");
+      obs_state->cache_lane = tr->lane("sim", "cache");
+      tr->begin(obs_state->phase_lane, "run:" + res.layout_name, 0);
+    }
+    enter_phase("(top)");
+  }
+
+  // DMA transfer of `words` words of `blk` between DRAM and a region.
+  auto dma_transfer = [&](RegionId rid, BlockId blk, std::uint64_t words,
+                          bool into_spm) {
     const SpmRegionSpec& spec = layout_.region(rid);
     const std::uint32_t spm_lat = into_spm ? spec.tech.write_latency_cycles
                                            : spec.tech.read_latency_cycles;
     const std::uint32_t per_word =
         std::max<std::uint32_t>(config_.dram.word_latency_cycles, spm_lat);
-    res.dma_cycles += config_.dma.setup_cycles +
-                      config_.dram.line_latency_cycles + words * per_word;
+    const std::uint64_t cycles = config_.dma.setup_cycles +
+                                 config_.dram.line_latency_cycles +
+                                 words * per_word;
     const double dram_e = words * (into_spm ? config_.dram.read_energy_pj
                                             : config_.dram.write_energy_pj);
     const double spm_e = words * (into_spm ? spec.tech.write_energy_pj
                                            : spec.tech.read_energy_pj);
+    if constexpr (WithObs) {
+      obs_state->dma_transfers->add(1);
+      obs_state->dma_words->add(words);
+      obs_state->dma_span->observe(static_cast<double>(words));
+      cur_phase->dma_cycles += cycles;
+      cur_phase->spm_energy_pj += spm_e;
+      cur_phase->dram_energy_pj += dram_e;
+      if (obs_state->trace != nullptr) {
+        obs_state->trace->complete(
+            obs_state->dma_lane,
+            (into_spm ? "load " : "writeback ") + program.block(blk).name,
+            now(), cycles,
+            {obs::TraceArg::str("region", spec.name),
+             obs::TraceArg::num("words", words)});
+      }
+    }
+    res.dma_cycles += cycles;
     res.dma_energy_pj += dram_e + spm_e;
     res.dma_dram_side_energy_pj += dram_e;
     if (into_spm)
@@ -118,10 +217,21 @@ RunResult Simulator::run(const Workload& workload,
       res.regions[rid].dma_out_words += words;
   };
 
-  auto evict = [&](RegionId rid, BlockId victim) {
+  auto evict = [&](RegionId rid, BlockId victim) FTSPM_SIM_INLINE {
     RegionState& rs = regions[rid];
     BlockState& vs = blocks[victim];
-    if (vs.dirty) dma_transfer(rid, program.block(victim).size_words(), false);
+    if constexpr (WithObs) {
+      obs_state->evictions->add(1);
+      if (obs_state->trace != nullptr) {
+        obs_state->trace->instant(
+            obs_state->spm_lane, "evict " + program.block(victim).name,
+            now(),
+            {obs::TraceArg::str("region", layout_.region(rid).name),
+             obs::TraceArg::str("dirty", vs.dirty ? "yes" : "no")});
+      }
+    }
+    if (vs.dirty)
+      dma_transfer(rid, victim, program.block(victim).size_words(), false);
     vs.resident = false;
     vs.dirty = false;
     rs.used_words -= program.block(victim).size_words();
@@ -129,7 +239,7 @@ RunResult Simulator::run(const Workload& workload,
                                 victim));
   };
 
-  auto ensure_resident = [&](BlockId id, RegionId rid) {
+  auto ensure_resident = [&](BlockId id, RegionId rid) FTSPM_SIM_INLINE {
     BlockState& bs = blocks[id];
     bs.last_use = ++tick;
     if (bs.resident) return;
@@ -145,33 +255,78 @@ RunResult Simulator::run(const Workload& workload,
       ++res.regions[rid].capacity_evictions;
       evict(rid, victim);
     }
-    dma_transfer(rid, need, true);
+    dma_transfer(rid, id, need, true);
     rs.used_words += need;
     rs.resident.push_back(id);
     bs.resident = true;
   };
 
   auto cache_access = [&](Cache& cache, std::uint32_t cline_words,
-                          std::uint64_t addr, bool is_write) {
+                          std::uint64_t addr, bool is_write,
+                          const char* fill_counter) {
     const CacheAccessResult r = cache.access(addr, is_write);
     res.cache_cycles += cache.config().hit_latency_cycles;
     res.cache_energy_pj += config_.cache_access_energy_pj;
+    if constexpr (WithObs) {
+      cur_phase->cache_cycles += cache.config().hit_latency_cycles;
+      cur_phase->cache_energy_pj += config_.cache_access_energy_pj;
+    }
     if (!r.hit) {
       res.dram_penalty_cycles += config_.dram.line_latency_cycles;
       res.dram_energy_pj += cline_words * config_.dram.read_energy_pj;
+      if constexpr (WithObs) {
+        obs_state->cache_fills->add(1);
+        cur_phase->dram_penalty_cycles += config_.dram.line_latency_cycles;
+        cur_phase->dram_energy_pj +=
+            cline_words * config_.dram.read_energy_pj;
+        if (obs_state->trace != nullptr &&
+            obs_state->cache_fills->value() % kCacheFillSamplePeriod == 0) {
+          obs_state->trace->value(
+              obs_state->cache_lane, fill_counter, now(),
+              static_cast<double>(obs_state->cache_fills->value()));
+        }
+      }
     }
     if (r.writeback) {
       res.dram_penalty_cycles += config_.dram.word_latency_cycles *
                                  cline_words;
       res.dram_energy_pj += cline_words * config_.dram.write_energy_pj;
+      if constexpr (WithObs) {
+        cur_phase->dram_penalty_cycles +=
+            config_.dram.word_latency_cycles * cline_words;
+        cur_phase->dram_energy_pj +=
+            cline_words * config_.dram.write_energy_pj;
+      }
     }
   };
 
   for (const TraceEvent& e : workload.trace) {
-    if (e.is_marker()) continue;
+    if (e.is_marker()) {
+      if constexpr (WithObs) {
+        if (e.type == AccessType::CallEnter) {
+          const std::string& name = program.block(e.block).name;
+          if (obs_state->trace != nullptr)
+            obs_state->trace->begin(obs_state->phase_lane, name, now());
+          enter_phase(name);
+        } else if (obs_state->phase_stack.size() > 1) {
+          // CallExit: return to the caller's phase. The guard tolerates
+          // truncated traces whose call markers are unbalanced.
+          if (obs_state->trace != nullptr)
+            obs_state->trace->end(obs_state->phase_lane, now());
+          obs_state->phase_stack.pop_back();
+          cur_phase = &res.phases[obs_state->phase_stack.back()];
+        }
+      }
+      continue;
+    }
     const Block& blk = program.block(e.block);
     const std::uint32_t n_words = blk.size_words();
     res.compute_cycles += static_cast<std::uint64_t>(e.gap) * e.repeat;
+    if constexpr (WithObs) {
+      cur_phase->compute_cycles += static_cast<std::uint64_t>(e.gap) *
+                                   e.repeat;
+      cur_phase->accesses += e.repeat;
+    }
 
     const RegionId rid = block_to_region[e.block];
     const bool is_write = e.type == AccessType::Write;
@@ -182,6 +337,16 @@ RunResult Simulator::run(const Workload& workload,
       const SpmRegionSpec& spec = layout_.region(rid);
       RegionRunStats& rstats = res.regions[rid];
       BlockState& bs = blocks[e.block];
+      if constexpr (WithObs) {
+        const std::uint64_t spm_cyc =
+            static_cast<std::uint64_t>(e.repeat) *
+            (is_write ? spec.tech.write_latency_cycles
+                      : spec.tech.read_latency_cycles);
+        cur_phase->spm_cycles += spm_cyc;
+        cur_phase->spm_energy_pj +=
+            e.repeat * (is_write ? spec.tech.write_energy_pj
+                                 : spec.tech.read_energy_pj);
+      }
       if (is_write) {
         rstats.writes += e.repeat;
         rstats.write_energy_pj += e.repeat * spec.tech.write_energy_pj;
@@ -206,10 +371,11 @@ RunResult Simulator::run(const Workload& workload,
       Cache& cache = is_code ? icache : dcache;
       const std::uint32_t cline = is_code ? line_words : dline_words;
       const std::uint64_t base = program.base_address(e.block);
+      const char* fill_counter = is_code ? "icache_fills" : "dcache_fills";
       for (std::uint32_t k = 0; k < e.repeat; ++k) {
         const std::uint64_t addr =
             base + static_cast<std::uint64_t>((e.offset + k) % n_words) * 8;
-        cache_access(cache, cline, addr, is_write);
+        cache_access(cache, cline, addr, is_write, fill_counter);
       }
     }
   }
@@ -218,7 +384,8 @@ RunResult Simulator::run(const Workload& workload,
   for (std::size_t i = 0; i < program.block_count(); ++i) {
     const RegionId rid = block_to_region[i];
     if (rid != kNoRegion && blocks[i].resident && blocks[i].dirty)
-      dma_transfer(rid, program.block(static_cast<BlockId>(i)).size_words(),
+      dma_transfer(rid, static_cast<BlockId>(i),
+                   program.block(static_cast<BlockId>(i)).size_words(),
                    false);
   }
 
@@ -238,10 +405,27 @@ RunResult Simulator::run(const Workload& workload,
   res.dcache = dcache.stats();
   res.total_cycles = res.compute_cycles + res.spm_cycles + res.cache_cycles +
                      res.dram_penalty_cycles + res.dma_cycles;
+  if constexpr (WithObs) {
+    if (obs_state->trace != nullptr) {
+      // Close any call spans left open by a truncated trace, then the
+      // whole-run span opened before the first event.
+      for (std::size_t d = obs_state->phase_stack.size(); d > 1; --d)
+        obs_state->trace->end(obs_state->phase_lane, res.total_cycles);
+      obs_state->trace->end(obs_state->phase_lane, res.total_cycles);
+    }
+  }
   const double time_us = static_cast<double>(res.total_cycles) /
                          config_.clock_mhz;
   res.spm_static_energy_pj = layout_.static_power_mw() * time_us * 1000.0;
   return res;
 }
+
+RunResult Simulator::run(const Workload& workload,
+                         std::span<const RegionId> block_to_region) const {
+  if (obs::enabled()) return run_impl<true>(workload, block_to_region);
+  return run_impl<false>(workload, block_to_region);
+}
+
+#undef FTSPM_SIM_INLINE
 
 }  // namespace ftspm

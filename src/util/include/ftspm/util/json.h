@@ -1,12 +1,16 @@
-// Minimal JSON emission (no parsing) for machine-readable tool output.
-// A stack-based writer: push objects/arrays, emit key/value pairs, pop.
-// Produces deterministic, valid JSON with escaping; numbers use
-// shortest-round-trip formatting for doubles.
+// Minimal JSON emission and parsing for machine-readable tool output.
+// JsonWriter is a stack-based writer: push objects/arrays, emit
+// key/value pairs, pop. It produces deterministic, valid JSON with
+// escaping; numbers use shortest-round-trip formatting for doubles.
+// parse_json() is the matching strict recursive-descent reader used by
+// tests and by consumers of the observability dumps.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ftspm {
@@ -32,6 +36,14 @@ class JsonWriter {
   JsonWriter& field(std::string_view key, bool value);
   JsonWriter& element(std::string_view value);
   JsonWriter& element(double value);
+  JsonWriter& element(std::uint64_t value);
+
+  /// Splices `raw_json` in verbatim as the value of `key`. The caller
+  /// guarantees it is a valid JSON fragment.
+  JsonWriter& raw_field(std::string_view key, std::string_view raw_json);
+
+  /// `s` as a quoted, escaped JSON string literal.
+  static std::string quote(std::string_view s);
 
   /// Finishes and returns the document. Throws if containers are
   /// still open.
@@ -48,5 +60,37 @@ class JsonWriter {
   std::vector<Frame> stack_;
   std::vector<bool> has_items_;
 };
+
+/// A parsed JSON document node. Plain value type; object members keep
+/// their source order (lookups are linear — fine for tool-sized
+/// documents).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return kind == Kind::Null; }
+  bool is_bool() const noexcept { return kind == Kind::Bool; }
+  bool is_number() const noexcept { return kind == Kind::Number; }
+  bool is_string() const noexcept { return kind == Kind::String; }
+  bool is_array() const noexcept { return kind == Kind::Array; }
+  bool is_object() const noexcept { return kind == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Like find() but throws ftspm::Error when the member is missing.
+  const JsonValue& at(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (strict: no trailing garbage, no
+/// comments, no trailing commas). Throws ftspm::Error with an offset
+/// on malformed input.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace ftspm

@@ -1,0 +1,12 @@
+// Library version constant embedded in run manifests so every emitted
+// artefact records what produced it. Keep in sync with the project()
+// version in the top-level CMakeLists.txt.
+#pragma once
+
+#include <string_view>
+
+namespace ftspm {
+
+inline constexpr std::string_view kLibraryVersion = "1.1.0";
+
+}  // namespace ftspm

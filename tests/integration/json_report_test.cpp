@@ -18,7 +18,7 @@ TEST(JsonReportTest, SystemResultContainsTheKeyedSections) {
        {"\"structure\":\"FTSPM\"", "\"cycles\":", "\"cycles_breakdown\"",
         "\"energy_pj\"", "\"avf\"", "\"vulnerability\"", "\"endurance\"",
         "\"mappings\"", "\"regions\"", "\"block\":\"Array1\"",
-        "\"name\":\"D-ECC\""}) {
+        "\"name\":\"D-ECC\"", "\"manifest\"", "\"library_version\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   // Structurally valid: balanced braces/brackets (cheap sanity check;
@@ -48,8 +48,10 @@ TEST(JsonReportTest, SuiteJsonHasTwelveEntries) {
   EXPECT_EQ(count, kMiBenchmarkCount);
   EXPECT_NE(json.find("\"pure_sram\""), std::string::npos);
   EXPECT_NE(json.find("\"pure_stt\""), std::string::npos);
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(json.find("\"benchmarks\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Drives the real ftspm_tool binary (path injected by CMake as
+// FTSPM_TOOL_PATH) and checks the CLI contract: exit codes, usage on
+// stderr for misuse, and the observability outputs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ftspm/util/json.h"
+
+namespace ftspm {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  ///< Interleaved stdout+stderr.
+};
+
+CommandResult run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(FTSPM_TOOL_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CommandResult r;
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    r.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(CliTest, HelpExitsZeroAndListsCommands) {
+  const CommandResult r = run_tool("help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("commands:"), std::string::npos);
+  EXPECT_NE(r.output.find("stats"), std::string::npos);
+  EXPECT_NE(r.output.find("--trace-out"), std::string::npos);
+  EXPECT_EQ(run_tool("--help").exit_code, 0);
+}
+
+TEST(CliTest, UnknownCommandFailsWithUsage) {
+  const CommandResult r = run_tool("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, NoArgumentsFailsWithUsage) {
+  const CommandResult r = run_tool("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagFailsNonzero) {
+  const CommandResult r = run_tool("simulate case_study --bogus-flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownWorkloadFailsNonzero) {
+  const CommandResult r = run_tool("profile no_such_workload");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown workload"), std::string::npos);
+}
+
+TEST(CliTest, StatsPrintsPhaseBreakdown) {
+  const CommandResult r = run_tool("stats case_study --scale 32");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Phase"), std::string::npos);
+  EXPECT_NE(r.output.find("(top)"), std::string::npos);
+  EXPECT_NE(r.output.find("total"), std::string::npos);
+  EXPECT_NE(r.output.find("Energy"), std::string::npos);
+}
+
+TEST(CliTest, TraceOutWritesChromeTraceJson) {
+  const std::string path = temp_path("ftspm_cli_trace.json");
+  std::remove(path.c_str());
+  // Scale 8 keeps the run small but still forces capacity evictions.
+  const CommandResult r = run_tool("simulate case_study --scale 8 " +
+                                   std::string("--trace-out ") + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  const JsonValue doc = parse_json(text);
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_dma = false, saw_evict = false, saw_phase = false;
+  for (const JsonValue& e : events.array) {
+    const JsonValue* name = e.find("name");
+    if (name == nullptr) continue;
+    if (name->string.rfind("load ", 0) == 0) saw_dma = true;
+    if (name->string.rfind("evict ", 0) == 0) saw_evict = true;
+    if (e.at("ph").string == "B") saw_phase = true;
+  }
+  EXPECT_TRUE(saw_dma);
+  EXPECT_TRUE(saw_evict);
+  EXPECT_TRUE(saw_phase);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MetricsOutIsDeterministicAcrossRuns) {
+  const std::string p1 = temp_path("ftspm_cli_metrics1.json");
+  const std::string p2 = temp_path("ftspm_cli_metrics2.json");
+  const std::string args = "evaluate case_study --scale 32 --metrics-out ";
+  EXPECT_EQ(run_tool(args + p1).exit_code, 0);
+  EXPECT_EQ(run_tool(args + p2).exit_code, 0);
+  const std::string a = slurp(p1);
+  const std::string b = slurp(p2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  const JsonValue doc = parse_json(a);
+  EXPECT_NE(doc.at("counters").find("sim.runs"), nullptr);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(CliTest, EvaluateJsonEmbedsManifest) {
+  const CommandResult r = run_tool("evaluate case_study --scale 32 --json");
+  EXPECT_EQ(r.exit_code, 0);
+  const JsonValue doc = parse_json(r.output);
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array.size(), 3u);
+  const JsonValue& manifest = doc.array[0].at("manifest");
+  EXPECT_EQ(manifest.at("command").string, "ftspm_tool evaluate");
+  EXPECT_EQ(manifest.at("workload").string, "case_study");
+  EXPECT_DOUBLE_EQ(manifest.at("scale").number, 32.0);
+  EXPECT_FALSE(manifest.at("library_version").string.empty());
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5e2").number, -50.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").string, "a\"b\\c/d\n\t");
+  // BMP \u escape becomes UTF-8.
+  EXPECT_EQ(parse_json(R"("é")").string, "\xc3\xa9");
+  EXPECT_EQ(parse_json(R"("A")").string, "A");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  const JsonValue v = parse_json(R"({"a":[1,2,3],"b":{"c":true},"d":null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.at("a").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").array[1].number, 2.0);
+  EXPECT_TRUE(v.at("b").at("c").boolean);
+  EXPECT_TRUE(v.at("d").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+}
+
+TEST(JsonParseTest, ObjectMembersKeepSourceOrder) {
+  const JsonValue v = parse_json(R"({"z":1,"a":2})");
+  ASSERT_EQ(v.object.size(), 2u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const JsonValue v = parse_json("  {\n\t\"a\" :  [ 1 , 2 ] }\r\n");
+  EXPECT_EQ(v.at("a").array.size(), 2u);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{\"a\":1,}", "{a:1}", "01",
+        "1 2", "tru", "\"unterminated", "{\"a\":1}garbage", "[1 2]",
+        "\"bad\\escape\"", "nan", "// comment\n1"}) {
+    EXPECT_THROW(parse_json(bad), Error) << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsSurrogateEscapes) {
+  EXPECT_THROW(parse_json(R"("\ud800")"), Error);
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "quote \" backslash \\ newline \n");
+  w.field("pi", 3.25);
+  w.field("n", std::uint64_t{18446744073709551615ull});
+  w.begin_array("xs");
+  w.element(1.0);
+  w.element(std::string_view("two"));
+  w.end_array();
+  w.raw_field("raw", "{\"k\":1}");
+  w.end_object();
+
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.at("name").string, "quote \" backslash \\ newline \n");
+  EXPECT_DOUBLE_EQ(v.at("pi").number, 3.25);
+  EXPECT_EQ(v.at("xs").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("raw").at("k").number, 1.0);
+}
+
+TEST(JsonParseTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::quote("a\"b"), "\"a\\\"b\"");
+  const std::string quoted = JsonWriter::quote(std::string("\x01", 1));
+  EXPECT_EQ(parse_json(quoted).string, std::string("\x01", 1));
+}
+
+}  // namespace
+}  // namespace ftspm

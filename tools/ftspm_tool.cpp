@@ -9,17 +9,31 @@
 //   ftspm_tool evaluate <workload> [--scale N]
 //   ftspm_tool schedule <workload> [--scale N] [--max-commands N]
 //   ftspm_tool suite    [--scale N]
+//   ftspm_tool stats    <workload> [--structure ftspm|sram|stt] [--scale N]
 //   ftspm_tool campaign [--protection parity|secded] [--strikes N]
 //                       [--interleave K] [--node NM]
 //
+// Global options (accepted by every command, any position):
+//   --trace-out FILE    write a Chrome trace-event JSON of the run
+//   --metrics-out FILE  write the metrics registry snapshot as JSON
+//   --progress          report progress on stderr (suite/report/campaign)
+//
 // Workloads: `case_study` (the paper's Section-IV program) or any
 // MiBench-style suite name (`ftspm_tool list`).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "ftspm/core/partition.h"
 #include "ftspm/core/systems.h"
 #include "ftspm/core/transfer_schedule.h"
+#include "ftspm/obs/metrics.h"
+#include "ftspm/obs/trace_sink.h"
 #include "ftspm/profile/reuse.h"
 #include "ftspm/fault/injector.h"
 #include "ftspm/report/csv_export.h"
@@ -36,6 +50,116 @@
 
 namespace ftspm {
 namespace {
+
+/// Options every subcommand accepts (extracted before subcommand
+/// parsing so they work in any argv position).
+struct GlobalOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool progress = false;
+};
+
+/// Owns the observability state for one tool invocation: enables the
+/// registry when any output was requested, installs the trace sink for
+/// the duration of the command, and writes the files at the end.
+class ObsSession {
+ public:
+  explicit ObsSession(GlobalOptions opts) : opts_(std::move(opts)) {
+    if (!opts_.trace_out.empty() || !opts_.metrics_out.empty())
+      obs::set_enabled(true);
+    if (!opts_.trace_out.empty()) {
+      sink_ = std::make_unique<obs::TraceEventSink>();
+      scope_ = std::make_unique<obs::TraceScope>(sink_.get());
+    }
+  }
+
+  bool progress() const noexcept { return opts_.progress; }
+
+  /// Writes the requested artefacts. Called after the command ran so
+  /// I/O errors surface as a nonzero exit instead of dying in a dtor.
+  void finish() {
+    if (sink_ != nullptr) {
+      scope_.reset();
+      sink_->write_file(opts_.trace_out);
+      std::cerr << "wrote trace (" << sink_->event_count() << " events) to "
+                << opts_.trace_out << "\n";
+    }
+    if (!opts_.metrics_out.empty()) {
+      std::ofstream out(opts_.metrics_out);
+      FTSPM_CHECK(out.good(), "cannot open " + opts_.metrics_out);
+      out << obs::registry().to_json() << "\n";
+      FTSPM_CHECK(out.good(), "write failed for " + opts_.metrics_out);
+      std::cerr << "wrote metrics to " << opts_.metrics_out << "\n";
+    }
+  }
+
+ private:
+  GlobalOptions opts_;
+  std::unique_ptr<obs::TraceEventSink> sink_;
+  std::unique_ptr<obs::TraceScope> scope_;
+};
+
+/// The invocation's session, set by dispatch() before any cmd_* runs.
+ObsSession* g_session = nullptr;
+
+bool progress_requested() {
+  return g_session != nullptr && g_session->progress();
+}
+
+/// Pulls --trace-out/--metrics-out/--progress out of argv; everything
+/// else passes through (in order) to the subcommand's own parser.
+std::vector<std::string> extract_global_options(int argc,
+                                                const char* const* argv,
+                                                GlobalOptions& g) {
+  std::vector<std::string> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  auto take_value = [&](std::string_view arg, std::string_view name,
+                        std::string* out, int& i) {
+    if (arg == name) {
+      FTSPM_REQUIRE(i + 1 < argc,
+                    std::string(name) + " requires a file argument");
+      *out = argv[++i];
+      return true;
+    }
+    if (arg.size() > name.size() + 1 &&
+        arg.substr(0, name.size()) == name && arg[name.size()] == '=') {
+      *out = std::string(arg.substr(name.size() + 1));
+      return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--progress") {
+      g.progress = true;
+      continue;
+    }
+    if (take_value(arg, "--trace-out", &g.trace_out, i)) continue;
+    if (take_value(arg, "--metrics-out", &g.metrics_out, i)) continue;
+    rest.emplace_back(arg);
+  }
+  return rest;
+}
+
+/// Progress reporter for the suite-shaped commands; ETA comes from the
+/// wall clock (reporting only — results stay deterministic).
+SuiteProgress make_suite_progress() {
+  if (!progress_requested()) return {};
+  const auto start = std::chrono::steady_clock::now();
+  return [start](std::size_t done, std::size_t total,
+                 const std::string& name) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double eta =
+        done ? elapsed / static_cast<double>(done) *
+                   static_cast<double>(total - done)
+             : 0.0;
+    std::cerr << "[" << done << "/" << total << "] " << name << "  (ETA "
+              << fixed(eta, 1) << "s)\n";
+  };
+}
 
 Workload resolve_workload(const std::string& name, std::uint64_t scale) {
   // Anything that looks like a path is loaded from the trace format.
@@ -204,22 +328,26 @@ int cmd_evaluate(int argc, const char* const* argv) {
   args.add_flag("json", "emit machine-readable JSON");
   args.parse(argc, argv, 2);
   FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
-  const Workload w = resolve_workload(
-      args.positionals()[0],
-      static_cast<std::uint64_t>(args.option_int("scale")));
+  const std::uint64_t scale =
+      static_cast<std::uint64_t>(args.option_int("scale"));
+  const Workload w = resolve_workload(args.positionals()[0], scale);
   const StructureEvaluator evaluator(TechnologyLibrary(),
                                      mda_config_from(args));
   if (args.flag("json")) {
+    const RunManifest manifest{"ftspm_tool evaluate", args.positionals()[0],
+                               scale, 0};
     const ProgramProfile prof = profile_workload(w);
     std::cout << "[" << system_result_json(evaluator.evaluate_ftspm(w, prof),
                                            evaluator.ftspm_layout(),
-                                           w.program)
+                                           w.program, manifest)
               << ","
               << system_result_json(evaluator.evaluate_pure_sram(w, prof),
-                                    evaluator.pure_sram_layout(), w.program)
+                                    evaluator.pure_sram_layout(), w.program,
+                                    manifest)
               << ","
               << system_result_json(evaluator.evaluate_pure_stt(w, prof),
-                                    evaluator.pure_stt_layout(), w.program)
+                                    evaluator.pure_stt_layout(), w.program,
+                                    manifest)
               << "]\n";
     return 0;
   }
@@ -266,11 +394,15 @@ int cmd_suite(int argc, const char* const* argv) {
   args.add_option("scale", "trace scale divisor", "1");
   args.add_flag("json", "emit machine-readable JSON");
   args.parse(argc, argv, 2);
+  const std::uint64_t scale =
+      static_cast<std::uint64_t>(args.option_int("scale"));
   const StructureEvaluator evaluator;
-  const std::vector<SuiteRow> rows = run_suite(
-      evaluator, static_cast<std::uint64_t>(args.option_int("scale")));
+  const std::vector<SuiteRow> rows =
+      run_suite(evaluator, scale, make_suite_progress());
   if (args.flag("json")) {
-    std::cout << suite_json(rows, evaluator) << "\n";
+    std::cout << suite_json(rows, evaluator,
+                            RunManifest{"ftspm_tool suite", "suite", scale, 0})
+              << "\n";
     return 0;
   }
   AsciiTable t({"Benchmark", "Vuln FT", "Vuln SRAM", "Dyn FT/SRAM",
@@ -396,7 +528,8 @@ int cmd_report(int argc, const char* const* argv) {
   args.parse(argc, argv, 2);
   const StructureEvaluator evaluator;
   const std::vector<SuiteRow> rows = run_suite(
-      evaluator, static_cast<std::uint64_t>(args.option_int("scale")));
+      evaluator, static_cast<std::uint64_t>(args.option_int("scale")),
+      make_suite_progress());
   for (const std::string& path :
        write_all_csv(evaluator, rows, args.option("out-dir")))
     std::cout << "wrote " << path << "\n";
@@ -435,6 +568,23 @@ int cmd_campaign(int argc, const char* const* argv) {
       kind, 1.0, static_cast<std::uint32_t>(args.option_int("interleave"))};
   CampaignConfig cfg;
   cfg.strikes = static_cast<std::uint64_t>(args.option_int("strikes"));
+  if (progress_requested()) {
+    cfg.progress_interval = std::max<std::uint64_t>(1, cfg.strikes / 20);
+    const auto start = std::chrono::steady_clock::now();
+    cfg.progress = [start](std::uint64_t done, std::uint64_t total) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double eta = done ? elapsed / static_cast<double>(done) *
+                                    static_cast<double>(total - done)
+                              : 0.0;
+      std::cerr << "strikes " << done << "/" << total << "  ("
+                << percent(static_cast<double>(done) /
+                           static_cast<double>(total))
+                << ", ETA " << fixed(eta, 1) << "s)\n";
+    };
+  }
   const CampaignResult r = run_campaign(
       {region},
       StrikeMultiplicityModel::for_node(args.option_double("node")), cfg);
@@ -445,6 +595,65 @@ int cmd_campaign(int argc, const char* const* argv) {
             << "SDC:     " << percent(r.fraction(r.sdc)) << "\n"
             << "vulnerability (DUE+SDC): " << percent(r.vulnerability())
             << "\n";
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool stats",
+                 "per-phase cycle and energy breakdown of one run");
+  add_common_options(args);
+  args.add_option("structure", "ftspm|sram|stt", "ftspm");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1, "expected one workload name");
+  const Workload w = resolve_workload(
+      args.positionals()[0],
+      static_cast<std::uint64_t>(args.option_int("scale")));
+  const ProgramProfile prof = profile_workload(w);
+  const StructureEvaluator evaluator(TechnologyLibrary(),
+                                     mda_config_from(args));
+
+  // Phase attribution is only collected while observability is on.
+  const obs::EnabledScope enable(true);
+  const std::string structure = args.option("structure");
+  const SystemResult r = [&] {
+    if (structure == "ftspm") return evaluator.evaluate_ftspm(w, prof);
+    if (structure == "sram") return evaluator.evaluate_pure_sram(w, prof);
+    if (structure == "stt") return evaluator.evaluate_pure_stt(w, prof);
+    throw InvalidArgument("unknown structure '" + structure + "'");
+  }();
+
+  AsciiTable t({"Phase", "Cycles", "Compute", "SPM", "Cache", "DRAM", "DMA",
+                "Accesses", "Energy (uJ)"});
+  t.set_align(0, Align::Left);
+  PhaseStats total;
+  total.name = "total";
+  for (const PhaseStats& p : r.run.phases) {
+    t.add_row({p.name, with_commas(p.total_cycles()),
+               with_commas(p.compute_cycles), with_commas(p.spm_cycles),
+               with_commas(p.cache_cycles),
+               with_commas(p.dram_penalty_cycles), with_commas(p.dma_cycles),
+               with_commas(p.accesses), fixed(p.energy_pj() / 1e6, 2)});
+    total.compute_cycles += p.compute_cycles;
+    total.spm_cycles += p.spm_cycles;
+    total.cache_cycles += p.cache_cycles;
+    total.dram_penalty_cycles += p.dram_penalty_cycles;
+    total.dma_cycles += p.dma_cycles;
+    total.accesses += p.accesses;
+    total.spm_energy_pj += p.spm_energy_pj;
+    total.cache_energy_pj += p.cache_energy_pj;
+    total.dram_energy_pj += p.dram_energy_pj;
+  }
+  t.add_row({total.name, with_commas(total.total_cycles()),
+             with_commas(total.compute_cycles),
+             with_commas(total.spm_cycles), with_commas(total.cache_cycles),
+             with_commas(total.dram_penalty_cycles),
+             with_commas(total.dma_cycles), with_commas(total.accesses),
+             fixed(total.energy_pj() / 1e6, 2)});
+  std::cout << t.render();
+  std::cout << "run total: " << with_commas(r.run.total_cycles)
+            << " cycles, "
+            << si_string(r.run.total_dynamic_energy_pj() * 1e-12, "J")
+            << " dynamic\n";
   return 0;
 }
 
@@ -469,46 +678,82 @@ int cmd_export(int argc, const char* const* argv) {
   return 0;
 }
 
-int usage() {
-  std::cout
-      << "ftspm_tool — FTSPM reproduction driver\n"
-         "commands:\n"
-         "  list                     list available workloads\n"
-         "  profile  <workload>      Table-I-style profile (--csv)\n"
-         "  map      <workload>      MDA mapping (Table II)\n"
-         "  simulate <workload>      one structure end to end\n"
-         "  evaluate <workload>      all three structures\n"
-         "  schedule <workload>      on-line phase transfer commands\n"
-         "  suite                    full 12-benchmark sweep\n"
-         "  campaign                 Monte-Carlo strike campaign\n"
-         "  export   <workload>      dump the trace text format\n"
-         "  report                   write all tables/figures as CSV\n"
-         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
-         "  reuse    <workload>      LRU reuse-distance analysis\n"
-         "workloads: case_study, any suite benchmark, or a path to a\n"
-         "           .trace file (see `export`).\n"
-         "run `ftspm_tool <command> --help` semantics: options are listed\n"
-         "in this source file's header comment.\n";
-  return 2;
+void print_usage(std::ostream& os) {
+  os << "ftspm_tool — FTSPM reproduction driver\n"
+        "commands:\n"
+        "  list                     list available workloads\n"
+        "  profile  <workload>      Table-I-style profile (--csv)\n"
+        "  map      <workload>      MDA mapping (Table II)\n"
+        "  simulate <workload>      one structure end to end\n"
+        "  evaluate <workload>      all three structures\n"
+        "  stats    <workload>      per-phase cycle/energy breakdown\n"
+        "  schedule <workload>      on-line phase transfer commands\n"
+        "  suite                    full 12-benchmark sweep\n"
+        "  campaign                 Monte-Carlo strike campaign\n"
+        "  export   <workload>      dump the trace text format\n"
+        "  report                   write all tables/figures as CSV\n"
+        "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
+        "  reuse    <workload>      LRU reuse-distance analysis\n"
+        "  help                     print this message\n"
+        "global options (any command, any position):\n"
+        "  --trace-out FILE         Chrome trace-event JSON of the run\n"
+        "  --metrics-out FILE       metrics registry snapshot as JSON\n"
+        "  --progress               progress on stderr (suite/report/\n"
+        "                           campaign)\n"
+        "workloads: case_study, any suite benchmark, or a path to a\n"
+        "           .trace file (see `export`).\n"
+        "subcommand options are listed in this source file's header\n"
+        "comment.\n";
 }
 
 int dispatch(int argc, const char* const* argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  if (cmd == "list") return cmd_list();
-  if (cmd == "profile") return cmd_profile(argc, argv);
-  if (cmd == "map") return cmd_map(argc, argv);
-  if (cmd == "simulate") return cmd_simulate(argc, argv);
-  if (cmd == "evaluate") return cmd_evaluate(argc, argv);
-  if (cmd == "schedule") return cmd_schedule(argc, argv);
-  if (cmd == "suite") return cmd_suite(argc, argv);
-  if (cmd == "campaign") return cmd_campaign(argc, argv);
-  if (cmd == "export") return cmd_export(argc, argv);
-  if (cmd == "report") return cmd_report(argc, argv);
-  if (cmd == "partition") return cmd_partition(argc, argv);
-  if (cmd == "reuse") return cmd_reuse(argc, argv);
-  std::cerr << "unknown command '" << cmd << "'\n";
-  return usage();
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  GlobalOptions globals;
+  const std::vector<std::string> rest =
+      extract_global_options(argc, argv, globals);
+  std::vector<const char*> rest_argv;
+  rest_argv.reserve(rest.size());
+  for (const std::string& s : rest) rest_argv.push_back(s.c_str());
+  const int rest_argc = static_cast<int>(rest_argv.size());
+  if (rest_argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string cmd = rest_argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
+
+  ObsSession session(globals);
+  g_session = &session;
+  const char* const* av = rest_argv.data();
+  int rc = -1;
+  if (cmd == "list") rc = cmd_list();
+  else if (cmd == "profile") rc = cmd_profile(rest_argc, av);
+  else if (cmd == "map") rc = cmd_map(rest_argc, av);
+  else if (cmd == "simulate") rc = cmd_simulate(rest_argc, av);
+  else if (cmd == "evaluate") rc = cmd_evaluate(rest_argc, av);
+  else if (cmd == "stats") rc = cmd_stats(rest_argc, av);
+  else if (cmd == "schedule") rc = cmd_schedule(rest_argc, av);
+  else if (cmd == "suite") rc = cmd_suite(rest_argc, av);
+  else if (cmd == "campaign") rc = cmd_campaign(rest_argc, av);
+  else if (cmd == "export") rc = cmd_export(rest_argc, av);
+  else if (cmd == "report") rc = cmd_report(rest_argc, av);
+  else if (cmd == "partition") rc = cmd_partition(rest_argc, av);
+  else if (cmd == "reuse") rc = cmd_reuse(rest_argc, av);
+  else {
+    g_session = nullptr;
+    std::cerr << "unknown command '" << cmd << "'\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  session.finish();
+  g_session = nullptr;
+  return rc;
 }
 
 }  // namespace
@@ -517,6 +762,10 @@ int dispatch(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   try {
     return ftspm::dispatch(argc, argv);
+  } catch (const ftspm::InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "run `ftspm_tool help` for usage\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
