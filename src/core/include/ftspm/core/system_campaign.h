@@ -11,9 +11,12 @@
 // `ablation_mc_vs_avf` bench.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ftspm/core/mapping_plan.h"
+#include "ftspm/core/transfer_schedule.h"
+#include "ftspm/exec/parallel_campaign.h"
 #include "ftspm/fault/injector.h"
 #include "ftspm/profile/profiler.h"
 #include "ftspm/sim/spm.h"
@@ -34,6 +37,52 @@ CampaignResult run_system_campaign(const SpmLayout& layout,
                                    const StrikeMultiplicityModel& strikes,
                                    const CampaignConfig& config = {});
 
+/// Sharded/parallel run_system_campaign (see ftspm/exec): for a fixed
+/// (seed, strikes, shard count) the merged counters are bit-identical
+/// across any jobs value, and exec.shards == 1 matches the serial
+/// function exactly.
+exec::ShardedRun run_system_campaign_parallel(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const exec::ExecConfig& exec_config);
+
+/// Precomputed read-only context for the temporal campaign: the
+/// transfer schedule, per-region residency spans, and the injection
+/// surfaces. Building it once and sharing it across shards is what
+/// makes the parallel temporal campaign cheap — all members are
+/// immutable after construction, so concurrent run_chunk calls on
+/// distinct states are race-free.
+class TemporalCampaign {
+ public:
+  /// Historical seed salt of the serial temporal campaign; applied to
+  /// every shard seed so shard_count == 1 reproduces it exactly.
+  static constexpr std::uint64_t kSeedSalt = 0x7e3a11ce;
+
+  TemporalCampaign(const SpmLayout& layout, const MappingPlan& plan,
+                   const Program& program, const ProgramProfile& profile,
+                   const StrikeMultiplicityModel& strikes);
+  TemporalCampaign(const TemporalCampaign&) = delete;
+  TemporalCampaign& operator=(const TemporalCampaign&) = delete;
+
+  /// Advances `state` by up to `max_strikes` temporal strikes,
+  /// stopping at config.strikes. RNG consumption matches the serial
+  /// loop draw for draw, so any chunking schedule yields identical
+  /// counters. The observer (nullable) sees absolute strike indices.
+  void run_chunk(const CampaignConfig& config, CampaignShardState& state,
+                 std::uint64_t max_strikes,
+                 CampaignObserver* observer = nullptr) const;
+
+ private:
+  const Program& program_;
+  const ProgramProfile& profile_;
+  const StrikeMultiplicityModel& strikes_;
+  TransferSchedule schedule_;
+  std::vector<std::vector<const ResidencySpan*>> region_spans_;
+  std::vector<InjectionRegion> surfaces_;
+  std::vector<double> weights_;
+  std::uint64_t horizon_ = 0;
+};
+
 /// Temporal campaign: instead of folding residency into a static
 /// occupancy probability, each strike samples an *instant* of the
 /// execution (an index into the profiled reference sequence), resolves
@@ -51,5 +100,12 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
                                      const ProgramProfile& profile,
                                      const StrikeMultiplicityModel& strikes,
                                      const CampaignConfig& config = {});
+
+/// Sharded/parallel run_temporal_campaign; same determinism contract
+/// as run_system_campaign_parallel.
+exec::ShardedRun run_temporal_campaign_parallel(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const exec::ExecConfig& exec_config);
 
 }  // namespace ftspm

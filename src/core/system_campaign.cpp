@@ -1,12 +1,10 @@
 #include "ftspm/core/system_campaign.h"
 
-#include "ftspm/core/transfer_schedule.h"
-#include "ftspm/fault/campaign_observer.h"
-#include "ftspm/util/rng.h"
-
 #include <algorithm>
 
+#include "ftspm/fault/campaign_observer.h"
 #include "ftspm/util/error.h"
+#include "ftspm/util/rng.h"
 
 namespace ftspm {
 
@@ -56,26 +54,36 @@ CampaignResult run_system_campaign(const SpmLayout& layout,
       config);
 }
 
-CampaignResult run_temporal_campaign(const SpmLayout& layout,
-                                     const MappingPlan& plan,
-                                     const Program& program,
-                                     const ProgramProfile& profile,
-                                     const StrikeMultiplicityModel& strikes,
-                                     const CampaignConfig& config) {
-  const TransferSchedule schedule =
-      TransferSchedule::generate(program, profile, plan, layout);
-  const std::uint64_t horizon = profile.reference_sequence.size();
-  FTSPM_REQUIRE(horizon > 0, "temporal campaign needs a non-empty trace");
+exec::ShardedRun run_system_campaign_parallel(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const exec::ExecConfig& exec_config) {
+  const std::vector<InjectionRegion> regions =
+      make_injection_regions(layout, plan, program, profile);
+  return exec::run_campaign_sharded(regions, strikes, config, exec_config);
+}
+
+TemporalCampaign::TemporalCampaign(const SpmLayout& layout,
+                                   const MappingPlan& plan,
+                                   const Program& program,
+                                   const ProgramProfile& profile,
+                                   const StrikeMultiplicityModel& strikes)
+    : program_(program),
+      profile_(profile),
+      strikes_(strikes),
+      schedule_(TransferSchedule::generate(program, profile, plan, layout)) {
+  horizon_ = profile.reference_sequence.size();
+  FTSPM_REQUIRE(horizon_ > 0, "temporal campaign needs a non-empty trace");
 
   // Per-region spans plus plain injection surfaces (interleave etc.).
-  std::vector<std::vector<const ResidencySpan*>> region_spans(
-      layout.region_count());
-  for (const ResidencySpan& span : schedule.spans())
-    region_spans[span.region].push_back(&span);
+  // The span pointers alias schedule_.spans(), which never changes
+  // after this constructor.
+  region_spans_.resize(layout.region_count());
+  for (const ResidencySpan& span : schedule_.spans())
+    region_spans_[span.region].push_back(&span);
 
-  std::vector<InjectionRegion> surfaces;
-  std::vector<double> weights;
-  surfaces.reserve(layout.region_count());
+  surfaces_.reserve(layout.region_count());
+  weights_.reserve(layout.region_count());
   for (RegionId r = 0; r < layout.region_count(); ++r) {
     const SpmRegionSpec& spec = layout.region(r);
     InjectionRegion surface;
@@ -83,30 +91,33 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
     surface.protection = spec.tech.protection;
     surface.interleave = spec.interleave;
     surface.ace_occupancy = 1.0;  // residency resolved per strike below
-    surfaces.push_back(surface);
-    weights.push_back(static_cast<double>(surface.geometry.physical_bits()));
+    surfaces_.push_back(surface);
+    weights_.push_back(static_cast<double>(surface.geometry.physical_bits()));
   }
+}
 
-  Rng rng(config.seed ^ 0x7e3a11ce);
-  CampaignResult result;
-  result.strikes = config.strikes;
-  CampaignObserver observer(config, "temporal");
-  for (std::uint64_t s = 0; s < config.strikes; ++s) {
-    const std::size_t rid = rng.next_discrete(weights);
-    const InjectionRegion& surface = surfaces[rid];
+void TemporalCampaign::run_chunk(const CampaignConfig& config,
+                                 CampaignShardState& state,
+                                 std::uint64_t max_strikes,
+                                 CampaignObserver* observer) const {
+  const std::uint64_t end =
+      std::min(config.strikes, state.done + max_strikes);
+  for (std::uint64_t s = state.done; s < end; ++s) {
+    const std::size_t rid = state.rng.next_discrete(weights_);
+    const InjectionRegion& surface = surfaces_[rid];
     const std::uint64_t origin =
-        rng.next_below(surface.geometry.physical_bits());
+        state.rng.next_below(surface.geometry.physical_bits());
     const std::uint64_t word =
         origin / surface.geometry.codeword_bits();
-    const std::uint64_t when = rng.next_below(horizon);
+    const std::uint64_t when = state.rng.next_below(horizon_);
 
     // Who holds this word right now?
     const ResidencySpan* occupant = nullptr;
-    for (const ResidencySpan* span : region_spans[rid]) {
+    for (const ResidencySpan* span : region_spans_[rid]) {
       if (span->map_index > when) continue;
       if (span->unmap_index && *span->unmap_index <= when) continue;
       if (word < span->base_word ||
-          word >= span->base_word + program.block(span->block).size_words())
+          word >= span->base_word + program_.block(span->block).size_words())
         continue;
       occupant = span;
       break;
@@ -115,21 +126,51 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
     StrikeOutcome outcome = StrikeOutcome::Masked;
     if (occupant != nullptr) {
       const std::uint32_t flips =
-          strikes.sample_flips(rng, config.max_flips);
-      outcome = classify_strike(surface, origin, flips, rng);
+          strikes_.sample_flips(state.rng, config.max_flips);
+      outcome = classify_strike(surface, origin, flips, state.rng);
       if (outcome != StrikeOutcome::Masked &&
-          !rng.next_bool(profile.ace_fraction(program, occupant->block)))
+          !state.rng.next_bool(
+              profile_.ace_fraction(program_, occupant->block)))
         outcome = StrikeOutcome::Masked;
     }
     switch (outcome) {
-      case StrikeOutcome::Masked: ++result.masked; break;
-      case StrikeOutcome::Dre: ++result.dre; break;
-      case StrikeOutcome::Due: ++result.due; break;
-      case StrikeOutcome::Sdc: ++result.sdc; break;
+      case StrikeOutcome::Masked: ++state.partial.masked; break;
+      case StrikeOutcome::Dre: ++state.partial.dre; break;
+      case StrikeOutcome::Due: ++state.partial.due; break;
+      case StrikeOutcome::Sdc: ++state.partial.sdc; break;
     }
-    observer.on_strike(s, outcome);
+    ++state.partial.strikes;
+    if (observer != nullptr) observer->on_strike(s, outcome);
   }
-  return result;
+  state.done = end;
+}
+
+CampaignResult run_temporal_campaign(const SpmLayout& layout,
+                                     const MappingPlan& plan,
+                                     const Program& program,
+                                     const ProgramProfile& profile,
+                                     const StrikeMultiplicityModel& strikes,
+                                     const CampaignConfig& config) {
+  const TemporalCampaign campaign(layout, plan, program, profile, strikes);
+  CampaignShardState state =
+      begin_campaign_shard(config.seed ^ TemporalCampaign::kSeedSalt);
+  CampaignObserver observer(config, "temporal");
+  campaign.run_chunk(config, state, config.strikes, &observer);
+  return state.partial;
+}
+
+exec::ShardedRun run_temporal_campaign_parallel(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const exec::ExecConfig& exec_config) {
+  const TemporalCampaign campaign(layout, plan, program, profile, strikes);
+  return exec::run_sharded_campaign(
+      config, exec_config, "temporal", TemporalCampaign::kSeedSalt,
+      [&](const exec::CampaignShard& shard, CampaignShardState& state,
+          std::uint64_t max_strikes) {
+        campaign.run_chunk(shard.config, state, max_strikes,
+                           /*observer=*/nullptr);
+      });
 }
 
 }  // namespace ftspm

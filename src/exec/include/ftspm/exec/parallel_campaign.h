@@ -1,0 +1,93 @@
+// ftspm/exec: the sharded campaign runner.
+//
+// Drives a set of campaign shards (see shard.h) across a ThreadPool in
+// fixed-size chunks, aggregating progress thread-safely and writing
+// JSON checkpoints so multi-hour campaigns survive a kill. The runner
+// is campaign-kind agnostic: callers supply a chunk function that
+// advances one shard's CampaignShardState, and the fault/core layers
+// provide the static and temporal kinds on top.
+//
+// Determinism contract: for a fixed (seed, strikes, shard_count) the
+// merged counters are bit-identical across any jobs value, any chunk
+// size, and any suspend/resume schedule — each shard's sequence is a
+// pure function of its derived seed, and the merge is a plain sum in
+// shard order. Only shard_count changes results; shard_count == 1
+// reproduces the serial campaign exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftspm/exec/shard.h"
+#include "ftspm/fault/strike_model.h"
+
+namespace ftspm::exec {
+
+/// How to execute a sharded campaign. Results depend only on the shard
+/// count (via the shard plan); everything else here is scheduling.
+struct ExecConfig {
+  /// Worker threads; 0 = hardware concurrency.
+  std::uint32_t jobs = 1;
+  /// Shard count; 0 = the effective jobs value. Pin this explicitly
+  /// when comparing runs across different --jobs settings.
+  std::uint32_t shards = 1;
+  /// Write per-shard progress to this path (empty = no checkpointing).
+  std::string checkpoint_path;
+  /// Load progress from this path before running; continues writing to
+  /// checkpoint_path, or back to this path when checkpoint_path is
+  /// empty.
+  std::string resume_path;
+  /// Per-shard strikes between checkpoint writes.
+  std::uint64_t checkpoint_interval = 1u << 20;
+  /// Scheduling granule: strikes a worker runs between bookkeeping
+  /// (progress, checkpoint, halt checks). Never affects results.
+  std::uint64_t chunk_strikes = 1u << 16;
+  /// Testing hook: stop scheduling new chunks once this many strikes
+  /// completed globally (0 = run to completion). A halted run writes a
+  /// final checkpoint and reports complete() == false.
+  std::uint64_t halt_after = 0;
+
+  std::uint32_t effective_jobs() const noexcept;
+  std::uint32_t effective_shards() const noexcept;
+};
+
+/// What a sharded run produced. `shard_results` holds per-shard
+/// partial counters in shard order (partials when halted).
+struct ShardedRun {
+  CampaignResult merged;
+  bool complete = true;
+  std::vector<CampaignResult> shard_results;
+};
+
+/// Advances `state` by at most `max_strikes` strikes of `shard`.
+/// Called concurrently for different shards, never for the same shard;
+/// implementations must touch only the shard's own state and shared
+/// *read-only* context.
+using ShardChunkFn = std::function<void(
+    const CampaignShard& shard, CampaignShardState& state,
+    std::uint64_t max_strikes)>;
+
+/// Runs the sharded campaign described by (root, exec) with
+/// kind-specific chunk execution. `seed_salt` is xored into each
+/// shard's seed at generator construction (the temporal campaign's
+/// historical salt); `kind` tags checkpoints so a static checkpoint
+/// cannot resume a temporal campaign. Root progress callbacks fire
+/// with globally aggregated strike counts, monotonically, completion
+/// exactly once.
+ShardedRun run_sharded_campaign(const CampaignConfig& root,
+                                const ExecConfig& exec, std::string_view kind,
+                                std::uint64_t seed_salt,
+                                const ShardChunkFn& run_chunk);
+
+/// The static injector campaign (fault/injector.h run_campaign),
+/// sharded. merged counters with exec.shards == 1 match run_campaign
+/// bit for bit.
+ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
+                                const StrikeMultiplicityModel& strikes,
+                                const CampaignConfig& config,
+                                const ExecConfig& exec);
+
+}  // namespace ftspm::exec

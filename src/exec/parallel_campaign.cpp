@@ -1,0 +1,250 @@
+#include "ftspm/exec/parallel_campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "ftspm/exec/thread_pool.h"
+#include "ftspm/obs/metrics.h"
+#include "ftspm/obs/trace_sink.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm::exec {
+
+std::uint32_t ExecConfig::effective_jobs() const noexcept {
+  return jobs == 0 ? default_jobs() : jobs;
+}
+
+std::uint32_t ExecConfig::effective_shards() const noexcept {
+  return shards == 0 ? std::max<std::uint32_t>(effective_jobs(), 1) : shards;
+}
+
+namespace {
+
+/// Serializes the root progress callback across workers: counts are
+/// globally aggregated, reported monotonically, and the completion
+/// call fires exactly once.
+class ProgressAggregator {
+ public:
+  ProgressAggregator(const CampaignConfig& root, std::uint64_t already_done)
+      : root_(root), done_(already_done), last_reported_(already_done) {}
+
+  void add(std::uint64_t strikes) {
+    if (strikes == 0) return;
+    const std::uint64_t done =
+        done_.fetch_add(strikes, std::memory_order_relaxed) + strikes;
+    if (root_.progress_interval == 0 || !root_.progress) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (done >= root_.strikes) return;  // completion is the coordinator's
+    if (done - last_reported_ < root_.progress_interval) return;
+    last_reported_ = done;
+    root_.progress(done, root_.strikes);
+  }
+
+  std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+  /// Called once by the coordinator after the pool joined.
+  void finish(bool complete) {
+    if (!complete || root_.progress_interval == 0 || !root_.progress) return;
+    root_.progress(root_.strikes, root_.strikes);
+  }
+
+ private:
+  const CampaignConfig& root_;
+  std::atomic<std::uint64_t> done_;
+  std::mutex mutex_;
+  std::uint64_t last_reported_;
+};
+
+/// Guards the shared checkpoint document and its file writes.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(CampaignCheckpoint cp, std::string path)
+      : cp_(std::move(cp)), path_(std::move(path)) {}
+
+  bool active() const noexcept { return !path_.empty(); }
+
+  void update(std::uint32_t shard_index, std::uint64_t shard_strikes,
+              const CampaignShardState& state, bool flush) {
+    if (!active()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cp_.shards[shard_index] =
+        snapshot_shard_state(shard_index, shard_strikes, state);
+    if (flush) store_checkpoint(cp_, path_);
+  }
+
+  void flush() {
+    if (!active()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    store_checkpoint(cp_, path_);
+  }
+
+ private:
+  CampaignCheckpoint cp_;
+  std::string path_;
+  std::mutex mutex_;
+};
+
+/// Deterministic post-run observability: per-shard counters, one trace
+/// lane per shard, and pool-utilization telemetry. Emitted by the
+/// coordinator after the pool joined, in shard order, so enabling
+/// observability never perturbs (and never races with) the campaign.
+void emit_observability(const std::vector<CampaignShard>& plan,
+                        const std::vector<CampaignShardState>& states,
+                        const std::vector<std::uint64_t>& initial_done,
+                        const ThreadPool& pool) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  std::uint64_t executed = 0;
+  std::uint64_t vulnerable = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const CampaignResult& p = states[i].partial;
+    executed += states[i].done - initial_done[i];
+    vulnerable += p.due + p.sdc;
+    const std::string prefix = "exec.shard" + std::to_string(i);
+    reg.counter(prefix + ".strikes").add(states[i].done);
+    reg.counter(prefix + ".vulnerable").add(p.due + p.sdc);
+  }
+  reg.counter("campaign.strikes").add(executed);
+  reg.counter("campaign.vulnerable").add(vulnerable);
+  reg.gauge("exec.pool.jobs").set(static_cast<double>(pool.size()));
+  reg.counter("exec.campaign.shards").add(plan.size());
+  for (std::uint32_t w = 0; w < pool.size(); ++w)
+    reg.timer("exec.worker" + std::to_string(w) + ".busy")
+        .record_ns(pool.worker_busy_ns(w));
+
+  obs::TraceEventSink* trace = obs::current_trace();
+  if (trace == nullptr) return;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const obs::TraceEventSink::LaneId lane =
+        trace->lane("exec", "shard" + std::to_string(i));
+    const CampaignResult& p = states[i].partial;
+    trace->complete(lane, "shard", 0, states[i].done,
+                    {obs::TraceArg::num("masked", p.masked),
+                     obs::TraceArg::num("dre", p.dre),
+                     obs::TraceArg::num("due", p.due),
+                     obs::TraceArg::num("sdc", p.sdc)});
+  }
+}
+
+}  // namespace
+
+ShardedRun run_sharded_campaign(const CampaignConfig& root,
+                                const ExecConfig& exec, std::string_view kind,
+                                std::uint64_t seed_salt,
+                                const ShardChunkFn& run_chunk) {
+  FTSPM_REQUIRE(static_cast<bool>(run_chunk), "a chunk runner is required");
+  FTSPM_REQUIRE(exec.chunk_strikes >= 1, "chunk_strikes must be >= 1");
+  const std::uint32_t jobs = exec.effective_jobs();
+  const std::uint32_t shard_count = exec.effective_shards();
+  const std::vector<CampaignShard> plan = make_shard_plan(root, shard_count);
+
+  // Fresh per-shard states, or the checkpointed ones when resuming.
+  std::vector<CampaignShardState> states;
+  states.reserve(shard_count);
+  CampaignCheckpoint cp;
+  cp.root_seed = root.seed;
+  cp.strikes = root.strikes;
+  cp.shard_count = shard_count;
+  cp.seed_salt = seed_salt;
+  cp.kind = std::string(kind);
+  if (!exec.resume_path.empty()) {
+    cp = load_checkpoint(exec.resume_path);
+    cp.validate_against(root, shard_count, seed_salt, kind);
+    for (const ShardCheckpoint& s : cp.shards)
+      states.push_back(restore_shard_state(s));
+  } else {
+    for (const CampaignShard& shard : plan) {
+      states.push_back(begin_campaign_shard(shard.config.seed ^ seed_salt));
+      cp.shards.push_back(
+          snapshot_shard_state(shard.index, shard.config.strikes,
+                               states.back()));
+    }
+  }
+
+  std::vector<std::uint64_t> initial_done(shard_count);
+  std::uint64_t already_done = 0;
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    initial_done[i] = states[i].done;
+    already_done += states[i].done;
+  }
+
+  const std::string write_path = exec.checkpoint_path.empty()
+                                     ? exec.resume_path
+                                     : exec.checkpoint_path;
+  CheckpointWriter checkpoints(std::move(cp), write_path);
+  ProgressAggregator progress(root, already_done);
+  std::atomic<bool> halted{false};
+
+  ThreadPool pool(jobs);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    tasks.push_back([&, i] {
+      // Workers must not touch the process-wide registry or trace —
+      // the coordinator emits everything deterministically after the
+      // join.
+      const obs::ThreadSuppressScope suppress;
+      const CampaignShard& shard = plan[i];
+      CampaignShardState& state = states[i];
+      std::uint64_t since_checkpoint = 0;
+      while (state.done < shard.config.strikes) {
+        if (exec.halt_after != 0 &&
+            progress.done() >= exec.halt_after) {
+          halted.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const std::uint64_t before = state.done;
+        run_chunk(shard, state, exec.chunk_strikes);
+        FTSPM_CHECK(state.done > before,
+                    "campaign chunk runner made no progress");
+        const std::uint64_t advanced = state.done - before;
+        progress.add(advanced);
+        since_checkpoint += advanced;
+        if (since_checkpoint >= exec.checkpoint_interval ||
+            state.done == shard.config.strikes) {
+          checkpoints.update(i, shard.config.strikes, state,
+                             /*flush=*/checkpoints.active());
+          since_checkpoint = 0;
+        }
+      }
+    });
+  }
+  pool.run_all(std::move(tasks));
+
+  ShardedRun run;
+  run.shard_results.reserve(shard_count);
+  for (const CampaignShardState& state : states)
+    run.shard_results.push_back(state.partial);
+  run.merged = merge_shard_results(run.shard_results);
+  run.complete = true;
+  for (std::uint32_t i = 0; i < shard_count; ++i)
+    if (states[i].done < plan[i].config.strikes) run.complete = false;
+
+  // One final write so a halted (or freshly finished) run leaves a
+  // consistent resume point on disk.
+  for (std::uint32_t i = 0; i < shard_count; ++i)
+    checkpoints.update(i, plan[i].config.strikes, states[i], /*flush=*/false);
+  checkpoints.flush();
+
+  progress.finish(run.complete);
+  emit_observability(plan, states, initial_done, pool);
+  return run;
+}
+
+ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
+                                const StrikeMultiplicityModel& strikes,
+                                const CampaignConfig& config,
+                                const ExecConfig& exec) {
+  return run_sharded_campaign(
+      config, exec, "static", /*seed_salt=*/0,
+      [&](const CampaignShard& shard, CampaignShardState& state,
+          std::uint64_t max_strikes) {
+        run_campaign_chunk(regions, strikes, shard.config, state, max_strikes,
+                           /*observer=*/nullptr);
+      });
+}
+
+}  // namespace ftspm::exec

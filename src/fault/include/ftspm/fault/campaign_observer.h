@@ -45,14 +45,25 @@ class CampaignObserver {
                         static_cast<double>(vulnerable_->value()));
       }
     }
-    if (config_.progress_interval != 0 && config_.progress &&
-        ((s + 1) % config_.progress_interval == 0 ||
-         s + 1 == config_.strikes))
-      config_.progress(s + 1, config_.strikes);
+    if (config_.progress_interval != 0 && config_.progress) {
+      const bool at_completion = s + 1 == config_.strikes;
+      if (at_completion || (s + 1) % config_.progress_interval == 0) {
+        // The completion call must fire exactly once, including when
+        // `strikes` is an exact multiple of the interval (both branches
+        // true on the last strike) and when a resumed shard replays its
+        // final strike.
+        if (at_completion) {
+          if (completion_fired_) return;
+          completion_fired_ = true;
+        }
+        config_.progress(s + 1, config_.strikes);
+      }
+    }
   }
 
  private:
   static constexpr std::uint64_t kCounterSamplePeriod = 4096;
+  bool completion_fired_ = false;
   const CampaignConfig& config_;
   obs::Counter* strikes_ = nullptr;
   obs::Counter* vulnerable_ = nullptr;

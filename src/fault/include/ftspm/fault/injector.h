@@ -85,6 +85,36 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
                             const StrikeMultiplicityModel& strikes,
                             const CampaignConfig& config = {});
 
+class CampaignObserver;
+
+/// Mutable state of one in-flight campaign (or campaign shard):
+/// completed-strike count, partial counters, and the generator
+/// positioned after the last completed strike. Everything needed to
+/// suspend the loop, serialize it to a checkpoint, and resume later —
+/// resuming from (done, partial, rng) continues the exact sequence an
+/// uninterrupted run would have produced.
+struct CampaignShardState {
+  std::uint64_t done = 0;
+  CampaignResult partial;
+  Rng rng{0};
+};
+
+/// Fresh state for a campaign whose generator is seeded with `seed`
+/// (callers apply any kind-specific seed salt before calling).
+CampaignShardState begin_campaign_shard(std::uint64_t seed) noexcept;
+
+/// Advances `state` by up to `max_strikes` strikes of the campaign
+/// described by (regions, strikes, config), stopping early at
+/// config.strikes. Consumes the RNG exactly as `run_campaign` does, so
+/// chunking never changes results: any chunk-size schedule reaching
+/// config.strikes yields the same counters as one serial run. The
+/// observer (nullable) sees absolute strike indices.
+void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
+                        const StrikeMultiplicityModel& strikes,
+                        const CampaignConfig& config,
+                        CampaignShardState& state, std::uint64_t max_strikes,
+                        CampaignObserver* observer = nullptr);
+
 /// Injects one m-bit adjacent upset starting at `first_bit` of a region
 /// and classifies it (ACE filtering excluded — pure code behaviour).
 /// Exposed for unit tests and the analytic-vs-MC ablation.

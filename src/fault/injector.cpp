@@ -111,9 +111,17 @@ StrikeOutcome classify_strike(const InjectionRegion& region,
   return worst;
 }
 
-CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
-                            const StrikeMultiplicityModel& strikes,
-                            const CampaignConfig& config) {
+CampaignShardState begin_campaign_shard(std::uint64_t seed) noexcept {
+  CampaignShardState state;
+  state.rng = Rng(seed);
+  return state;
+}
+
+void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
+                        const StrikeMultiplicityModel& strikes,
+                        const CampaignConfig& config,
+                        CampaignShardState& state, std::uint64_t max_strikes,
+                        CampaignObserver* observer) {
   FTSPM_REQUIRE(!regions.empty(), "campaign needs at least one region");
   std::vector<double> weights;
   weights.reserve(regions.size());
@@ -124,31 +132,41 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
     weights.push_back(static_cast<double>(r.geometry.physical_bits()));
   }
 
-  Rng rng(config.seed);
-  CampaignResult result;
-  result.strikes = config.strikes;
-  CampaignObserver observer(config, "static");
-  for (std::uint64_t s = 0; s < config.strikes; ++s) {
-    const std::size_t ri = rng.next_discrete(weights);
+  const std::uint64_t end =
+      std::min(config.strikes, state.done + max_strikes);
+  for (std::uint64_t s = state.done; s < end; ++s) {
+    const std::size_t ri = state.rng.next_discrete(weights);
     const InjectionRegion& region = regions[ri];
     const std::uint64_t origin =
-        rng.next_below(region.geometry.physical_bits());
-    const std::uint32_t flips = strikes.sample_flips(rng, config.max_flips);
-    StrikeOutcome outcome = classify_strike(region, origin, flips, rng);
+        state.rng.next_below(region.geometry.physical_bits());
+    const std::uint32_t flips =
+        strikes.sample_flips(state.rng, config.max_flips);
+    StrikeOutcome outcome = classify_strike(region, origin, flips, state.rng);
     // Strikes on words holding no architecturally-required value are
     // harmless regardless of what the codec would have reported.
     if (outcome != StrikeOutcome::Masked &&
-        !rng.next_bool(region.ace_occupancy))
+        !state.rng.next_bool(region.ace_occupancy))
       outcome = StrikeOutcome::Masked;
     switch (outcome) {
-      case StrikeOutcome::Masked: ++result.masked; break;
-      case StrikeOutcome::Dre: ++result.dre; break;
-      case StrikeOutcome::Due: ++result.due; break;
-      case StrikeOutcome::Sdc: ++result.sdc; break;
+      case StrikeOutcome::Masked: ++state.partial.masked; break;
+      case StrikeOutcome::Dre: ++state.partial.dre; break;
+      case StrikeOutcome::Due: ++state.partial.due; break;
+      case StrikeOutcome::Sdc: ++state.partial.sdc; break;
     }
-    observer.on_strike(s, outcome);
+    ++state.partial.strikes;
+    if (observer != nullptr) observer->on_strike(s, outcome);
   }
-  return result;
+  state.done = end;
+}
+
+CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
+                            const StrikeMultiplicityModel& strikes,
+                            const CampaignConfig& config) {
+  CampaignShardState state = begin_campaign_shard(config.seed);
+  CampaignObserver observer(config, "static");
+  run_campaign_chunk(regions, strikes, config, state, config.strikes,
+                     &observer);
+  return state.partial;
 }
 
 }  // namespace ftspm

@@ -156,6 +156,20 @@ Registry& registry();
 bool enabled() noexcept;
 void set_enabled(bool on) noexcept;
 
+/// RAII per-thread kill switch: while alive on a thread, enabled()
+/// returns false *on that thread only*. Parallel workers (ftspm/exec
+/// pool tasks) hold one so instrumentation sites never race on the
+/// registry or the trace sink; the coordinating thread emits the
+/// aggregated per-shard metrics deterministically after joining.
+/// Nests; reentrant on the same thread.
+class ThreadSuppressScope {
+ public:
+  ThreadSuppressScope() noexcept;
+  ~ThreadSuppressScope();
+  ThreadSuppressScope(const ThreadSuppressScope&) = delete;
+  ThreadSuppressScope& operator=(const ThreadSuppressScope&) = delete;
+};
+
 /// RAII enable/disable for tests and tool scopes.
 class EnabledScope {
  public:

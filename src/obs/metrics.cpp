@@ -161,6 +161,7 @@ void Registry::clear() {
 
 namespace {
 bool g_enabled = false;
+thread_local int t_suppress_depth = 0;
 }  // namespace
 
 Registry& registry() {
@@ -168,7 +169,10 @@ Registry& registry() {
   return instance;
 }
 
-bool enabled() noexcept { return g_enabled; }
+bool enabled() noexcept { return g_enabled && t_suppress_depth == 0; }
 void set_enabled(bool on) noexcept { g_enabled = on; }
+
+ThreadSuppressScope::ThreadSuppressScope() noexcept { ++t_suppress_depth; }
+ThreadSuppressScope::~ThreadSuppressScope() { --t_suppress_depth; }
 
 }  // namespace ftspm::obs

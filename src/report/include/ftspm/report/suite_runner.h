@@ -36,6 +36,20 @@ std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
                                 std::uint64_t scale_divisor = 1,
                                 const SuiteProgress& progress = {});
 
+/// run_suite fanned across a ftspm/exec worker pool: each benchmark is
+/// one independent task, results are collected in benchmark order, and
+/// the returned rows are identical to the serial function's for any
+/// jobs value. `jobs <= 1` falls through to run_suite. The progress
+/// callback fires (serialized) in *completion* order — that is the
+/// only observable difference. When observability is enabled, workers
+/// run suppressed and the per-benchmark timers and trace spans are
+/// emitted after the join, in benchmark order, so the trace document
+/// matches the serial one byte for byte.
+std::vector<SuiteRow> run_suite_parallel(const StructureEvaluator& evaluator,
+                                         std::uint64_t scale_divisor,
+                                         std::uint32_t jobs,
+                                         const SuiteProgress& progress = {});
+
 /// Geometric mean of per-row ratios f(row); rows where the ratio is
 /// non-positive or non-finite are skipped.
 double geomean_ratio(const std::vector<SuiteRow>& rows,

@@ -1,7 +1,12 @@
 #include "ftspm/report/suite_runner.h"
 
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <optional>
+#include <utility>
 
+#include "ftspm/exec/thread_pool.h"
 #include "ftspm/obs/timer.h"
 #include "ftspm/util/error.h"
 
@@ -41,6 +46,72 @@ std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
                             std::move(results[1]), std::move(results[2])});
     ++done;
     if (progress) progress(done, kMiBenchmarkCount, name);
+  }
+  return rows;
+}
+
+std::vector<SuiteRow> run_suite_parallel(const StructureEvaluator& evaluator,
+                                         std::uint64_t scale_divisor,
+                                         std::uint32_t jobs,
+                                         const SuiteProgress& progress) {
+  if (jobs <= 1) return run_suite(evaluator, scale_divisor, progress);
+
+  const std::vector<MiBenchmark> benchmarks = [] {
+    std::vector<MiBenchmark> v;
+    for (MiBenchmark b : all_benchmarks()) v.push_back(b);
+    return v;
+  }();
+  std::vector<std::optional<SuiteRow>> slots(benchmarks.size());
+  std::vector<std::uint64_t> wall_ns(benchmarks.size(), 0);
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+
+  exec::ThreadPool pool(jobs);
+  parallel_for(pool, benchmarks.size(), [&](std::size_t i) {
+    // Workers stay out of the process-wide registry/trace; the
+    // per-benchmark timers and spans are emitted below, in order.
+    const obs::ThreadSuppressScope suppress;
+    const MiBenchmark bench = benchmarks[i];
+    const std::string name = to_string(bench);
+    const auto start = std::chrono::steady_clock::now();
+    const Workload workload = make_benchmark(bench, scale_divisor);
+    std::vector<SystemResult> results = evaluator.evaluate_all(workload);
+    wall_ns[i] = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    FTSPM_CHECK(results.size() == 3, "expected three structures");
+    slots[i] = SuiteRow{bench, name, std::move(results[0]),
+                        std::move(results[1]), std::move(results[2])};
+    if (progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(++completed, benchmarks.size(), name);
+    }
+  });
+
+  std::vector<SuiteRow> rows;
+  rows.reserve(slots.size());
+  for (std::optional<SuiteRow>& slot : slots) rows.push_back(std::move(*slot));
+
+  // Deterministic post-join observability, mirroring the serial path:
+  // wall timers per benchmark and suite spans on a cumulative
+  // simulated-cycle axis, both in benchmark order.
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      reg.timer("suite." + rows[i].name).record_ns(wall_ns[i]);
+    if (obs::TraceEventSink* trace = obs::current_trace()) {
+      const obs::TraceEventSink::LaneId lane =
+          trace->lane("suite", "benchmarks");
+      std::uint64_t cumulative_cycles = 0;
+      for (const SuiteRow& row : rows) {
+        trace->complete(lane, row.name, cumulative_cycles,
+                        row.ftspm.run.total_cycles,
+                        {obs::TraceArg::num("cycles",
+                                            row.ftspm.run.total_cycles)});
+        cumulative_cycles += row.ftspm.run.total_cycles;
+      }
+    }
   }
   return rows;
 }

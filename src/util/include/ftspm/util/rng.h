@@ -67,6 +67,30 @@ class Rng {
   /// is derived from this generator's stream.
   Rng fork() noexcept;
 
+  /// Derives the seed of logical stream `stream_index` under `root_seed`
+  /// via SplitMix64 mixing. Pure function of its arguments (the golden
+  /// values are asserted by tests), so shard i of a campaign draws the
+  /// same sequence no matter which worker thread runs it or in what
+  /// order shards complete. Distinct indices yield decorrelated
+  /// streams; index 0 does NOT reproduce `Rng(root_seed)` — callers
+  /// that need serial compatibility must keep the root seed for the
+  /// single-stream case.
+  static std::uint64_t derive_stream_seed(std::uint64_t root_seed,
+                                          std::uint64_t stream_index) noexcept;
+
+  /// Convenience: a generator seeded with
+  /// `derive_stream_seed(root_seed, stream_index)`.
+  static Rng for_stream(std::uint64_t root_seed,
+                        std::uint64_t stream_index) noexcept;
+
+  /// The four xoshiro256** state words, for checkpointing a generator
+  /// mid-stream. Round-trips exactly through `from_state`.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Rebuilds a generator from `state()` output. The all-zero state is
+  /// invalid for xoshiro256** and is nudged the same way seeding does.
+  static Rng from_state(const std::array<std::uint64_t, 4>& words) noexcept;
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -103,4 +103,28 @@ std::uint32_t Rng::next_burst(double p, std::uint32_t cap) {
 
 Rng Rng::fork() noexcept { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
 
+std::uint64_t Rng::derive_stream_seed(std::uint64_t root_seed,
+                                      std::uint64_t stream_index) noexcept {
+  // Offset the root by the stream index (the +1 keeps stream 0 from
+  // collapsing onto the bare root seed) and run two SplitMix64 steps;
+  // xoring the pair decorrelates streams whose indices differ in only
+  // a few bits.
+  std::uint64_t s = root_seed ^ (0xbf58476d1ce4e5b9ULL * (stream_index + 1));
+  const std::uint64_t a = splitmix64(s);
+  return a ^ splitmix64(s);
+}
+
+Rng Rng::for_stream(std::uint64_t root_seed,
+                    std::uint64_t stream_index) noexcept {
+  return Rng(derive_stream_seed(root_seed, stream_index));
+}
+
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& words) noexcept {
+  Rng r(0);
+  r.state_ = words;
+  if ((r.state_[0] | r.state_[1] | r.state_[2] | r.state_[3]) == 0)
+    r.state_[0] = 1;
+  return r;
+}
+
 }  // namespace ftspm

@@ -1,0 +1,232 @@
+#include "ftspm/exec/parallel_campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "ftspm/exec/thread_pool.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftspm/fault/injector.h"
+#include "ftspm/fault/strike_model.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm::exec {
+namespace {
+
+std::string temp_path(const char* stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem + "." +
+         std::to_string(::getpid());
+}
+
+/// A small mixed surface set: SEC-DED + parity, both seeing real
+/// classification traffic so all four counters move.
+std::vector<InjectionRegion> surfaces() {
+  return {
+      InjectionRegion{RegionGeometry(2048, 8), ProtectionKind::SecDed, 0.9,
+                      1},
+      InjectionRegion{RegionGeometry(1024, 1), ProtectionKind::Parity, 0.8,
+                      1},
+  };
+}
+
+StrikeMultiplicityModel model() {
+  return StrikeMultiplicityModel::for_node(40.0);
+}
+
+void expect_same(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.strikes, b.strikes);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.dre, b.dre);
+  EXPECT_EQ(a.due, b.due);
+  EXPECT_EQ(a.sdc, b.sdc);
+}
+
+TEST(ParallelCampaignTest, OneShardReproducesTheSerialCampaign) {
+  CampaignConfig cfg;
+  cfg.strikes = 20'000;
+  const CampaignResult serial = run_campaign(surfaces(), model(), cfg);
+
+  for (std::uint32_t jobs : {1u, 2u}) {
+    ExecConfig exec;
+    exec.jobs = jobs;
+    exec.shards = 1;
+    const ShardedRun run = run_campaign_sharded(surfaces(), model(), cfg,
+                                                exec);
+    EXPECT_TRUE(run.complete);
+    expect_same(run.merged, serial);
+  }
+}
+
+TEST(ParallelCampaignTest, ResultsIdenticalAcrossJobCounts) {
+  CampaignConfig cfg;
+  cfg.strikes = 30'000;
+  ExecConfig base;
+  base.shards = 4;
+
+  ExecConfig one = base, two = base, eight = base;
+  one.jobs = 1;
+  two.jobs = 2;
+  eight.jobs = 8;
+  const ShardedRun a = run_campaign_sharded(surfaces(), model(), cfg, one);
+  const ShardedRun b = run_campaign_sharded(surfaces(), model(), cfg, two);
+  const ShardedRun c = run_campaign_sharded(surfaces(), model(), cfg, eight);
+  expect_same(a.merged, b.merged);
+  expect_same(a.merged, c.merged);
+  ASSERT_EQ(a.shard_results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_same(a.shard_results[i], b.shard_results[i]);
+    expect_same(a.shard_results[i], c.shard_results[i]);
+  }
+  // The split must actually exercise every counter for this to mean
+  // anything.
+  EXPECT_GT(a.merged.masked, 0u);
+  EXPECT_GT(a.merged.dre, 0u);
+  EXPECT_GT(a.merged.due + a.merged.sdc, 0u);
+}
+
+TEST(ParallelCampaignTest, MergedEqualsIndependentPerShardRuns) {
+  CampaignConfig cfg;
+  cfg.strikes = 12'000;
+  ExecConfig exec;
+  exec.jobs = 2;
+  exec.shards = 3;
+  const ShardedRun run = run_campaign_sharded(surfaces(), model(), cfg, exec);
+
+  // Each shard rerun alone through the plain serial entry point.
+  std::vector<CampaignResult> lone;
+  for (const CampaignShard& shard : make_shard_plan(cfg, 3))
+    lone.push_back(run_campaign(surfaces(), model(), shard.config));
+  ASSERT_EQ(run.shard_results.size(), lone.size());
+  for (std::size_t i = 0; i < lone.size(); ++i)
+    expect_same(run.shard_results[i], lone[i]);
+  expect_same(run.merged, merge_shard_results(lone));
+}
+
+TEST(ParallelCampaignTest, ChunkSizeNeverChangesResults) {
+  CampaignConfig cfg;
+  cfg.strikes = 9'000;
+  ExecConfig coarse;
+  coarse.shards = 2;
+  ExecConfig fine = coarse;
+  fine.chunk_strikes = 577;  // forces many oddly-aligned chunks
+  const ShardedRun a = run_campaign_sharded(surfaces(), model(), cfg, coarse);
+  const ShardedRun b = run_campaign_sharded(surfaces(), model(), cfg, fine);
+  expect_same(a.merged, b.merged);
+}
+
+TEST(ParallelCampaignTest, HaltCheckpointResumeMatchesUninterrupted) {
+  CampaignConfig cfg;
+  cfg.strikes = 24'000;
+  const std::string path = temp_path("ftspm_resume_test");
+
+  // Reference: one uninterrupted sharded run.
+  ExecConfig plain;
+  plain.jobs = 2;
+  plain.shards = 3;
+  const ShardedRun whole = run_campaign_sharded(surfaces(), model(), cfg,
+                                                plain);
+
+  // Same campaign, killed partway (simulated via halt_after), then
+  // resumed from the checkpoint it left behind.
+  ExecConfig first = plain;
+  first.checkpoint_path = path;
+  first.chunk_strikes = 1'000;
+  first.halt_after = 7'000;
+  const ShardedRun halted = run_campaign_sharded(surfaces(), model(), cfg,
+                                                 first);
+  EXPECT_FALSE(halted.complete);
+  EXPECT_LT(halted.merged.strikes, cfg.strikes);
+  EXPECT_GT(halted.merged.strikes, 0u);
+
+  ExecConfig second = plain;
+  second.resume_path = path;
+  const ShardedRun resumed = run_campaign_sharded(surfaces(), model(), cfg,
+                                                  second);
+  EXPECT_TRUE(resumed.complete);
+  expect_same(resumed.merged, whole.merged);
+  for (std::size_t i = 0; i < 3; ++i)
+    expect_same(resumed.shard_results[i], whole.shard_results[i]);
+
+  // The finished run rewrote the checkpoint; it must read back
+  // complete and still validate.
+  const CampaignCheckpoint final_cp = load_checkpoint(path);
+  EXPECT_TRUE(final_cp.complete());
+  EXPECT_NO_THROW(final_cp.validate_against(cfg, 3, 0, "static"));
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCampaignTest, ResumeUnderDifferentConfigIsRejected) {
+  CampaignConfig cfg;
+  cfg.strikes = 4'000;
+  const std::string path = temp_path("ftspm_resume_reject_test");
+  ExecConfig exec;
+  exec.shards = 2;
+  exec.checkpoint_path = path;
+  run_campaign_sharded(surfaces(), model(), cfg, exec);
+
+  ExecConfig resume;
+  resume.shards = 4;  // was checkpointed with 2
+  resume.resume_path = path;
+  EXPECT_THROW(run_campaign_sharded(surfaces(), model(), cfg, resume), Error);
+
+  CampaignConfig other = cfg;
+  other.seed ^= 1;
+  ExecConfig resume2;
+  resume2.shards = 2;
+  resume2.resume_path = path;
+  EXPECT_THROW(run_campaign_sharded(surfaces(), model(), other, resume2),
+               Error);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCampaignTest, ProgressIsMonotoneWithOneCompletionCall) {
+  CampaignConfig cfg;
+  cfg.strikes = 10'000;
+  cfg.progress_interval = 1'000;
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> calls;
+  cfg.progress = [&](std::uint64_t done, std::uint64_t total) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    calls.emplace_back(done, total);
+  };
+
+  ExecConfig exec;
+  exec.jobs = 4;
+  exec.shards = 4;
+  exec.chunk_strikes = 500;
+  run_campaign_sharded(surfaces(), model(), cfg, exec);
+
+  ASSERT_FALSE(calls.empty());
+  int completions = 0;
+  std::uint64_t last = 0;
+  for (const auto& [done, total] : calls) {
+    EXPECT_EQ(total, cfg.strikes);
+    EXPECT_GE(done, last);
+    last = done;
+    if (done == cfg.strikes) ++completions;
+  }
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(calls.back().first, cfg.strikes);
+}
+
+TEST(ParallelCampaignTest, AutoShardCountFollowsJobs) {
+  ExecConfig exec;
+  exec.jobs = 3;
+  exec.shards = 0;
+  EXPECT_EQ(exec.effective_jobs(), 3u);
+  EXPECT_EQ(exec.effective_shards(), 3u);
+  exec.jobs = 0;
+  EXPECT_EQ(exec.effective_jobs(), default_jobs());
+  EXPECT_EQ(exec.effective_shards(), default_jobs());
+}
+
+}  // namespace
+}  // namespace ftspm::exec

@@ -1,0 +1,94 @@
+#include "ftspm/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ftspm::exec {
+namespace {
+
+TEST(ThreadPoolTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(default_jobs(), 1u);
+  EXPECT_EQ(ThreadPool(0).size(), default_jobs());
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+}
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTheQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) pool.submit([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, FutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RunAllRethrowsFirstFailureInTaskOrder) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("first"); });
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("second"); });
+  try {
+    pool.run_all(std::move(tasks));
+    FAIL() << "run_all should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, RunAllWaitsForEveryTaskEvenAfterAFailure) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 16; ++i) tasks.push_back([&] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, BusyTimeAccumulatesWhileTasksRun) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i)
+    tasks.push_back(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  pool.run_all(std::move(tasks));
+  EXPECT_GT(pool.total_busy_ns(), 0u);
+  std::uint64_t summed = 0;
+  for (std::uint32_t w = 0; w < pool.size(); ++w)
+    summed += pool.worker_busy_ns(w);
+  EXPECT_EQ(summed, pool.total_busy_ns());
+}
+
+}  // namespace
+}  // namespace ftspm::exec

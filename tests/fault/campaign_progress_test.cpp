@@ -1,0 +1,81 @@
+// Regression tests for the campaign progress contract: invoked every
+// progress_interval strikes plus once at completion — and exactly once
+// at completion even when the total is an exact multiple of the
+// interval (the historical double-fire shape).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ftspm/fault/injector.h"
+#include "ftspm/fault/strike_model.h"
+
+namespace ftspm {
+namespace {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> run_with_progress(
+    std::uint64_t strikes, std::uint64_t interval) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> calls;
+  CampaignConfig cfg;
+  cfg.strikes = strikes;
+  cfg.progress_interval = interval;
+  cfg.progress = [&](std::uint64_t done, std::uint64_t total) {
+    calls.emplace_back(done, total);
+  };
+  const std::vector<InjectionRegion> regions{
+      InjectionRegion{RegionGeometry(512, 8), ProtectionKind::SecDed, 0.9,
+                      1}};
+  run_campaign(regions, StrikeMultiplicityModel::for_node(40.0), cfg);
+  return calls;
+}
+
+TEST(CampaignProgressTest, ExactMultipleFiresCompletionExactlyOnce) {
+  // 100 strikes, interval 25: the final strike is both an interval
+  // boundary and the completion — it must report once, not twice.
+  const auto calls = run_with_progress(100, 25);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> expected{
+      {25, 100}, {50, 100}, {75, 100}, {100, 100}};
+  EXPECT_EQ(calls, expected);
+}
+
+TEST(CampaignProgressTest, NonMultipleStillReportsCompletion) {
+  const auto calls = run_with_progress(103, 25);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> expected{
+      {25, 103}, {50, 103}, {75, 103}, {100, 103}, {103, 103}};
+  EXPECT_EQ(calls, expected);
+}
+
+TEST(CampaignProgressTest, IntervalLargerThanCampaignReportsOnlyCompletion) {
+  const auto calls = run_with_progress(10, 1000);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> expected{
+      {10, 10}};
+  EXPECT_EQ(calls, expected);
+}
+
+TEST(CampaignProgressTest, NoIntervalMeansNoCalls) {
+  EXPECT_TRUE(run_with_progress(50, 0).empty());
+}
+
+TEST(CampaignProgressTest, ProgressNeverChangesResults) {
+  CampaignConfig plain;
+  plain.strikes = 5'000;
+  const std::vector<InjectionRegion> regions{
+      InjectionRegion{RegionGeometry(512, 8), ProtectionKind::SecDed, 0.9,
+                      1}};
+  const StrikeMultiplicityModel model =
+      StrikeMultiplicityModel::for_node(40.0);
+  const CampaignResult quiet = run_campaign(regions, model, plain);
+
+  CampaignConfig noisy = plain;
+  noisy.progress_interval = 7;
+  noisy.progress = [](std::uint64_t, std::uint64_t) {};
+  const CampaignResult loud = run_campaign(regions, model, noisy);
+  EXPECT_EQ(quiet.masked, loud.masked);
+  EXPECT_EQ(quiet.dre, loud.dre);
+  EXPECT_EQ(quiet.due, loud.due);
+  EXPECT_EQ(quiet.sdc, loud.sdc);
+}
+
+}  // namespace
+}  // namespace ftspm

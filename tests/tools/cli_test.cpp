@@ -20,9 +20,7 @@ struct CommandResult {
   std::string output;  ///< Interleaved stdout+stderr.
 };
 
-CommandResult run_tool(const std::string& args) {
-  const std::string cmd =
-      std::string(FTSPM_TOOL_PATH) + " " + args + " 2>&1";
+CommandResult run_command(const std::string& cmd) {
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << cmd;
   CommandResult r;
@@ -34,6 +32,17 @@ CommandResult run_tool(const std::string& args) {
   const int status = pclose(pipe);
   r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return r;
+}
+
+CommandResult run_tool(const std::string& args) {
+  return run_command(std::string(FTSPM_TOOL_PATH) + " " + args + " 2>&1");
+}
+
+/// Like run_tool but discards stderr — for byte-identity comparisons
+/// where informational stderr (progress, shard/job counts) may differ.
+CommandResult run_tool_stdout(const std::string& args) {
+  return run_command(std::string(FTSPM_TOOL_PATH) + " " + args +
+                     " 2>/dev/null");
 }
 
 std::string slurp(const std::string& path) {
@@ -132,6 +141,70 @@ TEST(CliTest, MetricsOutIsDeterministicAcrossRuns) {
   EXPECT_NE(doc.at("counters").find("sim.runs"), nullptr);
   std::remove(p1.c_str());
   std::remove(p2.c_str());
+}
+
+TEST(CliTest, CampaignStdoutIsJobsInvariant) {
+  // Same seed, strikes, and shard count: stdout must be byte-identical
+  // whatever --jobs says (the shards/jobs info line goes to stderr,
+  // which run_tool_stdout discards).
+  const std::string base = "campaign --strikes 20000 --shards 4";
+  const CommandResult serial = run_tool_stdout("--jobs 1 " + base);
+  const CommandResult parallel = run_tool_stdout("--jobs 8 " + base);
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  ASSERT_FALSE(serial.output.empty());
+  EXPECT_EQ(serial.output, parallel.output);
+  EXPECT_NE(serial.output.find("strikes: 20,000"), std::string::npos)
+      << serial.output;
+}
+
+TEST(CliTest, CampaignDefaultStaysSerialCompatible) {
+  // No parallel flags: the sharded engine must stay out of the way so
+  // historical outputs keep reproducing.
+  const CommandResult plain = run_tool("campaign --strikes 20000");
+  const CommandResult one =
+      run_tool("--jobs 1 campaign --strikes 20000 --shards 1");
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_EQ(plain.output, one.output);
+}
+
+TEST(CliTest, CampaignCheckpointResumeRoundTrip) {
+  const std::string path = temp_path("ftspm_cli_checkpoint.json");
+  std::remove(path.c_str());
+  const CommandResult whole = run_tool_stdout(
+      "--jobs 2 campaign --strikes 20000 --shards 2");
+  ASSERT_EQ(whole.exit_code, 0);
+
+  // First leg writes a checkpoint; second leg resumes from it. The
+  // tiny interval forces several mid-run writes.
+  const CommandResult first = run_tool_stdout(
+      "--jobs 2 campaign --strikes 20000 --shards 2 --checkpoint " + path +
+      " --checkpoint-interval 1000");
+  ASSERT_EQ(first.exit_code, 0);
+  ASSERT_FALSE(slurp(path).empty());
+  const CommandResult resumed = run_tool_stdout(
+      "--jobs 2 campaign --strikes 20000 --shards 2 --resume " + path);
+  EXPECT_EQ(resumed.exit_code, 0);
+  EXPECT_EQ(resumed.output, whole.output);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, BadJobsValueFailsWithUsageExit) {
+  const CommandResult r = run_tool("--jobs banana suite --scale 64");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--jobs"), std::string::npos);
+}
+
+TEST(CliTest, SuiteOutputIsJobsInvariant) {
+  const CommandResult serial =
+      run_tool_stdout("--jobs 1 suite --scale 64 --json");
+  const CommandResult parallel =
+      run_tool_stdout("--jobs 4 suite --scale 64 --json");
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  ASSERT_FALSE(serial.output.empty());
+  EXPECT_EQ(serial.output, parallel.output);
 }
 
 TEST(CliTest, EvaluateJsonEmbedsManifest) {

@@ -156,6 +156,70 @@ TEST(RngTest, ShuffleProducesPermutation) {
   EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
 }
 
+TEST(RngStreamTest, DeriveStreamSeedGoldenValues) {
+  // Frozen: shard seeds feed stored campaign results and checkpoints,
+  // so any change here silently invalidates both.
+  EXPECT_EQ(Rng::derive_stream_seed(0x57a1ce5eedULL, 0),
+            0xefb00173489ee06fULL);
+  EXPECT_EQ(Rng::derive_stream_seed(0x57a1ce5eedULL, 1),
+            0x0d2fc919a86e8996ULL);
+  EXPECT_EQ(Rng::derive_stream_seed(42, 7), 0x81b31bfdd9491cb4ULL);
+}
+
+TEST(RngStreamTest, ForStreamGoldenDraws) {
+  Rng r = Rng::for_stream(42, 7);
+  EXPECT_EQ(r.next_u64(), 0x28fe5ce292f5e728ULL);
+  EXPECT_EQ(r.next_u64(), 0x5c55f717342fdb12ULL);
+}
+
+TEST(RngStreamTest, ForStreamMatchesDerivedSeed) {
+  Rng direct(Rng::derive_stream_seed(99, 3));
+  Rng stream = Rng::for_stream(99, 3);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(direct.next_u64(), stream.next_u64());
+}
+
+TEST(RngStreamTest, StreamsDoNotCollideAcross1e5Draws) {
+  // 16 streams off one root, ~6250 draws each: all 1e5 values must be
+  // distinct (64-bit birthday collision odds are ~3e-10).
+  std::set<std::uint64_t> seen;
+  constexpr int kStreams = 16;
+  constexpr int kDraws = 100000 / kStreams;
+  for (std::uint64_t s = 0; s < kStreams; ++s) {
+    Rng r = Rng::for_stream(0x57a1ce5eedULL, s);
+    for (int i = 0; i < kDraws; ++i) seen.insert(r.next_u64());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kStreams * kDraws));
+}
+
+TEST(RngStreamTest, AdjacentRootSeedsGiveDistinctStreams) {
+  // The mix must break the raw xor correlation between (root, index)
+  // pairs like (r, i) and (r^1, i).
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t root : {0ULL, 1ULL, 2ULL, 42ULL, 43ULL})
+    for (std::uint64_t i = 0; i < 8; ++i)
+      seeds.insert(Rng::derive_stream_seed(root, i));
+  EXPECT_EQ(seeds.size(), 40u);
+}
+
+TEST(RngStateTest, SaveRestoreRoundTrip) {
+  Rng r(123);
+  for (int i = 0; i < 57; ++i) r.next_u64();
+  const std::array<std::uint64_t, 4> snapshot = r.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 100; ++i) expected.push_back(r.next_u64());
+
+  Rng resumed = Rng::from_state(snapshot);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(resumed.next_u64(), expected[i]);
+}
+
+TEST(RngStateTest, AllZeroStateIsNudgedToUsable) {
+  Rng r = Rng::from_state({0, 0, 0, 0});
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
 TEST(RngTest, ShuffleIsDeterministic) {
   std::vector<int> a{1, 2, 3, 4, 5, 6}, b{1, 2, 3, 4, 5, 6};
   Rng r1(47), r2(47);

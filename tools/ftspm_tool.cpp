@@ -11,12 +11,16 @@
 //   ftspm_tool suite    [--scale N]
 //   ftspm_tool stats    <workload> [--structure ftspm|sram|stt] [--scale N]
 //   ftspm_tool campaign [--protection parity|secded] [--strikes N]
-//                       [--interleave K] [--node NM]
+//                       [--interleave K] [--node NM] [--shards N]
+//                       [--checkpoint FILE] [--resume FILE]
+//                       [--checkpoint-interval N]
 //
 // Global options (accepted by every command, any position):
 //   --trace-out FILE    write a Chrome trace-event JSON of the run
 //   --metrics-out FILE  write the metrics registry snapshot as JSON
 //   --progress          report progress on stderr (suite/report/campaign)
+//   --jobs N            worker threads for suite/report/campaign
+//                       (default 1 = serial; 0 = hardware concurrency)
 //
 // Workloads: `case_study` (the paper's Section-IV program) or any
 // MiBench-style suite name (`ftspm_tool list`).
@@ -32,6 +36,8 @@
 #include "ftspm/core/partition.h"
 #include "ftspm/core/systems.h"
 #include "ftspm/core/transfer_schedule.h"
+#include "ftspm/exec/parallel_campaign.h"
+#include "ftspm/exec/thread_pool.h"
 #include "ftspm/obs/metrics.h"
 #include "ftspm/obs/trace_sink.h"
 #include "ftspm/profile/reuse.h"
@@ -57,6 +63,7 @@ struct GlobalOptions {
   std::string trace_out;
   std::string metrics_out;
   bool progress = false;
+  std::uint32_t jobs = 1;  // 0 = hardware concurrency
 };
 
 /// Owns the observability state for one tool invocation: enables the
@@ -74,6 +81,7 @@ class ObsSession {
   }
 
   bool progress() const noexcept { return opts_.progress; }
+  std::uint32_t jobs() const noexcept { return opts_.jobs; }
 
   /// Writes the requested artefacts. Called after the command ran so
   /// I/O errors surface as a nonzero exit instead of dying in a dtor.
@@ -106,6 +114,13 @@ bool progress_requested() {
   return g_session != nullptr && g_session->progress();
 }
 
+/// Worker threads requested via the global --jobs option; resolves the
+/// "0 = auto" spelling so callers see a concrete count.
+std::uint32_t jobs_requested() {
+  const std::uint32_t jobs = g_session != nullptr ? g_session->jobs() : 1;
+  return jobs == 0 ? exec::default_jobs() : jobs;
+}
+
 /// Pulls --trace-out/--metrics-out/--progress out of argv; everything
 /// else passes through (in order) to the subcommand's own parser.
 std::vector<std::string> extract_global_options(int argc,
@@ -136,6 +151,19 @@ std::vector<std::string> extract_global_options(int argc,
     }
     if (take_value(arg, "--trace-out", &g.trace_out, i)) continue;
     if (take_value(arg, "--metrics-out", &g.metrics_out, i)) continue;
+    std::string jobs_text;
+    if (take_value(arg, "--jobs", &jobs_text, i)) {
+      try {
+        const unsigned long v = std::stoul(jobs_text);
+        FTSPM_REQUIRE(v <= 1024, "--jobs must be at most 1024");
+        g.jobs = static_cast<std::uint32_t>(v);
+      } catch (const InvalidArgument&) {
+        throw;
+      } catch (const std::exception&) {
+        throw InvalidArgument("--jobs requires a non-negative integer");
+      }
+      continue;
+    }
     rest.emplace_back(arg);
   }
   return rest;
@@ -397,8 +425,8 @@ int cmd_suite(int argc, const char* const* argv) {
   const std::uint64_t scale =
       static_cast<std::uint64_t>(args.option_int("scale"));
   const StructureEvaluator evaluator;
-  const std::vector<SuiteRow> rows =
-      run_suite(evaluator, scale, make_suite_progress());
+  const std::vector<SuiteRow> rows = run_suite_parallel(
+      evaluator, scale, jobs_requested(), make_suite_progress());
   if (args.flag("json")) {
     std::cout << suite_json(rows, evaluator,
                             RunManifest{"ftspm_tool suite", "suite", scale, 0})
@@ -527,9 +555,9 @@ int cmd_report(int argc, const char* const* argv) {
   args.add_option("out-dir", "output directory", "ftspm_report");
   args.parse(argc, argv, 2);
   const StructureEvaluator evaluator;
-  const std::vector<SuiteRow> rows = run_suite(
+  const std::vector<SuiteRow> rows = run_suite_parallel(
       evaluator, static_cast<std::uint64_t>(args.option_int("scale")),
-      make_suite_progress());
+      jobs_requested(), make_suite_progress());
   for (const std::string& path :
        write_all_csv(evaluator, rows, args.option("out-dir")))
     std::cout << "wrote " << path << "\n";
@@ -544,6 +572,11 @@ int cmd_campaign(int argc, const char* const* argv) {
   args.add_option("interleave", "physical bit interleaving degree", "1");
   args.add_option("node", "process node in nm (multiplicity model)", "40");
   args.add_option("size", "surface payload size in bytes", "8192");
+  args.add_option("shards", "campaign shards (0 = one per job)", "0");
+  args.add_option("checkpoint", "write resumable progress to FILE", "");
+  args.add_option("resume", "resume from a checkpoint FILE", "");
+  args.add_option("checkpoint-interval",
+                  "strikes between checkpoint writes", "1048576");
   args.parse(argc, argv, 2);
 
   const std::string name = args.option("protection");
@@ -585,9 +618,33 @@ int cmd_campaign(int argc, const char* const* argv) {
                 << ", ETA " << fixed(eta, 1) << "s)\n";
     };
   }
-  const CampaignResult r = run_campaign(
-      {region},
-      StrikeMultiplicityModel::for_node(args.option_double("node")), cfg);
+  exec::ExecConfig exec_cfg;
+  exec_cfg.jobs = jobs_requested();
+  exec_cfg.shards = static_cast<std::uint32_t>(args.option_int("shards"));
+  exec_cfg.checkpoint_path = args.option("checkpoint");
+  exec_cfg.resume_path = args.option("resume");
+  exec_cfg.checkpoint_interval =
+      static_cast<std::uint64_t>(args.option_int("checkpoint-interval"));
+  const StrikeMultiplicityModel strikes =
+      StrikeMultiplicityModel::for_node(args.option_double("node"));
+
+  // The serial path is the golden reference; only engage the sharded
+  // engine when a parallel/resumable feature was actually asked for.
+  const bool wants_exec = exec_cfg.jobs > 1 || exec_cfg.shards > 1 ||
+                          !exec_cfg.checkpoint_path.empty() ||
+                          !exec_cfg.resume_path.empty();
+  CampaignResult r;
+  if (wants_exec) {
+    const exec::ShardedRun run =
+        exec::run_campaign_sharded({region}, strikes, cfg, exec_cfg);
+    r = run.merged;
+    // Informational only, and on stderr: stdout must stay byte-identical
+    // for a given (seed, strikes, shard count) whatever --jobs says.
+    std::cerr << "shards " << run.shard_results.size() << ", jobs "
+              << exec_cfg.effective_jobs() << "\n";
+  } else {
+    r = run_campaign({region}, strikes, cfg);
+  }
   std::cout << "strikes: " << with_commas(r.strikes) << "\n"
             << "masked:  " << percent(r.fraction(r.masked)) << "\n"
             << "DRE:     " << percent(r.fraction(r.dre)) << "\n"
@@ -690,6 +747,7 @@ void print_usage(std::ostream& os) {
         "  schedule <workload>      on-line phase transfer commands\n"
         "  suite                    full 12-benchmark sweep\n"
         "  campaign                 Monte-Carlo strike campaign\n"
+        "                           (--shards/--checkpoint/--resume)\n"
         "  export   <workload>      dump the trace text format\n"
         "  report                   write all tables/figures as CSV\n"
         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
@@ -700,6 +758,8 @@ void print_usage(std::ostream& os) {
         "  --metrics-out FILE       metrics registry snapshot as JSON\n"
         "  --progress               progress on stderr (suite/report/\n"
         "                           campaign)\n"
+        "  --jobs N                 worker threads for suite/report/\n"
+        "                           campaign (1 = serial, 0 = auto)\n"
         "workloads: case_study, any suite benchmark, or a path to a\n"
         "           .trace file (see `export`).\n"
         "subcommand options are listed in this source file's header\n"
