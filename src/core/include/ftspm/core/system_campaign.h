@@ -18,7 +18,9 @@
 #include "ftspm/core/transfer_schedule.h"
 #include "ftspm/exec/parallel_campaign.h"
 #include "ftspm/fault/injector.h"
+#include "ftspm/fault/recovery.h"
 #include "ftspm/profile/profiler.h"
+#include "ftspm/sim/simulator.h"
 #include "ftspm/sim/spm.h"
 
 namespace ftspm {
@@ -45,6 +47,39 @@ exec::ShardedRun run_system_campaign_parallel(
     const SpmLayout& layout, const MappingPlan& plan, const Program& program,
     const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
     const CampaignConfig& config, const exec::ExecConfig& exec_config);
+
+/// A RecoveryPolicy whose DMA re-fetch scalars come from `sim`'s
+/// transfer-cost model, so recovery campaigns book re-fetches exactly
+/// as the simulator books block map-ins.
+RecoveryPolicy make_recovery_policy(const SimConfig& sim, bool recover,
+                                    std::uint64_t scrub_interval);
+
+/// One recovery surface per SPM region: the injection surface from
+/// make_injection_regions plus what the recovery pipeline needs —
+/// the region's technology (write-back and scrub costs), the fraction
+/// of mapped words that are dirty/stack (no valid off-chip copy, so a
+/// DUE there is unrecoverable), the mean mapped-block size as the
+/// re-fetch transfer length, and the scrub flag (SEC-DED arrays and
+/// technologies with `needs_scrub`).
+std::vector<RecoveryRegion> make_recovery_regions(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile);
+
+/// Convenience wrapper: builds the recovery surfaces and runs the
+/// live-array campaign serially (see fault/recovery.h for semantics).
+RecoveryResult run_recovery_system_campaign(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const RecoveryPolicy& policy);
+
+/// Sharded/parallel run_recovery_system_campaign; same determinism
+/// contract as run_system_campaign_parallel (jobs-invariant, shards
+/// merged in index order).
+exec::RecoveryShardedRun run_recovery_system_campaign_parallel(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const RecoveryPolicy& policy,
+    const exec::ExecConfig& exec_config);
 
 /// Precomputed read-only context for the temporal campaign: the
 /// transfer schedule, per-region residency spans, and the injection

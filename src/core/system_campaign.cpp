@@ -63,6 +63,78 @@ exec::ShardedRun run_system_campaign_parallel(
   return exec::run_campaign_sharded(regions, strikes, config, exec_config);
 }
 
+RecoveryPolicy make_recovery_policy(const SimConfig& sim, bool recover,
+                                    std::uint64_t scrub_interval) {
+  RecoveryPolicy policy;
+  policy.recover = recover;
+  policy.scrub_interval = scrub_interval;
+  policy.dma_setup_cycles = sim.dma.setup_cycles;
+  policy.dma_line_cycles = sim.dram.line_latency_cycles;
+  policy.dma_word_cycles = sim.dram.word_latency_cycles;
+  policy.dram_read_energy_pj = sim.dram.read_energy_pj;
+  return policy;
+}
+
+std::vector<RecoveryRegion> make_recovery_regions(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile) {
+  const std::vector<InjectionRegion> inject =
+      make_injection_regions(layout, plan, program, profile);
+
+  // Per-region mapped footprint: how much of it is dirty/stack data (a
+  // DUE there has no valid off-chip copy) and the mean mapped-block
+  // size (what one DUE re-fetch transfers).
+  std::vector<double> mapped_words(layout.region_count(), 0.0);
+  std::vector<double> dirty_words(layout.region_count(), 0.0);
+  std::vector<std::uint64_t> mapped_blocks(layout.region_count(), 0);
+  for (const BlockMapping& m : plan.mappings()) {
+    if (!m.mapped()) continue;
+    const Block& block = program.block(m.block);
+    const double words = static_cast<double>(block.size_words());
+    mapped_words[m.region] += words;
+    ++mapped_blocks[m.region];
+    if (block.kind == BlockKind::Stack || profile.blocks[m.block].writes > 0)
+      dirty_words[m.region] += words;
+  }
+
+  std::vector<RecoveryRegion> regions;
+  regions.reserve(layout.region_count());
+  for (RegionId r = 0; r < layout.region_count(); ++r) {
+    RecoveryRegion region;
+    region.inject = inject[r];
+    region.tech = layout.region(r).tech;
+    if (mapped_words[r] > 0.0)
+      region.dirty_fraction = dirty_words[r] / mapped_words[r];
+    if (mapped_blocks[r] != 0)
+      region.refetch_words = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 mapped_words[r] / static_cast<double>(mapped_blocks[r])));
+    region.scrub = region.tech.protection == ProtectionKind::SecDed ||
+                   region.tech.needs_scrub;
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+RecoveryResult run_recovery_system_campaign(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const RecoveryPolicy& policy) {
+  return run_recovery_campaign(
+      make_recovery_regions(layout, plan, program, profile), strikes, config,
+      policy);
+}
+
+exec::RecoveryShardedRun run_recovery_system_campaign_parallel(
+    const SpmLayout& layout, const MappingPlan& plan, const Program& program,
+    const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
+    const CampaignConfig& config, const RecoveryPolicy& policy,
+    const exec::ExecConfig& exec_config) {
+  return exec::run_recovery_campaign_sharded(
+      make_recovery_regions(layout, plan, program, profile), strikes, config,
+      policy, exec_config);
+}
+
 TemporalCampaign::TemporalCampaign(const SpmLayout& layout,
                                    const MappingPlan& plan,
                                    const Program& program,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ftspm/exec/shard.h"
+#include "ftspm/fault/recovery.h"
 #include "ftspm/fault/strike_model.h"
 
 namespace ftspm::exec {
@@ -89,5 +90,26 @@ ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
                                 const StrikeMultiplicityModel& strikes,
                                 const CampaignConfig& config,
                                 const ExecConfig& exec);
+
+/// What a sharded recovery campaign produced: merged strike and
+/// recovery counters plus the per-shard partials, all in shard order.
+struct RecoveryShardedRun {
+  RecoveryResult merged;
+  bool complete = true;
+  std::vector<RecoveryResult> shard_results;
+};
+
+/// The live-array recovery campaign (fault/recovery.h), sharded. Each
+/// shard owns a private array image set seeded from its shard seed, so
+/// shards stay independent and the merged counters depend only on
+/// (seed, strikes, shard_count, policy) — never on --jobs. With
+/// `!policy.active()` this delegates to run_campaign_sharded, matching
+/// the static campaign bit for bit. Checkpoint/resume is rejected:
+/// the array images are not serialized, so a resumed shard could not
+/// reconstruct its state.
+RecoveryShardedRun run_recovery_campaign_sharded(
+    const std::vector<RecoveryRegion>& regions,
+    const StrikeMultiplicityModel& strikes, const CampaignConfig& config,
+    const RecoveryPolicy& policy, const ExecConfig& exec);
 
 }  // namespace ftspm::exec

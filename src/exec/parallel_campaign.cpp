@@ -247,4 +247,92 @@ ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
       });
 }
 
+namespace {
+
+/// Deterministic post-run observability for the recovery side of a
+/// sharded campaign; mirrors emit_observability's contract (coordinator
+/// only, after the join, shard order).
+void emit_recovery_observability(const RecoveryShardedRun& run) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  const RecoveryCounters& m = run.merged.recovery;
+  reg.counter("recovery.demand_reads").add(m.demand_reads);
+  reg.counter("recovery.corrections").add(m.corrections);
+  reg.counter("recovery.scrub_passes").add(m.scrub_passes);
+  reg.counter("recovery.scrub_words").add(m.scrub_words);
+  reg.counter("recovery.scrub_corrections").add(m.scrub_corrections);
+  reg.counter("recovery.refetches").add(m.refetches);
+  reg.counter("recovery.unrecoverable").add(m.unrecoverable);
+  reg.counter("recovery.sdc_reads").add(m.sdc_reads);
+  reg.counter("recovery.cycles").add(m.recovery_cycles);
+  reg.gauge("recovery.energy_pj").set(m.recovery_energy_pj);
+
+  obs::TraceEventSink* trace = obs::current_trace();
+  if (trace == nullptr) return;
+  for (std::size_t i = 0; i < run.shard_results.size(); ++i) {
+    const obs::TraceEventSink::LaneId lane =
+        trace->lane("recovery", "shard" + std::to_string(i));
+    const RecoveryCounters& c = run.shard_results[i].recovery;
+    trace->complete(lane, "recovery", 0, run.shard_results[i].strikes.strikes,
+                    {obs::TraceArg::num("corrections", c.corrections),
+                     obs::TraceArg::num("scrub_corrections",
+                                        c.scrub_corrections),
+                     obs::TraceArg::num("refetches", c.refetches),
+                     obs::TraceArg::num("unrecoverable", c.unrecoverable)});
+  }
+}
+
+}  // namespace
+
+RecoveryShardedRun run_recovery_campaign_sharded(
+    const std::vector<RecoveryRegion>& regions,
+    const StrikeMultiplicityModel& strikes, const CampaignConfig& config,
+    const RecoveryPolicy& policy, const ExecConfig& exec) {
+  RecoveryShardedRun out;
+  if (!policy.active()) {
+    // Static semantics: reuse the static sharded path (including its
+    // checkpoint support) and report empty recovery counters.
+    std::vector<InjectionRegion> inject;
+    inject.reserve(regions.size());
+    for (const RecoveryRegion& r : regions) inject.push_back(r.inject);
+    const ShardedRun run = run_campaign_sharded(inject, strikes, config, exec);
+    out.complete = run.complete;
+    out.merged = RecoveryResult{run.merged, {}};
+    out.shard_results.reserve(run.shard_results.size());
+    for (const CampaignResult& shard : run.shard_results)
+      out.shard_results.push_back(RecoveryResult{shard, {}});
+    return out;
+  }
+  FTSPM_REQUIRE(exec.checkpoint_path.empty() && exec.resume_path.empty(),
+                "recovery campaigns do not support checkpoint/resume: the "
+                "live array images are not serialized");
+
+  const LiveArrayCampaign campaign(regions, strikes, policy);
+  // The runner owns the core shard states; the image/counter sides live
+  // here, indexed by shard, touched only by that shard's worker.
+  std::vector<RecoveryShardSide> sides(exec.effective_shards());
+  const ShardedRun run = run_sharded_campaign(
+      config, exec, "recovery", LiveArrayCampaign::kSeedSalt,
+      [&](const CampaignShard& shard, CampaignShardState& state,
+          std::uint64_t max_strikes) {
+        RecoveryShardSide& side = sides[shard.index];
+        campaign.ensure_shard_images(side, shard.config.seed);
+        campaign.run_chunk(shard.config, state, side, max_strikes,
+                           /*observer=*/nullptr);
+      });
+
+  out.complete = run.complete;
+  out.shard_results.reserve(run.shard_results.size());
+  for (std::size_t i = 0; i < run.shard_results.size(); ++i)
+    out.shard_results.push_back(
+        RecoveryResult{run.shard_results[i], sides[i].counters});
+  out.merged.strikes = run.merged;
+  // Shard-order merge: even the floating-point energy sum is
+  // reproducible across any jobs value.
+  for (const RecoveryResult& shard : out.shard_results)
+    out.merged.recovery.add(shard.recovery);
+  emit_recovery_observability(out);
+  return out;
+}
+
 }  // namespace ftspm::exec

@@ -71,7 +71,8 @@ struct CampaignResult {
   std::uint64_t sdc = 0;
 
   double fraction(std::uint64_t n) const noexcept {
-    return strikes ? static_cast<double>(n) / strikes : 0.0;
+    return strikes ? static_cast<double>(n) / static_cast<double>(strikes)
+                   : 0.0;
   }
   /// Comparable to AvfResult::vulnerability().
   double vulnerability() const noexcept {
@@ -121,5 +122,12 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
 StrikeOutcome classify_strike(const InjectionRegion& region,
                               std::uint64_t first_bit, std::uint32_t flips,
                               Rng& rng);
+
+/// Locates physical bit `i` of a region under its interleaving: with
+/// degree IL, consecutive physical bits rotate across IL codewords, so
+/// an adjacent MBU spreads over IL words. This is the aim function
+/// classify_strike uses; the live-array recovery campaign shares it so
+/// its deposited flips land at identical physical locations.
+PhysicalBit locate_strike_bit(const InjectionRegion& region, std::uint64_t i);
 
 }  // namespace ftspm

@@ -20,13 +20,8 @@ const char* to_string(StrikeOutcome outcome) noexcept {
   return "?";
 }
 
-namespace {
-
-/// Locates physical bit `i` under the region's interleaving: with
-/// degree IL, consecutive physical bits rotate across IL codewords, so
-/// an adjacent MBU spreads over IL words.
-PhysicalBit locate_interleaved(const InjectionRegion& region,
-                               std::uint64_t i) {
+PhysicalBit locate_strike_bit(const InjectionRegion& region,
+                              std::uint64_t i) {
   const std::uint32_t cw = region.geometry.codeword_bits();
   if (region.interleave <= 1) return region.geometry.locate(i);
   const std::uint64_t group_bits =
@@ -38,6 +33,8 @@ PhysicalBit locate_interleaved(const InjectionRegion& region,
   pb.bit_in_codeword = static_cast<std::uint32_t>(within / region.interleave);
   return pb;
 }
+
+namespace {
 
 /// Classifies the flips that landed in one codeword.
 StrikeOutcome classify_word(ProtectionKind protection,
@@ -93,7 +90,7 @@ StrikeOutcome classify_strike(const InjectionRegion& region,
   // Gather flips per codeword (clipped at the array edge).
   std::vector<std::pair<std::uint64_t, std::uint32_t>> hits;
   for (std::uint32_t k = 0; k < flips && first_bit + k < surface; ++k) {
-    const PhysicalBit pb = locate_interleaved(region, first_bit + k);
+    const PhysicalBit pb = locate_strike_bit(region, first_bit + k);
     if (pb.word_index >= region.geometry.words()) continue;
     hits.emplace_back(pb.word_index, pb.bit_in_codeword);
   }

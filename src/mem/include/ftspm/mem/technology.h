@@ -72,6 +72,12 @@ struct TechnologyParams {
   /// True when the cell structure cannot be upset by a particle strike.
   bool soft_error_immune = false;
 
+  /// True when the array depends on periodic scrubbing (relaxed-
+  /// retention STT-RAM refresh, whose duty-cycle power is already in
+  /// `cell_leakage_mw_per_kib`). The recovery campaign's scrub engine
+  /// sweeps these regions alongside the SEC-DED ones.
+  bool needs_scrub = false;
+
   /// Total static power of an array holding `data_bytes` of payload.
   double static_power_mw(std::uint64_t data_bytes) const noexcept {
     const double kib = static_cast<double>(data_bytes) / 1024.0;

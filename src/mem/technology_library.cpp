@@ -158,6 +158,7 @@ TechnologyParams TechnologyLibrary::stt_ram_relaxed() const {
   p.write_energy_pj = kSttRelaxedWritePj40 * scale_;
   p.cell_leakage_mw_per_kib += kSttScrubMwPerKib40 * (40.0 / corner_.node_nm);
   p.endurance_writes = kSttRelaxedEnduranceWrites;
+  p.needs_scrub = true;
   return p;
 }
 

@@ -92,6 +92,37 @@ std::string fig_metric_csv(
 
 }  // namespace
 
+std::string campaign_csv(const CampaignResult& result,
+                         const RecoveryCounters* recovery) {
+  std::vector<std::string> headers{"strikes", "masked", "dre", "due", "sdc",
+                                   "vulnerability"};
+  std::vector<std::string> cells{
+      std::to_string(result.strikes), std::to_string(result.masked),
+      std::to_string(result.dre),     std::to_string(result.due),
+      std::to_string(result.sdc),     num(result.vulnerability())};
+  if (recovery != nullptr) {
+    for (const char* h :
+         {"demand_reads", "corrections", "scrub_passes", "scrub_words",
+          "scrub_corrections", "refetches", "unrecoverable", "sdc_reads",
+          "recovery_cycles", "recovery_energy_pj", "mean_repair_cycles"})
+      headers.emplace_back(h);
+    cells.push_back(std::to_string(recovery->demand_reads));
+    cells.push_back(std::to_string(recovery->corrections));
+    cells.push_back(std::to_string(recovery->scrub_passes));
+    cells.push_back(std::to_string(recovery->scrub_words));
+    cells.push_back(std::to_string(recovery->scrub_corrections));
+    cells.push_back(std::to_string(recovery->refetches));
+    cells.push_back(std::to_string(recovery->unrecoverable));
+    cells.push_back(std::to_string(recovery->sdc_reads));
+    cells.push_back(std::to_string(recovery->recovery_cycles));
+    cells.push_back(num(recovery->recovery_energy_pj));
+    cells.push_back(num(recovery->mean_repair_cycles()));
+  }
+  CsvWriter csv(headers);
+  csv.add_row(cells);
+  return csv.render();
+}
+
 std::map<std::string, std::string> export_all_csv(
     const StructureEvaluator& evaluator, const std::vector<SuiteRow>& rows) {
   std::map<std::string, std::string> out;

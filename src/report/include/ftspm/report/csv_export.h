@@ -7,9 +7,17 @@
 #include <string>
 #include <vector>
 
+#include "ftspm/fault/recovery.h"
 #include "ftspm/report/suite_runner.h"
 
 namespace ftspm {
+
+/// One strike campaign as a single-row CSV (header + one data row):
+/// strike counters first, then — when `recovery` is non-null — the
+/// recovery-pipeline columns (zeros are emitted as "0", so the file is
+/// byte-stable for a fixed campaign regardless of --jobs).
+std::string campaign_csv(const CampaignResult& result,
+                         const RecoveryCounters* recovery);
 
 /// All artefact CSVs for one full evaluation: filename -> contents.
 /// `rows` must come from run_suite(evaluator, ...); the case-study

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ftspm/core/systems.h"
+#include "ftspm/fault/recovery.h"
 #include "ftspm/report/suite_runner.h"
 
 namespace ftspm {
@@ -38,5 +39,15 @@ std::string system_result_json(const SystemResult& result,
 std::string suite_json(const std::vector<SuiteRow>& rows,
                        const StructureEvaluator& evaluator,
                        const RunManifest& manifest = {});
+
+/// One Monte-Carlo strike campaign as a JSON object string: manifest,
+/// strike counters and fractions, and — when `recovery` is non-null —
+/// the recovery-pipeline block (corrections, scrub sweeps, re-fetches,
+/// unrecoverable DUEs, and the MTTR-style overhead cycles/energy spent
+/// repairing). Field order is fixed, so for a fixed campaign the
+/// output is byte-identical regardless of --jobs.
+std::string campaign_json(const CampaignResult& result,
+                          const RecoveryCounters* recovery,
+                          const RunManifest& manifest = {});
 
 }  // namespace ftspm

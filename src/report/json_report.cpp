@@ -93,6 +93,41 @@ std::string system_result_json(const SystemResult& result,
   return w.str();
 }
 
+std::string campaign_json(const CampaignResult& result,
+                          const RecoveryCounters* recovery,
+                          const RunManifest& manifest) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("manifest");
+  write_manifest(w, manifest);
+  w.end_object();
+  w.begin_object("strikes")
+      .field("total", result.strikes)
+      .field("masked", result.masked)
+      .field("dre", result.dre)
+      .field("due", result.due)
+      .field("sdc", result.sdc)
+      .field("vulnerability", result.vulnerability())
+      .end_object();
+  if (recovery != nullptr) {
+    w.begin_object("recovery")
+        .field("demand_reads", recovery->demand_reads)
+        .field("corrections", recovery->corrections)
+        .field("scrub_passes", recovery->scrub_passes)
+        .field("scrub_words", recovery->scrub_words)
+        .field("scrub_corrections", recovery->scrub_corrections)
+        .field("refetches", recovery->refetches)
+        .field("unrecoverable", recovery->unrecoverable)
+        .field("sdc_reads", recovery->sdc_reads)
+        .field("recovery_cycles", recovery->recovery_cycles)
+        .field("recovery_energy_pj", recovery->recovery_energy_pj)
+        .field("mean_repair_cycles", recovery->mean_repair_cycles())
+        .end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
 std::string suite_json(const std::vector<SuiteRow>& rows,
                        const StructureEvaluator& evaluator,
                        const RunManifest& manifest) {

@@ -39,6 +39,19 @@ struct DmaConfig {
   std::uint32_t setup_cycles = 16;  ///< Channel programming per transfer.
 };
 
+/// Cycles one DMA transfer of `words` 64-bit words costs under the
+/// simulator's transfer model: channel setup + first-line latency + one
+/// beat per word at the slower of the DRAM stream rate and the SPM-side
+/// access latency (`spm_latency_cycles` is the region's write latency
+/// for map-ins, read latency for write-backs). Exposed so other
+/// consumers — the fault-recovery campaign's DUE re-fetch path — book
+/// transfers with exactly the cost the simulator charges for block
+/// map-ins.
+std::uint64_t dma_transfer_cycles(const DmaConfig& dma,
+                                  const MainMemoryConfig& dram,
+                                  std::uint32_t spm_latency_cycles,
+                                  std::uint64_t words) noexcept;
+
 struct SimConfig {
   CacheConfig icache{};  ///< Table IV: 8 KiB, 1-cycle.
   CacheConfig dcache{};

@@ -43,6 +43,15 @@ double RunResult::spm_energy_per_access_pj() const noexcept {
   return e / static_cast<double>(n);
 }
 
+std::uint64_t dma_transfer_cycles(const DmaConfig& dma,
+                                  const MainMemoryConfig& dram,
+                                  std::uint32_t spm_latency_cycles,
+                                  std::uint64_t words) noexcept {
+  const std::uint32_t per_word =
+      std::max<std::uint32_t>(dram.word_latency_cycles, spm_latency_cycles);
+  return dma.setup_cycles + dram.line_latency_cycles + words * per_word;
+}
+
 Simulator::Simulator(SpmLayout layout, SimConfig config)
     : layout_(std::move(layout)), config_(config) {
   FTSPM_REQUIRE(config_.clock_mhz > 0.0, "clock must be positive");
@@ -183,11 +192,8 @@ RunResult Simulator::run_impl(
     const SpmRegionSpec& spec = layout_.region(rid);
     const std::uint32_t spm_lat = into_spm ? spec.tech.write_latency_cycles
                                            : spec.tech.read_latency_cycles;
-    const std::uint32_t per_word =
-        std::max<std::uint32_t>(config_.dram.word_latency_cycles, spm_lat);
-    const std::uint64_t cycles = config_.dma.setup_cycles +
-                                 config_.dram.line_latency_cycles +
-                                 words * per_word;
+    const std::uint64_t cycles =
+        dma_transfer_cycles(config_.dma, config_.dram, spm_lat, words);
     const double dram_e = words * (into_spm ? config_.dram.read_energy_pj
                                             : config_.dram.write_energy_pj);
     const double spm_e = words * (into_spm ? spec.tech.write_energy_pj

@@ -1,6 +1,8 @@
 #include "ftspm/workload/trace_io.h"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "ftspm/util/error.h"
@@ -45,6 +47,19 @@ BlockKind kind_of(const std::string& word, std::size_t line) {
   throw Error("trace line " + std::to_string(line) + ": " + what);
 }
 
+/// Narrows a parsed field to the width its TraceEvent/Block member
+/// actually has. The old code static_cast the uint64_t straight down,
+/// so an offset of 2^32 silently wrapped to 0 and validated fine.
+template <typename Narrow>
+Narrow narrow_field(std::uint64_t value, const char* field,
+                    std::size_t line) {
+  if (value > std::numeric_limits<Narrow>::max())
+    fail(line, std::string(field) + " " + std::to_string(value) +
+                   " exceeds the maximum of " +
+                   std::to_string(std::numeric_limits<Narrow>::max()));
+  return static_cast<Narrow>(value);
+}
+
 }  // namespace
 
 std::string serialize_workload(const Workload& workload) {
@@ -68,6 +83,8 @@ Workload parse_workload(std::string_view text) {
   auto next_line = [&]() -> bool {
     while (std::getline(is, line)) {
       ++line_no;
+      // Tolerate CRLF files: getline only strips the '\n'.
+      if (!line.empty() && line.back() == '\r') line.pop_back();
       if (!line.empty()) return true;
     }
     return false;
@@ -94,7 +111,8 @@ Workload parse_workload(std::string_view text) {
       fields >> name >> kind >> bytes;
       if (fields.fail()) fail(line_no, "expected 'block <name> <kind> <bytes>'");
       blocks.push_back(Block{name, kind_of(kind, line_no),
-                             static_cast<std::uint32_t>(bytes)});
+                             narrow_field<std::uint32_t>(bytes, "block size",
+                                                         line_no)});
     } else if (keyword == "trace") {
       fields >> event_count;
       if (fields.fail()) fail(line_no, "expected 'trace <count>'");
@@ -119,10 +137,10 @@ Workload parse_workload(std::string_view text) {
       fail(line_no, "expected '<type> <block> <offset> <repeat> <gap>'");
     TraceEvent e;
     e.type = type_of(code[0], line_no);
-    e.block = static_cast<BlockId>(block);
-    e.offset = static_cast<std::uint32_t>(offset);
-    e.repeat = static_cast<std::uint32_t>(repeat);
-    e.gap = static_cast<std::uint16_t>(gap);
+    e.block = narrow_field<BlockId>(block, "block id", line_no);
+    e.offset = narrow_field<std::uint32_t>(offset, "offset", line_no);
+    e.repeat = narrow_field<std::uint32_t>(repeat, "repeat", line_no);
+    e.gap = narrow_field<std::uint16_t>(gap, "gap", line_no);
     trace.push_back(e);
   }
 

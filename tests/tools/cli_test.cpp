@@ -196,6 +196,80 @@ TEST(CliTest, BadJobsValueFailsWithUsageExit) {
   EXPECT_NE(r.output.find("--jobs"), std::string::npos);
 }
 
+TEST(CliTest, JobsWithTrailingGarbageFailsWithUsageExit) {
+  // std::stoul would silently parse "8x" as 8; the CLI must reject it.
+  const CommandResult r = run_tool("--jobs 8x suite --scale 64");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--jobs"), std::string::npos);
+  EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+            std::string::npos);
+}
+
+TEST(CliTest, PartitionBadWeightFailsWithUsageExit) {
+  // "jpeg:abc" used to escape as an uncaught std::invalid_argument from
+  // std::stod (exit 1, no usage hint); so did a trailing colon.
+  for (const char* spec : {"jpeg:abc", "jpeg:", "jpeg:1.5x", "jpeg:-2"}) {
+    const CommandResult r =
+        run_tool(std::string("partition ") + spec + " --scale 64");
+    EXPECT_EQ(r.exit_code, 2) << spec << "\n" << r.output;
+    EXPECT_NE(r.output.find("bad weight"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(CliTest, CampaignRecoveryStdoutIsJobsInvariant) {
+  const std::string base =
+      "campaign --strikes 20000 --shards 4 --occupancy 0.4 --recover "
+      "--scrub-interval 2048";
+  const CommandResult serial = run_tool_stdout("--jobs 1 " + base);
+  const CommandResult parallel = run_tool_stdout("--jobs 8 " + base);
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  ASSERT_FALSE(serial.output.empty());
+  EXPECT_EQ(serial.output, parallel.output);
+  EXPECT_NE(serial.output.find("corrections:"), std::string::npos)
+      << serial.output;
+
+  // Same for the machine-readable form.
+  const CommandResult js = run_tool_stdout("--jobs 1 " + base + " --json");
+  const CommandResult jp = run_tool_stdout("--jobs 8 " + base + " --json");
+  EXPECT_EQ(js.exit_code, 0);
+  EXPECT_EQ(jp.exit_code, 0);
+  EXPECT_EQ(js.output, jp.output);
+}
+
+TEST(CliTest, CampaignJsonAndCsvCarryRecoveryCounters) {
+  const std::string base =
+      "campaign --strikes 5000 --recover --scrub-interval 1024 "
+      "--occupancy 0.5";
+  const CommandResult js = run_tool_stdout(base + " --json");
+  ASSERT_EQ(js.exit_code, 0);
+  const JsonValue doc = parse_json(js.output);
+  EXPECT_EQ(doc.at("manifest").at("command").string, "ftspm_tool campaign");
+  const JsonValue& strikes = doc.at("strikes");
+  EXPECT_DOUBLE_EQ(strikes.at("total").number, 5000.0);
+  const JsonValue& recovery = doc.at("recovery");
+  EXPECT_GT(recovery.at("demand_reads").number, 0.0);
+  EXPECT_NE(recovery.find("refetches"), nullptr);
+  EXPECT_NE(recovery.find("recovery_cycles"), nullptr);
+  EXPECT_NE(recovery.find("mean_repair_cycles"), nullptr);
+
+  const CommandResult csv = run_tool_stdout(base + " --csv");
+  ASSERT_EQ(csv.exit_code, 0);
+  EXPECT_NE(csv.output.find("strikes,masked,dre,due,sdc,vulnerability,"
+                            "demand_reads"),
+            std::string::npos)
+      << csv.output;
+
+  // Without recovery flags the report sticks to the strike columns.
+  const CommandResult plain =
+      run_tool_stdout("campaign --strikes 5000 --json");
+  ASSERT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(parse_json(plain.output).find("recovery"), nullptr);
+}
+
 TEST(CliTest, SuiteOutputIsJobsInvariant) {
   const CommandResult serial =
       run_tool_stdout("--jobs 1 suite --scale 64 --json");

@@ -105,6 +105,62 @@ TEST(TraceIoTest, ParsedTracesAreValidated) {
                Error);
 }
 
+TEST(TraceIoTest, CrlfLineEndingsAreAccepted) {
+  const Workload original = tiny_workload();
+  std::string text = serialize_workload(original);
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const Workload parsed = parse_workload(crlf);
+  ASSERT_EQ(parsed.trace.size(), original.trace.size());
+  for (std::size_t i = 0; i < original.trace.size(); ++i) {
+    EXPECT_EQ(parsed.trace[i].type, original.trace[i].type);
+    EXPECT_EQ(parsed.trace[i].block, original.trace[i].block);
+    EXPECT_EQ(parsed.trace[i].offset, original.trace[i].offset);
+    EXPECT_EQ(parsed.trace[i].repeat, original.trace[i].repeat);
+    EXPECT_EQ(parsed.trace[i].gap, original.trace[i].gap);
+  }
+  EXPECT_EQ(parsed.program.block(0).size_bytes,
+            original.program.block(0).size_bytes);
+}
+
+/// Expects parse_workload(text) to throw with both fragments in the
+/// message — the line number and the offending field.
+void expect_parse_error(const std::string& text, const std::string& line_tag,
+                        const std::string& field_tag) {
+  try {
+    parse_workload(text);
+    FAIL() << "expected Error for: " << text;
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(line_tag), std::string::npos) << what;
+    EXPECT_NE(what.find(field_tag), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIoTest, RejectsOversizeFieldsWithLineNumbers) {
+  // Every one of these used to static_cast silently: an offset of 2^32
+  // wrapped to 0 and the event "validated" fine.
+  expect_parse_error(
+      "ftspm-trace v1\nprogram x\nblock a data 4294967296\ntrace 0\n",
+      "trace line 3", "block size");
+  const std::string head =
+      "ftspm-trace v1\nprogram x\nblock a data 64\ntrace 1\n";
+  expect_parse_error(head + "R 4294967296 0 1 0\n", "trace line 5",
+                     "block id");
+  expect_parse_error(head + "R 0 4294967296 1 0\n", "trace line 5",
+                     "offset");
+  expect_parse_error(head + "R 0 0 4294967296 0\n", "trace line 5",
+                     "repeat");
+  expect_parse_error(head + "R 0 0 1 65536\n", "trace line 5", "gap");
+  // The documented maxima themselves still parse (gap's 65535 here;
+  // offset/repeat at 2^32-1 would fail block-bounds validation, which
+  // is the separate validate_trace contract).
+  EXPECT_NO_THROW(parse_workload(head + "R 0 0 1 65535\n"));
+}
+
 TEST(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(load_workload("/nonexistent/path/trace.txt"),
                InvalidArgument);

@@ -14,6 +14,9 @@
 //                       [--interleave K] [--node NM] [--shards N]
 //                       [--checkpoint FILE] [--resume FILE]
 //                       [--checkpoint-interval N]
+//                       [--recover] [--scrub-interval N]
+//                       [--dirty-fraction F] [--refetch-words N]
+//                       [--json] [--csv]
 //
 // Global options (accepted by every command, any position):
 //   --trace-out FILE    write a Chrome trace-event JSON of the run
@@ -26,6 +29,8 @@
 // MiBench-style suite name (`ftspm_tool list`).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "ftspm/core/partition.h"
+#include "ftspm/core/system_campaign.h"
 #include "ftspm/core/systems.h"
 #include "ftspm/core/transfer_schedule.h"
 #include "ftspm/exec/parallel_campaign.h"
@@ -154,8 +160,14 @@ std::vector<std::string> extract_global_options(int argc,
     std::string jobs_text;
     if (take_value(arg, "--jobs", &jobs_text, i)) {
       try {
-        const unsigned long v = std::stoul(jobs_text);
-        FTSPM_REQUIRE(v <= 1024, "--jobs must be at most 1024");
+        // stoul stops at the first non-digit, so "8x" would silently
+        // parse as 8; demand that the whole token was consumed.
+        std::size_t consumed = 0;
+        const unsigned long v = std::stoul(jobs_text, &consumed);
+        if (consumed != jobs_text.size())
+          throw InvalidArgument("--jobs value '" + jobs_text +
+                                "' has trailing characters");
+        if (v > 1024) throw InvalidArgument("--jobs must be at most 1024");
         g.jobs = static_cast<std::uint32_t>(v);
       } catch (const InvalidArgument&) {
         throw;
@@ -515,7 +527,16 @@ int cmd_partition(int argc, const char* const* argv) {
     double weight = 1.0;
     if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
       name = spec.substr(0, colon);
-      weight = std::stod(spec.substr(colon + 1));
+      // std::stod would throw std::invalid_argument (exit 1, no usage
+      // hint) on "jpeg:abc" and silently accept "jpeg:1.5x"; parse with
+      // strtod and demand full consumption of a positive finite value.
+      const std::string text = spec.substr(colon + 1);
+      char* end = nullptr;
+      weight = std::strtod(text.c_str(), &end);
+      if (text.empty() || end != text.c_str() + text.size() ||
+          !std::isfinite(weight) || weight <= 0.0)
+        throw InvalidArgument("bad weight in '" + spec +
+                              "': expected a positive number after ':'");
     }
     workloads.push_back(resolve_workload(
         name, static_cast<std::uint64_t>(args.option_int("scale"))));
@@ -572,11 +593,20 @@ int cmd_campaign(int argc, const char* const* argv) {
   args.add_option("interleave", "physical bit interleaving degree", "1");
   args.add_option("node", "process node in nm (multiplicity model)", "40");
   args.add_option("size", "surface payload size in bytes", "8192");
+  args.add_option("occupancy", "ACE occupancy of the surface [0,1]", "1.0");
   args.add_option("shards", "campaign shards (0 = one per job)", "0");
   args.add_option("checkpoint", "write resumable progress to FILE", "");
   args.add_option("resume", "resume from a checkpoint FILE", "");
   args.add_option("checkpoint-interval",
                   "strikes between checkpoint writes", "1048576");
+  args.add_flag("recover", "repair demand-read errors (live-array mode)");
+  args.add_option("scrub-interval",
+                  "strikes between scrub sweeps (0 = no scrubbing)", "0");
+  args.add_option("dirty-fraction",
+                  "probability a DUE word is dirty (unrecoverable)", "0.25");
+  args.add_option("refetch-words", "words per DUE re-fetch transfer", "64");
+  args.add_flag("json", "emit machine-readable JSON");
+  args.add_flag("csv", "emit a single-row CSV");
   args.parse(argc, argv, 2);
 
   const std::string name = args.option("protection");
@@ -598,7 +628,8 @@ int cmd_campaign(int argc, const char* const* argv) {
   const InjectionRegion region{
       RegionGeometry(static_cast<std::uint64_t>(args.option_int("size")),
                      check_bits),
-      kind, 1.0, static_cast<std::uint32_t>(args.option_int("interleave"))};
+      kind, args.option_double("occupancy"),
+      static_cast<std::uint32_t>(args.option_int("interleave"))};
   CampaignConfig cfg;
   cfg.strikes = static_cast<std::uint64_t>(args.option_int("strikes"));
   if (progress_requested()) {
@@ -628,22 +659,55 @@ int cmd_campaign(int argc, const char* const* argv) {
   const StrikeMultiplicityModel strikes =
       StrikeMultiplicityModel::for_node(args.option_double("node"));
 
+  // Recovery setup. With neither --recover nor --scrub-interval the
+  // policy is inactive and the recovery entry points delegate to the
+  // static campaign, reproducing its counters (and this command's
+  // historical stdout) bit for bit.
+  const RecoveryPolicy policy = make_recovery_policy(
+      SimConfig{}, args.flag("recover"),
+      static_cast<std::uint64_t>(args.option_int("scrub-interval")));
+  RecoveryRegion rregion;
+  rregion.inject = region;
+  const TechnologyLibrary lib;
+  rregion.tech = kind == ProtectionKind::SecDed
+                     ? lib.secded_sram()
+                     : (kind == ProtectionKind::Parity
+                            ? lib.parity_sram()
+                            : lib.unprotected_sram());
+  rregion.dirty_fraction = args.option_double("dirty-fraction");
+  rregion.refetch_words =
+      static_cast<std::uint64_t>(args.option_int("refetch-words"));
+  rregion.scrub = kind == ProtectionKind::SecDed;
+
   // The serial path is the golden reference; only engage the sharded
   // engine when a parallel/resumable feature was actually asked for.
   const bool wants_exec = exec_cfg.jobs > 1 || exec_cfg.shards > 1 ||
                           !exec_cfg.checkpoint_path.empty() ||
                           !exec_cfg.resume_path.empty();
-  CampaignResult r;
+  RecoveryResult result;
   if (wants_exec) {
-    const exec::ShardedRun run =
-        exec::run_campaign_sharded({region}, strikes, cfg, exec_cfg);
-    r = run.merged;
+    const exec::RecoveryShardedRun run = exec::run_recovery_campaign_sharded(
+        {rregion}, strikes, cfg, policy, exec_cfg);
+    result = run.merged;
     // Informational only, and on stderr: stdout must stay byte-identical
     // for a given (seed, strikes, shard count) whatever --jobs says.
     std::cerr << "shards " << run.shard_results.size() << ", jobs "
               << exec_cfg.effective_jobs() << "\n";
   } else {
-    r = run_campaign({region}, strikes, cfg);
+    result = run_recovery_campaign({rregion}, strikes, cfg, policy);
+  }
+  const CampaignResult& r = result.strikes;
+  const RecoveryCounters* rec = policy.active() ? &result.recovery : nullptr;
+  if (args.flag("json")) {
+    std::cout << campaign_json(r, rec,
+                               RunManifest{"ftspm_tool campaign", name, 1,
+                                           cfg.seed})
+              << "\n";
+    return 0;
+  }
+  if (args.flag("csv")) {
+    std::cout << campaign_csv(r, rec);
+    return 0;
   }
   std::cout << "strikes: " << with_commas(r.strikes) << "\n"
             << "masked:  " << percent(r.fraction(r.masked)) << "\n"
@@ -652,6 +716,18 @@ int cmd_campaign(int argc, const char* const* argv) {
             << "SDC:     " << percent(r.fraction(r.sdc)) << "\n"
             << "vulnerability (DUE+SDC): " << percent(r.vulnerability())
             << "\n";
+  if (rec != nullptr) {
+    std::cout << "demand reads:  " << with_commas(rec->demand_reads) << "\n"
+              << "corrections:   " << with_commas(rec->corrections)
+              << "  (+" << with_commas(rec->scrub_corrections)
+              << " by scrub over " << with_commas(rec->scrub_passes)
+              << " passes)\n"
+              << "re-fetches:    " << with_commas(rec->refetches) << "\n"
+              << "unrecoverable: " << with_commas(rec->unrecoverable) << "\n"
+              << "recovery cost: " << with_commas(rec->recovery_cycles)
+              << " cycles, "
+              << si_string(rec->recovery_energy_pj * 1e-12, "J") << "\n";
+  }
   return 0;
 }
 
@@ -747,7 +823,9 @@ void print_usage(std::ostream& os) {
         "  schedule <workload>      on-line phase transfer commands\n"
         "  suite                    full 12-benchmark sweep\n"
         "  campaign                 Monte-Carlo strike campaign\n"
-        "                           (--shards/--checkpoint/--resume)\n"
+        "                           (--shards/--checkpoint/--resume;\n"
+        "                           --recover/--scrub-interval for the\n"
+        "                           live-array recovery mode; --json/--csv)\n"
         "  export   <workload>      dump the trace text format\n"
         "  report                   write all tables/figures as CSV\n"
         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
