@@ -15,6 +15,8 @@
 // masking (empty words, straddled codewords), so vulnerability is
 // non-increasing — and the FTSPM-vs-baseline gap survives at every
 // fidelity.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/system_campaign.h"
@@ -23,7 +25,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: analytic vs static-MC vs temporal-MC "
                "vulnerability (case study) ==\n\n";

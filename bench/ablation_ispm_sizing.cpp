@@ -5,6 +5,8 @@
 // Main becomes mappable, its 3.3M fetches leave the cache path for
 // immune 1-cycle STT-RAM, and cycles / off-chip traffic drop — while
 // the data-side mapping (and hence vulnerability) barely moves.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -12,7 +14,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: I-SPM size vs the case study ==\n\n";
   const Workload workload = make_case_study();

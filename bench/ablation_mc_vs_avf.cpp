@@ -10,6 +10,8 @@
 //    into smaller, more correctable errors);
 //  * with 4-way physical interleaving, SEC-DED corrects nearly every
 //    MBU — the classic mitigation the paper leaves as future work.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/fault/avf.h"
@@ -17,7 +19,8 @@
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: analytic Eqs. 4-7 vs Monte-Carlo injection "
                "==\n\n";

@@ -9,6 +9,8 @@
 // performance mode minimises cycles, the power mode minimises dynamic
 // energy, and the endurance mode minimises the hottest STT-RAM write
 // rate.
+#include "bench_io.h"
+
 #include <iostream>
 #include <limits>
 
@@ -17,7 +19,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: MDA optimisation priorities (case study) ==\n\n";
   const Workload workload = make_case_study();

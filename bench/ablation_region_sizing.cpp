@@ -7,13 +7,16 @@
 // blocks (endurance and dynamic energy improve or hold) but exposes
 // more strike surface (vulnerability and static power rise) — the
 // paper's 12/2/2 sits near the knee.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: hybrid D-SPM split (16 KiB total) ==\n\n";
 

@@ -7,13 +7,16 @@
 // write-avoidance machinery stops paying: with cheap writes MDA keeps
 // more write-traffic in the immune region, so vulnerability drops
 // further and dynamic energy falls, at a small static-power premium.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: paper STT-RAM vs relaxed-retention STT-RAM "
                "(FTSPM, suite geomeans) ==\n\n";

@@ -13,6 +13,8 @@
 //     the SEC-DED region at ~full occupancy, so errors never linger and
 //     the DUEs that remain are intra-strike multi-bit upsets — the
 //     failure mode the paper's bit interleaving targets, not scrubbing.
+#include "bench_io.h"
+
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -110,7 +112,8 @@ void case_study_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   std::cout << "== Ablation: scrub interval vs residual vulnerability "
                "(live-array recovery campaign) ==\n\n";
   surface_sweep();

@@ -6,6 +6,8 @@
 // (Dixit & Wood trend): the pure-SRAM baseline's vulnerability grows
 // with every shrink while FTSPM's stays pinned near zero — the gap the
 // paper's introduction predicts widens.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -13,7 +15,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: vulnerability vs process node (case study) "
                "==\n\n";

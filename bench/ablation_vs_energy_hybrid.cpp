@@ -14,6 +14,8 @@
 //  * the energy rule is blind to SRAM capacity interplay: write-heavy
 //    blocks that fit no SRAM region spill into the NVM (fft: ~9x the
 //    dynamic energy) — MDA's threshold loops catch exactly this.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -21,7 +23,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/suite.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Ablation: FTSPM vs energy-only hybrid mapping (same "
                "hardware) ==\n\n";

@@ -1,0 +1,73 @@
+#include "bench_io.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "ftspm/report/json_report.h"
+#include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::bench {
+
+std::string out_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--out") {
+      FTSPM_REQUIRE(i + 1 < argc, "--out needs a path");
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+Output::Output(std::string name, int argc, char** argv)
+    : name_(std::move(name)), path_(out_path_from_args(argc, argv)) {
+  if (!path_.empty()) saved_ = std::cout.rdbuf(captured_.rdbuf());
+}
+
+Output::~Output() {
+  if (saved_ == nullptr) return;
+  std::cout.rdbuf(saved_);
+  const std::string text = captured_.str();
+  std::cout << text;
+  RunManifest manifest;
+  manifest.command = "bench/" + name_;
+  JsonWriter w;
+  w.begin_object()
+      .raw_field("manifest", manifest_json(manifest))
+      .field("bench", name_)
+      .field("text", text)
+      .end_object();
+  std::ofstream out(path_);
+  if (!out || !(out << w.str() << "\n")) {
+    // A destructor cannot throw; a missing artefact must still be loud.
+    std::cerr << "bench: failed to write " << path_ << "\n";
+  }
+}
+
+int run_google_benchmark(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--out" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ftspm::bench

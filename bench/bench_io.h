@@ -1,0 +1,45 @@
+// Shared command-line plumbing of the bench binaries.
+//
+// Every table/figure/ablation binary prints its rows to stdout for
+// humans; passing `--out <path>` additionally writes a machine-readable
+// JSON artefact ({"manifest": ..., "bench": ..., "text": ...}) reusing
+// the report layer's manifest conventions, so sweep scripts collect
+// bench output without scraping terminals. The google-benchmark micro_*
+// binaries route --out to the library's own JSON reporter instead
+// (run_google_benchmark).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ftspm::bench {
+
+/// Extracts the value of `--out <path>` from argv ("" when absent).
+/// Throws ftspm::InvalidArgument when --out is given without a path.
+std::string out_path_from_args(int argc, char** argv);
+
+/// Captures a bench binary's stdout while alive. Without --out in argv
+/// the object is inert; with --out the destructor restores stdout,
+/// echoes the captured text (human output is never lost), then writes
+/// the JSON artefact to the requested path.
+class Output {
+ public:
+  Output(std::string name, int argc, char** argv);
+  ~Output();
+  Output(const Output&) = delete;
+  Output& operator=(const Output&) = delete;
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::ostringstream captured_;
+  std::streambuf* saved_ = nullptr;
+};
+
+/// main() body of the google-benchmark micro_* binaries: rewrites
+/// `--out <path>` into `--benchmark_out=<path>` +
+/// `--benchmark_out_format=json` and runs the registered benchmarks,
+/// so every bench binary shares one output flag.
+int run_google_benchmark(int argc, char** argv);
+
+}  // namespace ftspm::bench

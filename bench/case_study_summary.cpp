@@ -6,6 +6,8 @@
 //
 // This binary prints the same quantities for the reproduction.
 // "Reliability" here is 1 - vulnerability (Eq. 1).
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -13,7 +15,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Section IV: case-study summary ==\n\n";
   const Workload workload = make_case_study();

@@ -5,6 +5,8 @@
 // through the STT-RAM I-SPM; nearly all data writes land in the
 // SEC-DED/parity SRAM regions because MDA's endurance step evicted the
 // write-hot blocks (Array1, Array3, Stack) from STT-RAM.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -12,7 +14,8 @@
 #include "ftspm/report/render.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Fig. 2: case-study read/write distribution (FTSPM) ==\n\n";
   const Workload workload = make_case_study();

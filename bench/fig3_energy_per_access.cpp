@@ -7,6 +7,8 @@
 // the case study. Shape: STT-RAM reads are the cheapest accesses and
 // STT-RAM writes by far the most expensive; SEC-DED SRAM pays its codec
 // on every access.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -15,7 +17,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Fig. 3: dynamic energy per access ==\n\n";
   const TechnologyLibrary lib;

@@ -5,13 +5,16 @@
 // almost all traffic in the immune STT-RAM regions, while kernels with
 // hot writable state (sha, adpcm, rijndael, dijkstra) divert a visible
 // write share into the protected SRAM regions.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Fig. 4: per-benchmark read/write distribution (FTSPM) "
                "==\n\n";

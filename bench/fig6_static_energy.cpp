@@ -6,13 +6,16 @@
 // cells, 15.8 mW-class complement); FTSPM cuts it by ~2-4x; pure
 // STT-RAM draws the least power but pays longer runtimes on
 // write-heavy kernels (fft), where its *energy* advantage narrows.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Fig. 6: static energy per structure (uJ) ==\n\n";
   const StructureEvaluator evaluator;

@@ -7,13 +7,16 @@
 // writes live in 1-cycle parity SRAM instead of 300 pJ STT-RAM cells,
 // and reads ride STT-RAM's cheap bitlines instead of paying the
 // SEC-DED codec.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Fig. 7: dynamic energy per structure (uJ) ==\n\n";
   const StructureEvaluator evaluator;

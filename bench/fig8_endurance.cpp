@@ -6,13 +6,16 @@
 // write-hammered block (stacks, accumulators, cipher state) into SRAM
 // and leaves only diffuse writers on STT-RAM cells. Rows where FTSPM's
 // STT-RAM regions see *no* program writes at all report "unlimited".
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Fig. 8: endurance per structure (threshold 1e14 writes) "
                "==\n\n";

@@ -3,6 +3,8 @@
 // protected SPM access for, plus the Monte-Carlo strike classifier.
 #include <benchmark/benchmark.h>
 
+#include "bench_io.h"
+
 #include "ftspm/ecc/parity_codec.h"
 #include "ftspm/ecc/secded_codec.h"
 #include "ftspm/fault/injector.h"
@@ -68,4 +70,6 @@ BENCHMARK(BM_ClassifyStrike)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ftspm::bench::run_google_benchmark(argc, argv);
+}

@@ -5,6 +5,8 @@
 // core count — on an N-core machine the jobs > N rows flatten out.
 #include <benchmark/benchmark.h>
 
+#include "bench_io.h"
+
 #include <vector>
 
 #include "ftspm/exec/parallel_campaign.h"
@@ -101,4 +103,6 @@ BENCHMARK(BM_CheckpointJsonRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ftspm::bench::run_google_benchmark(argc, argv);
+}

@@ -4,6 +4,8 @@
 // observability off, metrics-only, and fully traced.
 #include <benchmark/benchmark.h>
 
+#include "bench_io.h"
+
 #include "ftspm/core/systems.h"
 #include "ftspm/obs/metrics.h"
 #include "ftspm/obs/trace_sink.h"
@@ -119,4 +121,6 @@ BENCHMARK(BM_SimulateTraced);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ftspm::bench::run_google_benchmark(argc, argv);
+}

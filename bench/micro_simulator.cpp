@@ -3,6 +3,8 @@
 // the practical limit on evaluation scale.
 #include <benchmark/benchmark.h>
 
+#include "bench_io.h"
+
 #include "ftspm/core/systems.h"
 #include "ftspm/profile/profiler.h"
 #include "ftspm/workload/suite.h"
@@ -58,4 +60,6 @@ BENCHMARK(BM_GenerateSuiteWorkload);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ftspm::bench::run_google_benchmark(argc, argv);
+}

@@ -7,13 +7,16 @@
 // reproduction measures a *speedup* rather than a sub-1% overhead —
 // the claim's substance (FTSPM costs no performance) holds with room
 // to spare. Pure STT-RAM shows where the 10-cycle writes bite.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Performance: cycles per structure ==\n\n";
   const StructureEvaluator evaluator;

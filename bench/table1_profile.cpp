@@ -6,6 +6,8 @@
 // the paper's numbers exactly (the generator distributes the published
 // totals over the program structure); per-reference averages and
 // lifetimes emerge from the structure and match in shape.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/profile/profiler.h"
@@ -13,7 +15,8 @@
 #include "ftspm/report/render.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Table I: profiling of the case-study program ==\n\n";
   const Workload workload = make_case_study();

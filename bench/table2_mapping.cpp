@@ -5,13 +5,16 @@
 // placement. Expected to reproduce the paper exactly: Main unmapped
 // (size limitation), Mul/Add in the STT-RAM I-SPM, Array1/Array3 in the
 // SEC-DED SRAM region, Array2/Array4 in STT-RAM, Stack in parity SRAM.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
 #include "ftspm/report/render.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Table II: MDA output for the case-study program ==\n\n";
   const Workload workload = make_case_study();

@@ -8,6 +8,8 @@
 // lifetime is about three orders of magnitude longer — reproduces; the
 // absolute times differ (the authors' implied hottest-cell write rate,
 // ~4e8/s, is faster than anything our 200 MHz trace model produces).
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/systems.h"
@@ -15,7 +17,8 @@
 #include "ftspm/util/table.h"
 #include "ftspm/workload/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Table III: endurance, pure STT-RAM vs FTSPM ==\n\n";
   const Workload workload = make_case_study();

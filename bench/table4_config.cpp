@@ -5,13 +5,16 @@
 // library-derived, so this binary doubles as a calibration check
 // against the paper's table: caches 8 KB/1 cycle; SEC-DED SRAM 2/2
 // cycles; parity SRAM 1/1; STT-RAM 1-cycle reads, 10-cycle writes.
+#include "bench_io.h"
+
 #include <iostream>
 
 #include "ftspm/core/spm_config.h"
 #include "ftspm/report/render.h"
 #include "ftspm/util/format.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const ftspm::bench::Output bench_out(FTSPM_BENCH_NAME, argc, argv);
   using namespace ftspm;
   std::cout << "== Table IV: simulated configurations ==\n\n";
   const TechnologyLibrary lib;

@@ -34,4 +34,27 @@ struct DecodeResult {
   std::optional<std::uint32_t> corrected_bit;
 };
 
+/// Data-independent decode outcome of a known *error pattern*.
+///
+/// Parity and Hsiao SEC-DED are linear codes: the syndrome of a received
+/// word is the syndrome of its error pattern alone, so what the decoder
+/// does — and whether its output equals the originally stored word —
+/// depends only on which bits flipped, never on the data. classify_
+/// pattern() exploits this to classify a strike with a handful of XORs
+/// where the encode/flip/decode oracle re-encodes a full word; the two
+/// are proven equivalent over every <=3-bit pattern by
+/// tests/ecc/pattern_equivalence_test.cpp.
+struct PatternDecode {
+  DecodeStatus status = DecodeStatus::Clean;
+  /// XOR the decoder applies to the received *data* bits (a single-bit
+  /// correction mask; 0 for check-bit corrections and non-corrections).
+  std::uint64_t correction_mask = 0;
+  /// Residual data error the consumer sees: received ^ correction
+  /// relative to the original word (= data_mask ^ correction_mask).
+  std::uint64_t residual_mask = 0;
+
+  /// The decoder's data output equals the originally stored word.
+  bool data_intact() const noexcept { return residual_mask == 0; }
+};
+
 }  // namespace ftspm

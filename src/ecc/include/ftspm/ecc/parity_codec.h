@@ -31,6 +31,13 @@ class ParityCodec {
   /// the raw (uncorrected) data; a clean check returns the data as-is.
   static DecodeResult decode(const ParityWord& word) noexcept;
 
+  /// Classifies an error pattern without touching stored data: an odd
+  /// number of flipped bits (data + parity) trips the check, an even
+  /// number passes. `parity_mask` is 1 when the parity bit flipped.
+  /// Equivalent to encode(x) -> flip -> decode for every x (linearity).
+  static PatternDecode classify_pattern(std::uint64_t data_mask,
+                                        std::uint8_t parity_mask) noexcept;
+
   /// Flips physical bit `bit` (0..64) in place. Used by fault injection.
   static void flip_bit(ParityWord& word, std::uint32_t bit);
 };

@@ -39,6 +39,16 @@ class SecDedCodec {
   /// Full syndrome decode with single-bit correction.
   static DecodeResult decode(const SecDedWord& word) noexcept;
 
+  /// Classifies an error pattern without touching stored data: folds the
+  /// flipped bits' H-matrix columns into the syndrome and reads the
+  /// decode outcome from a per-syndrome LUT. `data_mask` holds the
+  /// flipped data bits (0..63), `check_mask` the flipped check bits
+  /// c0..c7. Exactly equivalent to encode(x) -> flip -> decode for every
+  /// x (linearity); this is the Monte-Carlo campaign's fast path, with
+  /// encode/flip/decode kept as the oracle it is tested against.
+  static PatternDecode classify_pattern(std::uint64_t data_mask,
+                                        std::uint8_t check_mask) noexcept;
+
   /// Recomputes the 8 check bits for `data`.
   static std::uint8_t compute_check(std::uint64_t data) noexcept;
 

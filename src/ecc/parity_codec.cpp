@@ -20,6 +20,15 @@ DecodeResult ParityCodec::decode(const ParityWord& word) noexcept {
   return r;
 }
 
+PatternDecode ParityCodec::classify_pattern(
+    std::uint64_t data_mask, std::uint8_t parity_mask) noexcept {
+  // Parity never corrects, so the consumer always sees the raw error.
+  const int syndrome = parity64(data_mask) ^ (parity_mask & 1);
+  return PatternDecode{
+      syndrome != 0 ? DecodeStatus::Detected : DecodeStatus::Clean, 0,
+      data_mask};
+}
+
 void ParityCodec::flip_bit(ParityWord& word, std::uint32_t bit) {
   FTSPM_REQUIRE(bit < kCodewordBits, "parity codeword bit out of range");
   if (bit < 64) {

@@ -15,6 +15,14 @@ struct SecDedCodec::Tables {
   // it — identical to columns, kept under a second name for clarity.
   // syndrome -> codeword bit index + 1 (0 = no single-bit explanation).
   std::array<std::uint8_t, 256> syndrome_to_bit{};
+  // syndrome -> full pattern-decode outcome: the Hsiao decode rule
+  // (clean / single-bit correction / detected) plus the data-bit
+  // correction mask, precomputed so classify_pattern is one table read.
+  struct Outcome {
+    DecodeStatus status;
+    std::uint64_t correction_mask;
+  };
+  std::array<Outcome, 256> outcome{};
 
   Tables() {
     // Hsiao construction: take all 56 weight-3 bytes, then the first 8
@@ -33,6 +41,18 @@ struct SecDedCodec::Tables {
       syndrome_to_bit[columns[i]] = static_cast<std::uint8_t>(i + 1);
     for (std::uint32_t j = 0; j < 8; ++j)
       syndrome_to_bit[1u << j] = static_cast<std::uint8_t>(64 + j + 1);
+
+    for (std::size_t s = 0; s < outcome.size(); ++s) {
+      if (s == 0) {
+        outcome[s] = {DecodeStatus::Clean, 0};
+      } else if (const std::uint8_t hit = syndrome_to_bit[s]; hit != 0) {
+        // A corrected check bit (hit > 64) leaves the data untouched.
+        const std::uint32_t bit = hit - 1u;
+        outcome[s] = {DecodeStatus::Corrected, bit < 64 ? 1ULL << bit : 0};
+      } else {
+        outcome[s] = {DecodeStatus::Detected, 0};
+      }
+    }
   }
 };
 
@@ -85,6 +105,21 @@ DecodeResult SecDedCodec::decode(const SecDedWord& word) noexcept {
   }
   r.status = DecodeStatus::Detected;
   return r;
+}
+
+PatternDecode SecDedCodec::classify_pattern(std::uint64_t data_mask,
+                                            std::uint8_t check_mask) noexcept {
+  const auto& t = tables();
+  std::uint8_t syndrome = check_mask;
+  std::uint64_t bits = data_mask;
+  while (bits != 0) {
+    const int i = std::countr_zero(bits);
+    syndrome ^= t.columns[static_cast<std::size_t>(i)];
+    bits &= bits - 1;
+  }
+  const Tables::Outcome& o = t.outcome[syndrome];
+  return PatternDecode{o.status, o.correction_mask,
+                       data_mask ^ o.correction_mask};
 }
 
 void SecDedCodec::flip_bit(SecDedWord& word, std::uint32_t bit) {

@@ -142,6 +142,11 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
   const std::vector<CampaignShard> plan = make_shard_plan(root, shard_count);
 
   // Fresh per-shard states, or the checkpointed ones when resuming.
+  // Each state carries its shard's CampaignScratch: one worker owns one
+  // shard for the whole run, so the hot-loop scratch (hit buffer,
+  // weight table) is reused across every chunk of that shard without
+  // sharing or per-chunk allocation. Checkpoints neither save nor
+  // restore scratch — it never affects results.
   std::vector<CampaignShardState> states;
   states.reserve(shard_count);
   CampaignCheckpoint cp;

@@ -15,8 +15,10 @@
 //    classic mitigation, exposed here as an ablation knob.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "ftspm/ecc/codec.h"
@@ -88,16 +90,39 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
 
 class CampaignObserver;
 
+/// Reusable hot-loop scratch of one campaign shard. The classifier
+/// records each strike's per-word hits in the fixed inline array
+/// (`flips <= kInlineHits` covers any realistic CampaignConfig::
+/// max_flips) and only falls back to the heap — once, then reusing the
+/// buffer — beyond it, and the chunk loop keeps its region weight
+/// table here across calls; together the campaign inner loop performs
+/// no per-strike allocation. Scratch is pure workspace: it never
+/// affects results and is not checkpointed.
+struct CampaignScratch {
+  static constexpr std::uint32_t kInlineHits = 64;
+  /// (word index, bit-in-codeword) hits of the strike being classified.
+  std::array<std::pair<std::uint64_t, std::uint32_t>, kInlineHits> hits;
+  /// Spill buffer for strikes with more than kInlineHits surviving
+  /// flips; cleared, not shrunk, so it allocates at most once.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> spill;
+  /// Per-region weight table rebuilt (allocation-free after the first
+  /// chunk) by run_campaign_chunk.
+  std::vector<double> weights;
+};
+
 /// Mutable state of one in-flight campaign (or campaign shard):
 /// completed-strike count, partial counters, and the generator
 /// positioned after the last completed strike. Everything needed to
 /// suspend the loop, serialize it to a checkpoint, and resume later —
 /// resuming from (done, partial, rng) continues the exact sequence an
-/// uninterrupted run would have produced.
+/// uninterrupted run would have produced. The scratch member is
+/// transient workspace owned by whichever worker drives the shard;
+/// checkpoints ignore it.
 struct CampaignShardState {
   std::uint64_t done = 0;
   CampaignResult partial;
   Rng rng{0};
+  CampaignScratch scratch;
 };
 
 /// Fresh state for a campaign whose generator is seeded with `seed`
@@ -119,9 +144,32 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
 /// Injects one m-bit adjacent upset starting at `first_bit` of a region
 /// and classifies it (ACE filtering excluded — pure code behaviour).
 /// Exposed for unit tests and the analytic-vs-MC ablation.
+///
+/// Classification runs on the codecs' syndrome kernel
+/// (classify_pattern): parity and SEC-DED are linear, so the outcome
+/// depends only on which bits flipped, never on the stored data. RNG
+/// consumption matches classify_strike_oracle draw for draw — one
+/// next_u64 per struck codeword — so campaign counters at a fixed seed
+/// are bit-identical to the pre-kernel implementation.
 StrikeOutcome classify_strike(const InjectionRegion& region,
                               std::uint64_t first_bit, std::uint32_t flips,
                               Rng& rng);
+
+/// classify_strike with caller-owned scratch — the campaign hot loops
+/// thread their shard's CampaignScratch through this overload so no
+/// per-strike temporaries are created.
+StrikeOutcome classify_strike(const InjectionRegion& region,
+                              std::uint64_t first_bit, std::uint32_t flips,
+                              Rng& rng, CampaignScratch& scratch);
+
+/// Reference implementation over the full encode/flip/decode oracle
+/// (heap-allocating, data-materializing). Kept as the ground truth the
+/// syndrome kernel is verified against (tests) and the perf baseline
+/// bench/micro_campaign and bench/perf_harness measure the kernel's
+/// speedup over. Identical outcomes and RNG consumption.
+StrikeOutcome classify_strike_oracle(const InjectionRegion& region,
+                                     std::uint64_t first_bit,
+                                     std::uint32_t flips, Rng& rng);
 
 /// Locates physical bit `i` of a region under its interleaving: with
 /// degree IL, consecutive physical bits rotate across IL codewords, so

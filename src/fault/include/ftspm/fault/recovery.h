@@ -131,6 +131,13 @@ struct RegionImage {
   std::vector<std::uint64_t> data;
   std::vector<std::uint8_t> check;
   std::vector<std::uint64_t> truth;
+  /// Check bits a clean encoding of `truth` would carry
+  /// (truth_check[w] = encode(truth[w]).check), cached so resolve_word
+  /// obtains a word's error pattern with two XORs — (data ^ truth,
+  /// check ^ truth_check) — instead of re-encoding. Maintained at fill
+  /// and wherever `truth` changes (silent consumption). Sized like
+  /// `check` (empty for unchecked protections).
+  std::vector<std::uint8_t> truth_check;
 };
 
 /// One shard's mutable recovery state, owned by the caller alongside
@@ -141,6 +148,9 @@ struct RecoveryShardSide {
   bool initialized = false;
   std::vector<RegionImage> images;
   RecoveryCounters counters;
+  /// Struck-word scratch of run_chunk (cleared per strike, capacity
+  /// kept across chunks). Pure workspace, never checkpointed.
+  std::vector<std::uint64_t> touched;
 };
 
 /// Immutable shared context of a live-array campaign. Safe to share

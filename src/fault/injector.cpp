@@ -36,10 +36,13 @@ PhysicalBit locate_strike_bit(const InjectionRegion& region,
 
 namespace {
 
-/// Classifies the flips that landed in one codeword.
-StrikeOutcome classify_word(ProtectionKind protection,
-                            const std::vector<std::uint32_t>& bits,
-                            Rng& rng) {
+/// Classifies the flips that landed in one codeword via the full
+/// encode/flip/decode oracle. Superseded by classify_word_pattern in
+/// the campaign hot loop; kept as the ground truth classify_strike_
+/// oracle exposes to tests and benchmarks.
+StrikeOutcome classify_word_oracle(ProtectionKind protection,
+                                   const std::vector<std::uint32_t>& bits,
+                                   Rng& rng) {
   const std::uint64_t original = rng.next_u64();
   switch (protection) {
     case ProtectionKind::Immune:
@@ -75,11 +78,139 @@ StrikeOutcome classify_word(ProtectionKind protection,
   throw InvalidArgument("unknown protection kind");
 }
 
+/// Classifies one struck codeword from its error pattern alone (the
+/// codecs are linear, so stored data is irrelevant — see
+/// PatternDecode). `check_mask` holds the flipped check bits shifted
+/// down to bit 0.
+StrikeOutcome classify_word_pattern(ProtectionKind protection,
+                                    std::uint64_t data_mask,
+                                    std::uint32_t check_mask, Rng& rng) {
+  // Immune words never reach here from classify_strike (it returns
+  // before gathering hits), so no draw happens on this path and
+  // skipping it cannot perturb any established RNG stream.
+  if (protection == ProtectionKind::Immune) return StrikeOutcome::Masked;
+  // The oracle drew the word's original contents here. The outcome
+  // never depended on that value (linearity) — including for
+  // unprotected words, where it was always wasted — but the draw is
+  // retained so RNG streams, and therefore campaign counters at a
+  // fixed seed, stay bit-identical with the pre-kernel implementation.
+  // Any future hot-loop change must preserve this draw order; see
+  // docs/performance.md.
+  (void)rng.next_u64();
+  switch (protection) {
+    case ProtectionKind::Immune:
+      return StrikeOutcome::Masked;  // handled above
+    case ProtectionKind::None:
+      // No check bits: any flip silently corrupts the stored word.
+      return (data_mask | check_mask) != 0 ? StrikeOutcome::Sdc
+                                           : StrikeOutcome::Masked;
+    case ProtectionKind::Parity: {
+      const PatternDecode p = ParityCodec::classify_pattern(
+          data_mask, static_cast<std::uint8_t>(check_mask));
+      if (p.status == DecodeStatus::Detected) return StrikeOutcome::Due;
+      return p.data_intact() ? StrikeOutcome::Masked : StrikeOutcome::Sdc;
+    }
+    case ProtectionKind::SecDed: {
+      const PatternDecode p = SecDedCodec::classify_pattern(
+          data_mask, static_cast<std::uint8_t>(check_mask));
+      switch (p.status) {
+        case DecodeStatus::Clean:
+          return p.data_intact() ? StrikeOutcome::Masked : StrikeOutcome::Sdc;
+        case DecodeStatus::Corrected:
+          return p.data_intact() ? StrikeOutcome::Dre : StrikeOutcome::Sdc;
+        case DecodeStatus::Detected:
+          return StrikeOutcome::Due;
+      }
+      return StrikeOutcome::Sdc;
+    }
+  }
+  throw InvalidArgument("unknown protection kind");
+}
+
+using WordHit = std::pair<std::uint64_t, std::uint32_t>;
+
+/// Classifies the gathered, word-sorted hits of one strike by folding
+/// each codeword's hits into (data_mask, check_mask) and running the
+/// syndrome kernel. One RNG draw per struck word, like the oracle.
+StrikeOutcome classify_hits(ProtectionKind protection, const WordHit* hits,
+                            std::size_t count, Rng& rng) {
+  StrikeOutcome worst = StrikeOutcome::Masked;
+  std::size_t i = 0;
+  while (i < count) {
+    const std::uint64_t word = hits[i].first;
+    std::uint64_t data_mask = 0;
+    std::uint32_t check_mask = 0;
+    for (; i < count && hits[i].first == word; ++i) {
+      const std::uint32_t bit = hits[i].second;
+      if (bit < RegionGeometry::kDataBitsPerWord)
+        data_mask |= 1ULL << bit;
+      else
+        check_mask |= 1u << (bit - RegionGeometry::kDataBitsPerWord);
+    }
+    worst = std::max(worst,
+                     classify_word_pattern(protection, data_mask, check_mask,
+                                           rng));
+  }
+  return worst;
+}
+
+/// Gathers a strike's surviving flips into `hits` (clipped at the array
+/// edge, interleave-aware) and sorts them by word. `hits` must hold
+/// `flips` entries. Small strike footprints make insertion sort the
+/// right tool — the common multiplicities are 1-4 hits.
+std::size_t gather_hits(const InjectionRegion& region,
+                        std::uint64_t first_bit, std::uint32_t flips,
+                        std::uint64_t surface, WordHit* hits) {
+  std::size_t n = 0;
+  for (std::uint32_t k = 0; k < flips && first_bit + k < surface; ++k) {
+    const PhysicalBit pb = locate_strike_bit(region, first_bit + k);
+    if (pb.word_index >= region.geometry.words()) continue;
+    hits[n++] = WordHit{pb.word_index, pb.bit_in_codeword};
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const WordHit h = hits[i];
+    std::size_t j = i;
+    for (; j > 0 && hits[j - 1].first > h.first; --j) hits[j] = hits[j - 1];
+    hits[j] = h;
+  }
+  return n;
+}
+
 }  // namespace
 
 StrikeOutcome classify_strike(const InjectionRegion& region,
                               std::uint64_t first_bit, std::uint32_t flips,
+                              Rng& rng, CampaignScratch& scratch) {
+  FTSPM_REQUIRE(flips >= 1, "a strike flips at least one bit");
+  if (region.protection == ProtectionKind::Immune)
+    return StrikeOutcome::Masked;
+
+  const std::uint64_t surface = region.geometry.physical_bits();
+  FTSPM_REQUIRE(first_bit < surface, "strike origin outside the region");
+
+  WordHit* hits = scratch.hits.data();
+  if (flips > CampaignScratch::kInlineHits) {
+    scratch.spill.clear();
+    scratch.spill.resize(flips);
+    hits = scratch.spill.data();
+  }
+  const std::size_t n = gather_hits(region, first_bit, flips, surface, hits);
+  return classify_hits(region.protection, hits, n, rng);
+}
+
+StrikeOutcome classify_strike(const InjectionRegion& region,
+                              std::uint64_t first_bit, std::uint32_t flips,
                               Rng& rng) {
+  // The inline hit array lives on the stack; only pathological flip
+  // counts (> kInlineHits) cost an allocation on this scratch-less
+  // convenience overload.
+  CampaignScratch scratch;
+  return classify_strike(region, first_bit, flips, rng, scratch);
+}
+
+StrikeOutcome classify_strike_oracle(const InjectionRegion& region,
+                                     std::uint64_t first_bit,
+                                     std::uint32_t flips, Rng& rng) {
   FTSPM_REQUIRE(flips >= 1, "a strike flips at least one bit");
   if (region.protection == ProtectionKind::Immune)
     return StrikeOutcome::Masked;
@@ -103,7 +234,8 @@ StrikeOutcome classify_strike(const InjectionRegion& region,
     const std::uint64_t word = hits[i].first;
     for (; i < hits.size() && hits[i].first == word; ++i)
       word_bits.push_back(hits[i].second);
-    worst = std::max(worst, classify_word(region.protection, word_bits, rng));
+    worst = std::max(worst, classify_word_oracle(region.protection, word_bits,
+                                                 rng));
   }
   return worst;
 }
@@ -120,7 +252,10 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
                         CampaignShardState& state, std::uint64_t max_strikes,
                         CampaignObserver* observer) {
   FTSPM_REQUIRE(!regions.empty(), "campaign needs at least one region");
-  std::vector<double> weights;
+  // Rebuild the weight table in the shard's scratch: clear() keeps the
+  // capacity, so every chunk after the first is allocation-free.
+  std::vector<double>& weights = state.scratch.weights;
+  weights.clear();
   weights.reserve(regions.size());
   for (const auto& r : regions) {
     FTSPM_REQUIRE(r.ace_occupancy >= 0.0 && r.ace_occupancy <= 1.0,
@@ -138,7 +273,8 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
         state.rng.next_below(region.geometry.physical_bits());
     const std::uint32_t flips =
         strikes.sample_flips(state.rng, config.max_flips);
-    StrikeOutcome outcome = classify_strike(region, origin, flips, state.rng);
+    StrikeOutcome outcome =
+        classify_strike(region, origin, flips, state.rng, state.scratch);
     // Strikes on words holding no architecturally-required value are
     // harmless regardless of what the codec would have reported.
     if (outcome != StrikeOutcome::Masked &&

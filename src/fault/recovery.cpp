@@ -95,8 +95,10 @@ void LiveArrayCampaign::ensure_shard_images(RecoveryShardSide& side,
     RegionImage& image = side.images[r];
     image.data.resize(words);
     image.truth.resize(words);
-    if (region.inject.geometry.check_bits_per_word() != 0)
+    if (region.inject.geometry.check_bits_per_word() != 0) {
       image.check.resize(words);
+      image.truth_check.resize(words);
+    }
     // A dedicated fill stream per (shard, region): image contents are
     // independent of the strike sequence, so enabling recovery can
     // never shift the aim draws, and every shard's array differs.
@@ -105,6 +107,8 @@ void LiveArrayCampaign::ensure_shard_images(RecoveryShardSide& side,
       const std::uint64_t value = fill.next_u64();
       image.truth[w] = value;
       write_back(region.inject.protection, image, w, value);
+      // A freshly-written word is a clean encoding of its truth.
+      if (!image.truth_check.empty()) image.truth_check[w] = image.check[w];
     }
   }
   side.initialized = true;
@@ -121,10 +125,15 @@ LiveArrayCampaign::WordRepair LiveArrayCampaign::resolve_word(
   const bool repairs = scrub_pass || policy_.recover;
 
   // The corruption escaped detection: the consumer now computes with
-  // this value, so it becomes the reference for later reads.
+  // this value, so it becomes the reference for later reads. The
+  // cached truth_check must follow the new truth.
   auto consume_silent = [&](std::uint64_t value) {
     ++counters.sdc_reads;
     image.truth[word] = value;
+    if (protection == ProtectionKind::Parity)
+      image.truth_check[word] = ParityCodec::encode(value).parity;
+    else if (protection == ProtectionKind::SecDed)
+      image.truth_check[word] = SecDedCodec::compute_check(value);
     return WordRepair::Silent;
   };
 
@@ -152,40 +161,55 @@ LiveArrayCampaign::WordRepair LiveArrayCampaign::resolve_word(
     return WordRepair::Refetched;
   };
 
+  // The hot path below never materializes a decode: the stored word's
+  // error pattern is (data ^ truth, check ^ truth_check) — two XORs —
+  // and the codecs are linear, so classify_pattern on that pattern
+  // reproduces the full decode. A clean word (the overwhelming case in
+  // a scrub sweep) exits on the mask comparison alone, and the decoded
+  // value, when one is needed, is truth ^ residual_mask.
   switch (protection) {
     case ProtectionKind::Immune:
       return WordRepair::Clean;
     case ProtectionKind::None: {
-      const std::uint64_t value = image.data[word];
-      if (value == image.truth[word]) return WordRepair::Clean;
+      const std::uint64_t data_mask = image.data[word] ^ image.truth[word];
+      if (data_mask == 0) return WordRepair::Clean;
       // No check bits: a scrub sweep cannot see the error, a demand
       // read consumes it.
       if (scrub_pass) return WordRepair::Clean;
-      return consume_silent(value);
+      return consume_silent(image.data[word]);
     }
     case ProtectionKind::Parity: {
-      const DecodeResult r =
-          ParityCodec::decode(ParityWord{image.data[word], image.check[word]});
-      if (r.status == DecodeStatus::Detected) return handle_due();
-      if (r.data == image.truth[word]) return WordRepair::Clean;
+      const std::uint64_t data_mask = image.data[word] ^ image.truth[word];
+      const std::uint8_t check_mask = static_cast<std::uint8_t>(
+          image.check[word] ^ image.truth_check[word]);
+      if ((data_mask | check_mask) == 0) return WordRepair::Clean;
+      const PatternDecode p =
+          ParityCodec::classify_pattern(data_mask, check_mask);
+      if (p.status == DecodeStatus::Detected) return handle_due();
       // Even-flip alias: invisible to the code, latent to a scrub.
       if (scrub_pass) return WordRepair::Clean;
-      return consume_silent(r.data);
+      return consume_silent(image.truth[word] ^ p.residual_mask);
     }
     case ProtectionKind::SecDed: {
-      const DecodeResult r = SecDedCodec::decode(
-          SecDedWord{image.data[word], image.check[word]});
-      switch (r.status) {
+      const std::uint64_t data_mask = image.data[word] ^ image.truth[word];
+      const std::uint8_t check_mask = static_cast<std::uint8_t>(
+          image.check[word] ^ image.truth_check[word]);
+      if ((data_mask | check_mask) == 0) return WordRepair::Clean;
+      const PatternDecode p =
+          SecDedCodec::classify_pattern(data_mask, check_mask);
+      switch (p.status) {
         case DecodeStatus::Clean:
-          if (r.data == image.truth[word]) return WordRepair::Clean;
-          if (scrub_pass) return WordRepair::Clean;  // aliased, latent
-          return consume_silent(r.data);
+          // Aliased to a valid codeword of the wrong data (a zero
+          // syndrome with flips present always corrupts data bits).
+          if (scrub_pass) return WordRepair::Clean;  // latent
+          return consume_silent(image.truth[word] ^ p.residual_mask);
         case DecodeStatus::Corrected: {
-          const bool right = r.data == image.truth[word];
+          const bool right = p.data_intact();
+          const std::uint64_t decoded = image.truth[word] ^ p.residual_mask;
           if (repairs) {
             // Write what the decoder produced — right or miscorrected
             // alike, the hardware cannot tell the difference.
-            write_back(protection, image, word, r.data);
+            write_back(protection, image, word, decoded);
             counters.recovery_cycles += tech.write_latency_cycles;
             counters.recovery_energy_pj += tech.write_energy_pj;
             if (right) {
@@ -200,7 +224,7 @@ LiveArrayCampaign::WordRepair LiveArrayCampaign::resolve_word(
           // wrong data. A scrub leaves it latent (nothing consumed
           // it yet); a demand read consumes it.
           if (scrub_pass) return WordRepair::Clean;
-          return consume_silent(r.data);
+          return consume_silent(decoded);
         }
         case DecodeStatus::Detected:
           return handle_due();
@@ -250,7 +274,7 @@ void LiveArrayCampaign::run_chunk(const CampaignConfig& config,
     return StrikeOutcome::Masked;
   };
 
-  std::vector<std::uint64_t> touched;
+  std::vector<std::uint64_t>& touched = side.touched;
   const std::uint64_t end = std::min(config.strikes, core.done + max_strikes);
   for (std::uint64_t s = core.done; s < end; ++s) {
     // Aim draws in the static campaign's order (region, origin,

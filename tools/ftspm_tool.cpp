@@ -34,6 +34,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "ftspm/exec/parallel_campaign.h"
 #include "ftspm/exec/thread_pool.h"
 #include "ftspm/obs/metrics.h"
+#include "ftspm/obs/timer.h"
 #include "ftspm/obs/trace_sink.h"
 #include "ftspm/profile/reuse.h"
 #include "ftspm/fault/injector.h"
@@ -607,6 +609,7 @@ int cmd_campaign(int argc, const char* const* argv) {
   args.add_option("refetch-words", "words per DUE re-fetch transfer", "64");
   args.add_flag("json", "emit machine-readable JSON");
   args.add_flag("csv", "emit a single-row CSV");
+  args.add_flag("time", "report wall-clock time and strikes/sec (stderr)");
   args.parse(argc, argv, 2);
 
   const std::string name = args.option("protection");
@@ -685,16 +688,39 @@ int cmd_campaign(int argc, const char* const* argv) {
                           !exec_cfg.checkpoint_path.empty() ||
                           !exec_cfg.resume_path.empty();
   RecoveryResult result;
-  if (wants_exec) {
-    const exec::RecoveryShardedRun run = exec::run_recovery_campaign_sharded(
-        {rregion}, strikes, cfg, policy, exec_cfg);
-    result = run.merged;
-    // Informational only, and on stderr: stdout must stay byte-identical
-    // for a given (seed, strikes, shard count) whatever --jobs says.
-    std::cerr << "shards " << run.shard_results.size() << ", jobs "
-              << exec_cfg.effective_jobs() << "\n";
-  } else {
-    result = run_recovery_campaign({rregion}, strikes, cfg, policy);
+  {
+    // --time books the run into the obs wall-timer registry (forcing
+    // observability on for the duration so the timer is live); the
+    // reading happens after the scope closes the span.
+    std::optional<obs::EnabledScope> timed;
+    std::optional<obs::ScopedTimer> span;
+    if (args.flag("time")) {
+      timed.emplace(true);
+      span.emplace("campaign.wall");
+    }
+    if (wants_exec) {
+      const exec::RecoveryShardedRun run = exec::run_recovery_campaign_sharded(
+          {rregion}, strikes, cfg, policy, exec_cfg);
+      result = run.merged;
+      // Informational only, and on stderr: stdout must stay byte-identical
+      // for a given (seed, strikes, shard count) whatever --jobs says.
+      std::cerr << "shards " << run.shard_results.size() << ", jobs "
+                << exec_cfg.effective_jobs() << "\n";
+    } else {
+      result = run_recovery_campaign({rregion}, strikes, cfg, policy);
+    }
+  }
+  if (args.flag("time")) {
+    // Wall time is machine-dependent, so like the shard note it goes to
+    // stderr: stdout stays byte-identical run to run.
+    const obs::TimerStat& wall = obs::registry().timer("campaign.wall");
+    const double seconds = static_cast<double>(wall.total_ns()) * 1e-9;
+    const double rate = seconds > 0.0
+                            ? static_cast<double>(cfg.strikes) / seconds
+                            : 0.0;
+    std::cerr << "wall time " << fixed(seconds * 1e3, 3) << " ms, "
+              << with_commas(static_cast<std::uint64_t>(rate))
+              << " strikes/sec\n";
   }
   const CampaignResult& r = result.strikes;
   const RecoveryCounters* rec = policy.active() ? &result.recovery : nullptr;
