@@ -74,7 +74,7 @@ Timing time_median(Fn&& fn, int reps) {
   return runs[runs.size() / 2];
 }
 
-struct CampaignTiming {
+struct BenchCampaignTiming {
   std::string name;
   std::uint64_t strikes = 0;
   Timing timing;
@@ -86,7 +86,7 @@ struct CampaignTiming {
   }
 };
 
-CampaignTiming time_static(std::uint64_t strikes, int reps) {
+BenchCampaignTiming time_static(std::uint64_t strikes, int reps) {
   const std::vector<InjectionRegion> regions{
       {RegionGeometry(8192, 8), ProtectionKind::SecDed, 0.9, 1},
       {RegionGeometry(8192, 1), ProtectionKind::Parity, 0.7, 1},
@@ -99,10 +99,10 @@ CampaignTiming time_static(std::uint64_t strikes, int reps) {
   const Timing t =
       time_median([&] { last = run_campaign(regions, model, cfg); }, reps);
   FTSPM_CHECK(last.strikes == strikes, "static campaign ran short");
-  return CampaignTiming{"static", strikes, t};
+  return BenchCampaignTiming{"static", strikes, t};
 }
 
-CampaignTiming time_recovery(std::uint64_t strikes, int reps) {
+BenchCampaignTiming time_recovery(std::uint64_t strikes, int reps) {
   const TechnologyLibrary lib;
   RecoveryRegion region;
   region.inject =
@@ -122,10 +122,10 @@ CampaignTiming time_recovery(std::uint64_t strikes, int reps) {
       [&] { last = run_recovery_campaign({region}, model, cfg, policy); },
       reps);
   FTSPM_CHECK(last.strikes.strikes == strikes, "recovery campaign ran short");
-  return CampaignTiming{"recovery", strikes, t};
+  return BenchCampaignTiming{"recovery", strikes, t};
 }
 
-CampaignTiming time_temporal(std::uint64_t strikes, int reps) {
+BenchCampaignTiming time_temporal(std::uint64_t strikes, int reps) {
   const Workload w = make_case_study(CaseStudyTargets{}.scaled_down(8));
   const ProgramProfile prof = profile_workload(w);
   const StructureEvaluator evaluator;
@@ -141,7 +141,7 @@ CampaignTiming time_temporal(std::uint64_t strikes, int reps) {
       },
       reps);
   FTSPM_CHECK(last.strikes == strikes, "temporal campaign ran short");
-  return CampaignTiming{"temporal", strikes, t};
+  return BenchCampaignTiming{"temporal", strikes, t};
 }
 
 struct ClassifierTiming {
@@ -198,7 +198,7 @@ ClassifierTiming time_classifier(std::uint64_t strikes, int reps) {
   return out;
 }
 
-std::string to_json(const std::vector<CampaignTiming>& campaigns,
+std::string to_json(const std::vector<BenchCampaignTiming>& campaigns,
                     const ClassifierTiming& classifier, bool quick, int reps) {
   RunManifest manifest;
   manifest.command = "bench/perf_harness";
@@ -208,7 +208,7 @@ std::string to_json(const std::vector<CampaignTiming>& campaigns,
       .field("quick", quick)
       .field("reps", static_cast<std::uint64_t>(reps));
   w.begin_array("campaigns");
-  for (const CampaignTiming& c : campaigns) {
+  for (const BenchCampaignTiming& c : campaigns) {
     w.begin_object()
         .field("name", c.name)
         .field("strikes", c.strikes)
@@ -231,7 +231,7 @@ std::string to_json(const std::vector<CampaignTiming>& campaigns,
 /// Compares this run against a previously emitted artefact. Returns
 /// the number of failed checks (printed as it goes).
 int check_against_baseline(const std::string& path,
-                           const std::vector<CampaignTiming>& campaigns,
+                           const std::vector<BenchCampaignTiming>& campaigns,
                            const ClassifierTiming& classifier) {
   std::ifstream in(path);
   FTSPM_REQUIRE(static_cast<bool>(in), "cannot open baseline: " + path);
@@ -243,7 +243,7 @@ int check_against_baseline(const std::string& path,
     const std::string& name = base.at("name").string;
     const auto it =
         std::find_if(campaigns.begin(), campaigns.end(),
-                     [&](const CampaignTiming& c) { return c.name == name; });
+                     [&](const BenchCampaignTiming& c) { return c.name == name; });
     if (it == campaigns.end()) {
       std::cout << "CHECK FAIL: campaign '" << name
                 << "' in baseline but not in this run\n";
@@ -300,14 +300,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<CampaignTiming> campaigns;
+  std::vector<BenchCampaignTiming> campaigns;
   campaigns.push_back(time_static(quick ? 100'000 : 400'000, reps));
   campaigns.push_back(time_recovery(quick ? 20'000 : 60'000, reps));
   campaigns.push_back(time_temporal(quick ? 10'000 : 50'000, reps));
   const ClassifierTiming classifier =
       time_classifier(quick ? 200'000 : 1'000'000, reps);
 
-  for (const CampaignTiming& c : campaigns) {
+  for (const BenchCampaignTiming& c : campaigns) {
     std::cout << c.name << ": " << c.strikes << " strikes in "
               << c.timing.wall_ms << " ms (" << c.strikes_per_sec()
               << " strikes/sec)\n";

@@ -226,8 +226,10 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
   const TemporalCampaign campaign(layout, plan, program, profile, strikes);
   CampaignShardState state =
       begin_campaign_shard(config.seed ^ TemporalCampaign::kSeedSalt);
+  emit_campaign_phase_start("temporal", config);
   CampaignObserver observer(config, "temporal");
   campaign.run_chunk(config, state, config.strikes, &observer);
+  emit_campaign_phase_end("temporal", state.partial);
   return state.partial;
 }
 
@@ -240,8 +242,11 @@ exec::ShardedRun run_temporal_campaign_parallel(
       config, exec_config, "temporal", TemporalCampaign::kSeedSalt,
       [&](const exec::CampaignShard& shard, CampaignShardState& state,
           std::uint64_t max_strikes) {
+        // Tallies into the worker's per-shard delta registry; the
+        // runner merges the deltas post-join in shard order.
+        CampaignObserver observer(shard.config, "temporal");
         campaign.run_chunk(shard.config, state, max_strikes,
-                           /*observer=*/nullptr);
+                           obs::enabled() ? &observer : nullptr);
       });
 }
 

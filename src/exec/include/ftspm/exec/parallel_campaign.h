@@ -27,6 +27,27 @@
 
 namespace ftspm::exec {
 
+/// Opt-in wall-clock liveness stream for long sharded campaigns. A
+/// dedicated emitter thread samples the runner's thread-safe progress
+/// aggregation every `interval_ms` and appends one NDJSON heartbeat
+/// record (per-shard strikes/sec, completed/total chunks, pool
+/// utilization, ETA) to `out_path`. Heartbeats are nondeterministic by
+/// design — they carry wall-clock quantities — so they live in their
+/// own file and never appear in golden-compared artefacts. Workers only
+/// publish relaxed atomic progress stores; the emitter never blocks
+/// shard completion, and emits at least one record (plus a final one at
+/// shutdown) even for runs shorter than the interval.
+struct HeartbeatConfig {
+  /// NDJSON destination; empty = heartbeat disabled.
+  std::string out_path;
+  /// Milliseconds between beats (clamped to >= 1).
+  std::uint32_t interval_ms = 1000;
+  /// Also print a human one-liner per beat to stderr.
+  bool stderr_line = false;
+
+  bool enabled() const noexcept { return !out_path.empty(); }
+};
+
 /// How to execute a sharded campaign. Results depend only on the shard
 /// count (via the shard plan); everything else here is scheduling.
 struct ExecConfig {
@@ -50,6 +71,9 @@ struct ExecConfig {
   /// completed globally (0 = run to completion). A halted run writes a
   /// final checkpoint and reports complete() == false.
   std::uint64_t halt_after = 0;
+  /// Live telemetry (off unless out_path is set). Never affects
+  /// results or deterministic artefacts.
+  HeartbeatConfig heartbeat;
 
   std::uint32_t effective_jobs() const noexcept;
   std::uint32_t effective_shards() const noexcept;

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <memory>
 #include <mutex>
+#include <thread>
 
 #include "ftspm/exec/thread_pool.h"
+#include "ftspm/fault/campaign_observer.h"
+#include "ftspm/obs/event_log.h"
 #include "ftspm/obs/metrics.h"
 #include "ftspm/obs/trace_sink.h"
 #include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
 
 namespace ftspm::exec {
 
@@ -62,7 +71,8 @@ class ProgressAggregator {
 class CheckpointWriter {
  public:
   CheckpointWriter(CampaignCheckpoint cp, std::string path)
-      : cp_(std::move(cp)), path_(std::move(path)) {}
+      : cp_(std::move(cp)), path_(std::move(path)),
+        writes_(cp_.shards.size(), 0) {}
 
   bool active() const noexcept { return !path_.empty(); }
 
@@ -72,7 +82,10 @@ class CheckpointWriter {
     const std::lock_guard<std::mutex> lock(mutex_);
     cp_.shards[shard_index] =
         snapshot_shard_state(shard_index, shard_strikes, state);
-    if (flush) store_checkpoint(cp_, path_);
+    if (flush) {
+      store_checkpoint(cp_, path_);
+      ++writes_[shard_index];
+    }
   }
 
   void flush() {
@@ -81,36 +94,191 @@ class CheckpointWriter {
     store_checkpoint(cp_, path_);
   }
 
+  /// Checkpoint writes triggered by `shard_index`. Deterministic for a
+  /// fixed chunk/checkpoint-interval schedule; read after the join.
+  std::uint64_t writes(std::uint32_t shard_index) const {
+    return writes_[shard_index];
+  }
+
  private:
   CampaignCheckpoint cp_;
   std::string path_;
   std::mutex mutex_;
+  std::vector<std::uint64_t> writes_;
 };
 
-/// Deterministic post-run observability: per-shard counters, one trace
-/// lane per shard, and pool-utilization telemetry. Emitted by the
-/// coordinator after the pool joined, in shard order, so enabling
-/// observability never perturbs (and never races with) the campaign.
+/// The live-telemetry emitter thread (see HeartbeatConfig). Reads the
+/// per-shard progress slots the workers publish with relaxed stores and
+/// appends one NDJSON record per interval; entirely off the hot path —
+/// workers never wait on it, and I/O failures are reported once on
+/// stderr instead of thrown.
+class HeartbeatEmitter {
+ public:
+  HeartbeatEmitter(const HeartbeatConfig& config,
+                   const std::vector<CampaignShard>& plan,
+                   std::uint64_t already_done, std::uint64_t total_strikes,
+                   std::uint64_t chunks_total,
+                   const std::atomic<std::uint64_t>* shard_done,
+                   const std::atomic<std::uint64_t>& chunks_done,
+                   const ThreadPool& pool)
+      : config_(config), plan_(plan), already_done_(already_done),
+        total_strikes_(total_strikes), chunks_total_(chunks_total),
+        shard_done_(shard_done), chunks_done_(chunks_done), pool_(pool),
+        prev_done_(plan.size(), 0), start_(Clock::now()), prev_time_(start_) {
+    out_.open(config.out_path, std::ios::binary | std::ios::app);
+    FTSPM_REQUIRE(out_.good(), "cannot open heartbeat output '" +
+                                   config.out_path + "'");
+    for (std::size_t i = 0; i < plan_.size(); ++i)
+      prev_done_[i] = shard_done_[i].load(std::memory_order_relaxed);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatEmitter() { stop(); }
+
+  /// Emits the final beat and joins the emitter. Idempotent; also
+  /// called from the destructor so an exception in the runner still
+  /// shuts the thread down.
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void run() {
+    const auto interval =
+        std::chrono::milliseconds(std::max<std::uint32_t>(
+            config_.interval_ms, 1));
+    beat(/*final=*/false);  // At least one record, however short the run.
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopped_) {
+      if (cv_.wait_for(lock, interval, [this] { return stopped_; })) break;
+      lock.unlock();
+      beat(/*final=*/false);
+      lock.lock();
+    }
+    lock.unlock();
+    beat(/*final=*/true);
+  }
+
+  void beat(bool final) {
+    const Clock::time_point now = Clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - start_).count();
+    const double delta_s =
+        std::chrono::duration<double>(now - prev_time_).count();
+    std::uint64_t done = 0;
+    JsonWriter w;
+    w.begin_object()
+        .field("schema", static_cast<std::uint64_t>(1))
+        .field("event", "heartbeat")
+        .field("final", final)
+        .field("wall_ms", wall_ms);
+    w.begin_array("shards");
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      const std::uint64_t d = shard_done_[i].load(std::memory_order_relaxed);
+      done += d;
+      const double rate =
+          delta_s > 0.0
+              ? static_cast<double>(d - prev_done_[i]) / delta_s
+              : 0.0;
+      w.begin_object()
+          .field("shard", static_cast<std::uint64_t>(i))
+          .field("done", d)
+          .field("total", plan_[i].config.strikes)
+          .field("strikes_per_sec", rate)
+          .end_object();
+      prev_done_[i] = d;
+    }
+    w.end_array();
+    const double elapsed_s = wall_ms / 1000.0;
+    const double rate =
+        elapsed_s > 0.0
+            ? static_cast<double>(done - already_done_) / elapsed_s
+            : 0.0;
+    const double eta_s =
+        rate > 0.0 ? static_cast<double>(total_strikes_ - done) / rate : 0.0;
+    const std::uint64_t busy_ns = pool_.total_busy_ns();
+    const double capacity_ns =
+        elapsed_s * 1e9 * static_cast<double>(pool_.size());
+    const double utilization =
+        capacity_ns > 0.0
+            ? std::min(static_cast<double>(busy_ns) / capacity_ns, 1.0)
+            : 0.0;
+    w.field("done", done)
+        .field("total", total_strikes_)
+        .field("strikes_per_sec", rate)
+        .field("eta_s", eta_s)
+        .field("chunks_done",
+               chunks_done_.load(std::memory_order_relaxed))
+        .field("chunks_total", chunks_total_)
+        .field("jobs", static_cast<std::uint64_t>(pool_.size()))
+        .field("pool_utilization", utilization)
+        .end_object();
+    prev_time_ = now;
+
+    out_ << w.str() << '\n';
+    out_.flush();
+    if (!out_.good() && !write_failed_) {
+      write_failed_ = true;
+      std::fprintf(stderr, "warning: heartbeat write to '%s' failed\n",
+                   config_.out_path.c_str());
+    }
+    if (config_.stderr_line) {
+      const double pct =
+          total_strikes_ != 0
+              ? 100.0 * static_cast<double>(done) /
+                    static_cast<double>(total_strikes_)
+              : 100.0;
+      std::fprintf(stderr,
+                   "heartbeat: %5.1f%% (%llu/%llu strikes) %.0f strikes/s "
+                   "eta %.0fs pool %.0f%%\n",
+                   pct, static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total_strikes_), rate,
+                   eta_s, utilization * 100.0);
+    }
+  }
+
+  const HeartbeatConfig& config_;
+  const std::vector<CampaignShard>& plan_;
+  const std::uint64_t already_done_;
+  const std::uint64_t total_strikes_;
+  const std::uint64_t chunks_total_;
+  const std::atomic<std::uint64_t>* shard_done_;
+  const std::atomic<std::uint64_t>& chunks_done_;
+  const ThreadPool& pool_;
+  std::vector<std::uint64_t> prev_done_;
+  const Clock::time_point start_;
+  Clock::time_point prev_time_;
+  std::ofstream out_;
+  bool write_failed_ = false;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+/// Deterministic post-run observability: per-shard trace lanes and
+/// pool-utilization wall timers. Emitted by the coordinator after the
+/// pool joined, in shard order, so enabling observability never
+/// perturbs (and never races with) the campaign. Campaign counters are
+/// NOT emitted here: the per-strike observers already tallied them into
+/// the per-shard delta registries, which the runner merges into the
+/// root registry in shard order — keeping the merged snapshot
+/// byte-identical to a serial run's.
 void emit_observability(const std::vector<CampaignShard>& plan,
                         const std::vector<CampaignShardState>& states,
-                        const std::vector<std::uint64_t>& initial_done,
                         const ThreadPool& pool) {
   if (!obs::enabled()) return;
   obs::Registry& reg = obs::registry();
-  std::uint64_t executed = 0;
-  std::uint64_t vulnerable = 0;
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    const CampaignResult& p = states[i].partial;
-    executed += states[i].done - initial_done[i];
-    vulnerable += p.due + p.sdc;
-    const std::string prefix = "exec.shard" + std::to_string(i);
-    reg.counter(prefix + ".strikes").add(states[i].done);
-    reg.counter(prefix + ".vulnerable").add(p.due + p.sdc);
-  }
-  reg.counter("campaign.strikes").add(executed);
-  reg.counter("campaign.vulnerable").add(vulnerable);
-  reg.gauge("exec.pool.jobs").set(static_cast<double>(pool.size()));
-  reg.counter("exec.campaign.shards").add(plan.size());
+  // Wall-clock-only pool telemetry; excluded from default snapshots,
+  // so deterministic dumps stay jobs-invariant.
   for (std::uint32_t w = 0; w < pool.size(); ++w)
     reg.timer("exec.worker" + std::to_string(w) + ".busy")
         .record_ns(pool.worker_busy_ns(w));
@@ -183,15 +351,51 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
   ProgressAggregator progress(root, already_done);
   std::atomic<bool> halted{false};
 
+  // Simulated-time lifecycle records; coordinator-only, so the log for
+  // a fixed (seed, strikes, shard_count, chunk schedule) is identical
+  // regardless of --jobs.
+  obs::EventLog* events = obs::enabled() ? obs::current_event_log() : nullptr;
+  if (events != nullptr) {
+    events->emit("phase_start", already_done,
+                 {obs::TraceArg::str("kind", kind),
+                  obs::TraceArg::num("shards",
+                                     static_cast<std::uint64_t>(shard_count)),
+                  obs::TraceArg::num("strikes", root.strikes),
+                  obs::TraceArg::num("resumed_strikes", already_done)});
+    for (std::uint32_t i = 0; i < shard_count; ++i)
+      events->emit("shard_start", initial_done[i],
+                   {obs::TraceArg::num("shard", static_cast<std::uint64_t>(i)),
+                    obs::TraceArg::num("strikes", plan[i].config.strikes),
+                    obs::TraceArg::num("done", initial_done[i]),
+                    obs::TraceArg::num("seed", plan[i].config.seed)});
+  }
+
+  // Per-shard delta registries: workers run with registry() redirected
+  // to their shard's delta so per-strike instrumentation keeps firing
+  // without races; merged into the root in shard order after the join.
+  std::vector<obs::Registry> shard_registries(shard_count);
+
+  // Heartbeat feed: relaxed per-shard progress slots plus a global
+  // chunk counter. Cheap enough to maintain unconditionally.
+  const std::unique_ptr<std::atomic<std::uint64_t>[]> shard_done(
+      new std::atomic<std::uint64_t>[shard_count]);
+  std::atomic<std::uint64_t> chunks_done{0};
+  std::uint64_t chunks_total = 0;
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    shard_done[i].store(initial_done[i], std::memory_order_relaxed);
+    const std::uint64_t remaining = plan[i].config.strikes - initial_done[i];
+    chunks_total += (remaining + exec.chunk_strikes - 1) / exec.chunk_strikes;
+  }
+
   ThreadPool pool(jobs);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shard_count);
   for (std::uint32_t i = 0; i < shard_count; ++i) {
     tasks.push_back([&, i] {
-      // Workers must not touch the process-wide registry or trace —
-      // the coordinator emits everything deterministically after the
-      // join.
-      const obs::ThreadSuppressScope suppress;
+      // Workers must not touch the process-wide registry, trace, or
+      // event log — counters go to the shard's delta registry and the
+      // coordinator emits the single-writer sinks after the join.
+      const obs::ThreadRegistryScope redirect(shard_registries[i]);
       const CampaignShard& shard = plan[i];
       CampaignShardState& state = states[i];
       std::uint64_t since_checkpoint = 0;
@@ -207,6 +411,8 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
                     "campaign chunk runner made no progress");
         const std::uint64_t advanced = state.done - before;
         progress.add(advanced);
+        shard_done[i].store(state.done, std::memory_order_relaxed);
+        chunks_done.fetch_add(1, std::memory_order_relaxed);
         since_checkpoint += advanced;
         if (since_checkpoint >= exec.checkpoint_interval ||
             state.done == shard.config.strikes) {
@@ -217,7 +423,16 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
       }
     });
   }
-  pool.run_all(std::move(tasks));
+  {
+    // The emitter joins (and writes its final beat) before results are
+    // merged, even when a worker throws.
+    std::unique_ptr<HeartbeatEmitter> heartbeat;
+    if (exec.heartbeat.enabled())
+      heartbeat = std::make_unique<HeartbeatEmitter>(
+          exec.heartbeat, plan, already_done, root.strikes, chunks_total,
+          shard_done.get(), chunks_done, pool);
+    pool.run_all(std::move(tasks));
+  }
 
   ShardedRun run;
   run.shard_results.reserve(shard_count);
@@ -235,7 +450,42 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
   checkpoints.flush();
 
   progress.finish(run.complete);
-  emit_observability(plan, states, initial_done, pool);
+  if (obs::enabled()) {
+    // Shard-order merge of the per-shard counter deltas: the root
+    // registry ends up byte-identical to a serial run's for any --jobs.
+    obs::Registry& reg = obs::registry();
+    for (const obs::Registry& shard_reg : shard_registries)
+      reg.merge_from(shard_reg);
+  }
+  emit_observability(plan, states, pool);
+  if (events != nullptr) {
+    std::uint64_t total_done = 0;
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      const CampaignResult& p = states[i].partial;
+      total_done += states[i].done;
+      events->emit("shard_end", states[i].done,
+                   {obs::TraceArg::num("shard", static_cast<std::uint64_t>(i)),
+                    obs::TraceArg::num("strikes", states[i].done),
+                    obs::TraceArg::num("masked", p.masked),
+                    obs::TraceArg::num("dre", p.dre),
+                    obs::TraceArg::num("due", p.due),
+                    obs::TraceArg::num("sdc", p.sdc)});
+      if (checkpoints.active())
+        events->emit("checkpoint", states[i].done,
+                     {obs::TraceArg::num("shard",
+                                         static_cast<std::uint64_t>(i)),
+                      obs::TraceArg::num("writes", checkpoints.writes(i))});
+    }
+    const char* complete = run.complete ? "true" : "false";
+    events->emit("phase_end", total_done,
+                 {obs::TraceArg::str("kind", kind),
+                  obs::TraceArg{"complete", complete},
+                  obs::TraceArg::num("strikes", run.merged.strikes),
+                  obs::TraceArg::num("masked", run.merged.masked),
+                  obs::TraceArg::num("dre", run.merged.dre),
+                  obs::TraceArg::num("due", run.merged.due),
+                  obs::TraceArg::num("sdc", run.merged.sdc)});
+  }
   return run;
 }
 
@@ -247,8 +497,12 @@ ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
       config, exec, "static", /*seed_salt=*/0,
       [&](const CampaignShard& shard, CampaignShardState& state,
           std::uint64_t max_strikes) {
+        // Tallies into the worker's per-shard delta registry (the shard
+        // config has no progress callback — make_shard_plan cleared
+        // it), merged post-join so counters match the serial run's.
+        CampaignObserver observer(shard.config, "static");
         run_campaign_chunk(regions, strikes, shard.config, state, max_strikes,
-                           /*observer=*/nullptr);
+                           obs::enabled() ? &observer : nullptr);
       });
 }
 
@@ -259,18 +513,7 @@ namespace {
 /// only, after the join, shard order).
 void emit_recovery_observability(const RecoveryShardedRun& run) {
   if (!obs::enabled()) return;
-  obs::Registry& reg = obs::registry();
-  const RecoveryCounters& m = run.merged.recovery;
-  reg.counter("recovery.demand_reads").add(m.demand_reads);
-  reg.counter("recovery.corrections").add(m.corrections);
-  reg.counter("recovery.scrub_passes").add(m.scrub_passes);
-  reg.counter("recovery.scrub_words").add(m.scrub_words);
-  reg.counter("recovery.scrub_corrections").add(m.scrub_corrections);
-  reg.counter("recovery.refetches").add(m.refetches);
-  reg.counter("recovery.unrecoverable").add(m.unrecoverable);
-  reg.counter("recovery.sdc_reads").add(m.sdc_reads);
-  reg.counter("recovery.cycles").add(m.recovery_cycles);
-  reg.gauge("recovery.energy_pj").set(m.recovery_energy_pj);
+  emit_recovery_metrics(run.merged.recovery);
 
   obs::TraceEventSink* trace = obs::current_trace();
   if (trace == nullptr) return;
@@ -322,8 +565,9 @@ RecoveryShardedRun run_recovery_campaign_sharded(
           std::uint64_t max_strikes) {
         RecoveryShardSide& side = sides[shard.index];
         campaign.ensure_shard_images(side, shard.config.seed);
+        CampaignObserver observer(shard.config, "recovery");
         campaign.run_chunk(shard.config, state, side, max_strikes,
-                           /*observer=*/nullptr);
+                           obs::enabled() ? &observer : nullptr);
       });
 
   out.complete = run.complete;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "ftspm/fault/injector.h"
+#include "ftspm/obs/event_log.h"
 #include "ftspm/obs/metrics.h"
 #include "ftspm/obs/trace_sink.h"
 
@@ -70,5 +71,32 @@ class CampaignObserver {
   obs::TraceEventSink* trace_ = nullptr;
   obs::TraceEventSink::LaneId lane_ = 0;
 };
+
+/// Event-log records bracketing a *serial* campaign, with the same
+/// field shapes as the sharded runner's phase records (shards = 1,
+/// nothing resumed). The sharded runner emits its own richer set —
+/// per-shard start/end and checkpoint records — from the coordinator.
+inline void emit_campaign_phase_start(const char* kind,
+                                      const CampaignConfig& config) {
+  if (obs::EventLog* events = obs::current_event_log())
+    events->emit("phase_start", 0,
+                 {obs::TraceArg::str("kind", kind),
+                  obs::TraceArg::num("shards", std::uint64_t{1}),
+                  obs::TraceArg::num("strikes", config.strikes),
+                  obs::TraceArg::num("resumed_strikes", std::uint64_t{0})});
+}
+
+inline void emit_campaign_phase_end(const char* kind,
+                                    const CampaignResult& result) {
+  if (obs::EventLog* events = obs::current_event_log())
+    events->emit("phase_end", result.strikes,
+                 {obs::TraceArg::str("kind", kind),
+                  obs::TraceArg{"complete", "true"},
+                  obs::TraceArg::num("strikes", result.strikes),
+                  obs::TraceArg::num("masked", result.masked),
+                  obs::TraceArg::num("dre", result.dre),
+                  obs::TraceArg::num("due", result.due),
+                  obs::TraceArg::num("sdc", result.sdc)});
+}
 
 }  // namespace ftspm

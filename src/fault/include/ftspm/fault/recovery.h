@@ -124,6 +124,13 @@ struct RecoveryResult {
   RecoveryCounters recovery;
 };
 
+/// Adds the final recovery counters to the process-wide metrics
+/// registry ("recovery.*" names). Called once per campaign by whoever
+/// owns the merged counters — the serial runner and the sharded
+/// coordinator — so serial and sharded runs leave identical registry
+/// entries. No-op when observability is disabled.
+void emit_recovery_metrics(const RecoveryCounters& counters);
+
 /// The stored codeword image of one region: per-word data bits, check
 /// bits, and the ground-truth values written. Immune regions keep no
 /// image (their cells cannot be upset).

@@ -296,9 +296,11 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
                             const StrikeMultiplicityModel& strikes,
                             const CampaignConfig& config) {
   CampaignShardState state = begin_campaign_shard(config.seed);
+  emit_campaign_phase_start("static", config);
   CampaignObserver observer(config, "static");
   run_campaign_chunk(regions, strikes, config, state, config.strikes,
                      &observer);
+  emit_campaign_phase_end("static", state.partial);
   return state.partial;
 }
 

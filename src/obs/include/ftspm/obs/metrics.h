@@ -73,7 +73,18 @@ class Histogram {
   double mean() const noexcept {
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
   }
+  /// Quantile estimate interpolated linearly inside the fixed buckets
+  /// (Prometheus histogram_quantile style), with the tracked min/max
+  /// standing in for the open edges of the first and overflow buckets.
+  /// `q` is clamped to [0, 1]; returns 0 for an empty histogram. A
+  /// pure function of the bucket counts, so snapshots stay
+  /// deterministic.
+  double quantile(double q) const noexcept;
   void reset() noexcept;
+
+  /// Adds `other`'s observations into this histogram (bucket-wise).
+  /// Requires identical bucket bounds.
+  void merge_from(const Histogram& other);
 
  private:
   std::vector<double> bounds_;  ///< Strictly increasing.
@@ -97,6 +108,15 @@ class TimerStat {
   std::uint64_t total_ns() const noexcept { return total_ns_; }
   std::uint64_t max_ns() const noexcept { return max_ns_; }
   void reset() noexcept { count_ = total_ns_ = max_ns_ = 0; }
+
+  /// Folds another accumulator's summary in (count/total add, max
+  /// keeps the larger).
+  void merge_from(const TimerStat& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+    count_ += other.count_;
+    total_ns_ += other.total_ns_;
+  }
 
  private:
   std::uint64_t count_ = 0;
@@ -135,6 +155,15 @@ class Registry {
   /// Drops every instrument. Invalidates cached handles.
   void clear();
 
+  /// Folds `other`'s instruments into this registry: counters and
+  /// timers add, histograms merge bucket-wise (created here on first
+  /// sight), gauges take `other`'s value (last write wins, matching
+  /// what a serial run would have left behind). The parallel campaign
+  /// runner merges per-shard delta registries through this, in shard
+  /// order, so the root registry after a parallel run is byte-identical
+  /// to the serial run's.
+  void merge_from(const Registry& other);
+
   std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size() +
            timers_.size();
@@ -157,11 +186,12 @@ bool enabled() noexcept;
 void set_enabled(bool on) noexcept;
 
 /// RAII per-thread kill switch: while alive on a thread, enabled()
-/// returns false *on that thread only*. Parallel workers (ftspm/exec
-/// pool tasks) hold one so instrumentation sites never race on the
-/// registry or the trace sink; the coordinating thread emits the
-/// aggregated per-shard metrics deterministically after joining.
-/// Nests; reentrant on the same thread.
+/// returns false *on that thread only*. Parallel workers that have no
+/// per-thread delta registry (e.g. the suite runner's pool tasks) hold
+/// one so instrumentation sites never race on the registry or the
+/// trace sink; the coordinating thread emits the aggregated per-shard
+/// metrics deterministically after joining. Nests; reentrant on the
+/// same thread.
 class ThreadSuppressScope {
  public:
   ThreadSuppressScope() noexcept;
@@ -169,6 +199,32 @@ class ThreadSuppressScope {
   ThreadSuppressScope(const ThreadSuppressScope&) = delete;
   ThreadSuppressScope& operator=(const ThreadSuppressScope&) = delete;
 };
+
+/// RAII per-thread registry redirect: while alive, registry() on this
+/// thread resolves to `local` instead of the process-wide instance, so
+/// instrumentation keeps firing on worker threads without racing —
+/// each worker tallies into its own delta registry and the coordinator
+/// merges the deltas into the root (merge_from) in deterministic shard
+/// order after the join. Tracing and the event log are suppressed on
+/// redirected threads (current_trace()/current_event_log() return
+/// nullptr): those sinks are single-writer by design, and their
+/// deterministic records are emitted by the coordinator. Nests; the
+/// innermost redirect wins.
+class ThreadRegistryScope {
+ public:
+  explicit ThreadRegistryScope(Registry& local) noexcept;
+  ~ThreadRegistryScope();
+  ThreadRegistryScope(const ThreadRegistryScope&) = delete;
+  ThreadRegistryScope& operator=(const ThreadRegistryScope&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+/// True while the calling thread's registry() is redirected by a
+/// ThreadRegistryScope (used by the trace/event-log accessors to stay
+/// coordinator-only).
+bool thread_registry_redirected() noexcept;
 
 /// RAII enable/disable for tests and tool scopes.
 class EnabledScope {

@@ -29,10 +29,49 @@ void Histogram::observe(double value) noexcept {
   sum_ += value;
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t below = cumulative;
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < rank || buckets_[i] == 0) continue;
+    // Interpolate inside bucket i. The first bucket opens at the
+    // tracked min; the overflow bucket closes at the tracked max.
+    const double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+    const double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    if (hi <= lo) return std::min(std::max(lo, min_), max_);
+    const double inside =
+        (rank - static_cast<double>(below)) / static_cast<double>(buckets_[i]);
+    const double v = lo + (hi - lo) * std::min(std::max(inside, 0.0), 1.0);
+    return std::min(std::max(v, min_), max_);
+  }
+  return max_;
+}
+
 void Histogram::reset() noexcept {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  FTSPM_REQUIRE(bounds_ == other.bounds_,
+                "cannot merge histograms with different bucket bounds");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 Counter& Registry::counter(std::string_view name) {
@@ -85,6 +124,9 @@ std::string Registry::to_json(const SnapshotOptions& options) const {
         .field("sum", h.sum())
         .field("min", h.min())
         .field("max", h.max())
+        .field("p50", h.quantile(0.50))
+        .field("p95", h.quantile(0.95))
+        .field("p99", h.quantile(0.99))
         .end_object();
   }
   w.end_object();
@@ -129,6 +171,9 @@ std::string Registry::to_csv(const SnapshotOptions& options) const {
     row("histogram", name, "sum", num(h.sum()));
     row("histogram", name, "min", num(h.min()));
     row("histogram", name, "max", num(h.max()));
+    row("histogram", name, "p50", num(h.quantile(0.50)));
+    row("histogram", name, "p95", num(h.quantile(0.95)));
+    row("histogram", name, "p99", num(h.quantile(0.99)));
     for (std::size_t i = 0; i < h.buckets().size(); ++i) {
       const std::string field =
           i < h.bounds().size() ? "le_" + num(h.bounds()[i]) : "overflow";
@@ -159,12 +204,24 @@ void Registry::clear() {
   timers_.clear();
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_)
+    if (c.value() != 0) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).set(g.value());
+  for (const auto& [name, h] : other.histograms_)
+    histogram(name, h.bounds()).merge_from(h);
+  for (const auto& [name, t] : other.timers_)
+    if (t.count() != 0) timer(name).merge_from(t);
+}
+
 namespace {
 bool g_enabled = false;
 thread_local int t_suppress_depth = 0;
+thread_local Registry* t_registry = nullptr;
 }  // namespace
 
 Registry& registry() {
+  if (t_registry != nullptr) return *t_registry;
   static Registry instance;
   return instance;
 }
@@ -174,5 +231,13 @@ void set_enabled(bool on) noexcept { g_enabled = on; }
 
 ThreadSuppressScope::ThreadSuppressScope() noexcept { ++t_suppress_depth; }
 ThreadSuppressScope::~ThreadSuppressScope() { --t_suppress_depth; }
+
+ThreadRegistryScope::ThreadRegistryScope(Registry& local) noexcept
+    : prev_(t_registry) {
+  t_registry = &local;
+}
+ThreadRegistryScope::~ThreadRegistryScope() { t_registry = prev_; }
+
+bool thread_registry_redirected() noexcept { return t_registry != nullptr; }
 
 }  // namespace ftspm::obs

@@ -132,7 +132,12 @@ namespace {
 TraceEventSink* g_current_trace = nullptr;
 }  // namespace
 
-TraceEventSink* current_trace() noexcept { return g_current_trace; }
+TraceEventSink* current_trace() noexcept {
+  // The trace sink is single-writer: worker threads running under a
+  // per-shard registry redirect never see it, only the coordinator
+  // emits (deterministic) trace records.
+  return thread_registry_redirected() ? nullptr : g_current_trace;
+}
 
 TraceScope::TraceScope(TraceEventSink* sink) : prev_(g_current_trace) {
   g_current_trace = sink;

@@ -40,14 +40,26 @@ std::string suite_json(const std::vector<SuiteRow>& rows,
                        const StructureEvaluator& evaluator,
                        const RunManifest& manifest = {});
 
+/// Wall-clock measurements of one campaign run. Nondeterministic by
+/// nature: when embedded in a report they are wrapped in a "timing"
+/// object flagged {"nondeterministic":true} so golden comparisons know
+/// to strip it.
+struct CampaignTiming {
+  double wall_ms = 0.0;
+  double strikes_per_sec = 0.0;
+};
+
 /// One Monte-Carlo strike campaign as a JSON object string: manifest,
 /// strike counters and fractions, and — when `recovery` is non-null —
 /// the recovery-pipeline block (corrections, scrub sweeps, re-fetches,
 /// unrecoverable DUEs, and the MTTR-style overhead cycles/energy spent
 /// repairing). Field order is fixed, so for a fixed campaign the
-/// output is byte-identical regardless of --jobs.
+/// output is byte-identical regardless of --jobs — except the optional
+/// trailing "timing" block (see CampaignTiming), emitted only when
+/// `timing` is non-null.
 std::string campaign_json(const CampaignResult& result,
                           const RecoveryCounters* recovery,
-                          const RunManifest& manifest = {});
+                          const RunManifest& manifest = {},
+                          const CampaignTiming* timing = nullptr);
 
 }  // namespace ftspm

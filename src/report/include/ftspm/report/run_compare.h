@@ -1,0 +1,57 @@
+// Run comparison: the diff half of the run ledger (obs/ledger.h).
+// Aligns two ledger records' counters and metrics by name, computes
+// relative deltas, and flags regressions past a threshold — the engine
+// behind `ftspm_tool compare`, usable as a CI determinism/quality gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftspm/obs/ledger.h"
+
+namespace ftspm {
+
+struct CompareOptions {
+  /// Maximum tolerated |relative delta| in percent before a row counts
+  /// as a regression (0 = any drift regresses — the determinism gate).
+  double threshold_pct = 0.0;
+  /// When non-empty, only the row with this name participates in
+  /// regression gating (all rows are still reported).
+  std::string metric;
+};
+
+/// One aligned counter/metric row of the diff.
+struct CompareRow {
+  std::string name;
+  std::string kind;  ///< "counter" or "metric".
+  double a = 0.0;
+  double b = 0.0;
+  /// 100 * (b - a) / a; +/-inf when a == 0 and b != 0; 0 when both 0.
+  double delta_pct = 0.0;
+  bool missing_a = false;  ///< Present only in run B.
+  bool missing_b = false;  ///< Present only in run A.
+  bool regressed = false;  ///< Gated and past the threshold.
+};
+
+/// The whole diff. `regression` is true when any gated row drifted
+/// past the threshold (a name missing from one side also regresses —
+/// the runs are not comparable silently).
+struct CompareReport {
+  std::string run_a;
+  std::string run_b;
+  std::vector<CompareRow> rows;
+  bool regression = false;
+
+  /// Aligned relative-delta table (AsciiTable) with a one-line verdict.
+  std::string render() const;
+};
+
+/// Diffs two ledger records: counters and metrics are aligned by name
+/// (union of both sides, sorted), deltas are relative to run A. Wall
+/// timings are reported in the rendering but never gated — they are
+/// nondeterministic by design.
+CompareReport compare_runs(const obs::LedgerRecord& a,
+                           const obs::LedgerRecord& b,
+                           const CompareOptions& options = {});
+
+}  // namespace ftspm

@@ -95,7 +95,8 @@ std::string system_result_json(const SystemResult& result,
 
 std::string campaign_json(const CampaignResult& result,
                           const RecoveryCounters* recovery,
-                          const RunManifest& manifest) {
+                          const RunManifest& manifest,
+                          const CampaignTiming* timing) {
   JsonWriter w;
   w.begin_object();
   w.begin_object("manifest");
@@ -122,6 +123,15 @@ std::string campaign_json(const CampaignResult& result,
         .field("recovery_cycles", recovery->recovery_cycles)
         .field("recovery_energy_pj", recovery->recovery_energy_pj)
         .field("mean_repair_cycles", recovery->mean_repair_cycles())
+        .end_object();
+  }
+  if (timing != nullptr) {
+    // Wall-clock block, last so deterministic consumers can strip it;
+    // the flag tells golden comparisons to ignore these fields.
+    w.begin_object("timing")
+        .field("nondeterministic", true)
+        .field("wall_ms", timing->wall_ms)
+        .field("strikes_per_sec", timing->strikes_per_sec)
         .end_object();
   }
   w.end_object();

@@ -1,0 +1,117 @@
+#include "ftspm/report/run_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "ftspm/util/format.h"
+#include "ftspm/util/table.h"
+
+namespace ftspm {
+
+namespace {
+
+/// Collects one side's (name -> value) pairs into the aligned map.
+template <typename Pairs>
+void fold_side(const Pairs& pairs, bool is_b,
+               std::map<std::string, std::pair<double, double>>& aligned,
+               std::map<std::string, std::pair<bool, bool>>& present) {
+  for (const auto& [name, value] : pairs) {
+    auto& slot = aligned[name];
+    auto& seen = present[name];
+    if (is_b) {
+      slot.second = static_cast<double>(value);
+      seen.second = true;
+    } else {
+      slot.first = static_cast<double>(value);
+      seen.first = true;
+    }
+  }
+}
+
+void diff_kind(const char* kind,
+               const std::map<std::string, std::pair<double, double>>& aligned,
+               const std::map<std::string, std::pair<bool, bool>>& present,
+               const CompareOptions& options, CompareReport& report) {
+  for (const auto& [name, values] : aligned) {
+    const auto [in_a, in_b] = present.at(name);
+    CompareRow row;
+    row.name = name;
+    row.kind = kind;
+    row.a = values.first;
+    row.b = values.second;
+    row.missing_a = !in_a;
+    row.missing_b = !in_b;
+    if (row.a == row.b) {
+      row.delta_pct = 0.0;
+    } else if (row.a == 0.0) {
+      row.delta_pct = std::copysign(
+          std::numeric_limits<double>::infinity(), row.b);
+    } else {
+      row.delta_pct = 100.0 * (row.b - row.a) / row.a;
+    }
+    const bool gated = options.metric.empty() || name == options.metric;
+    if (gated && (!in_a || !in_b ||
+                  std::abs(row.delta_pct) > options.threshold_pct)) {
+      row.regressed = true;
+      report.regression = true;
+    }
+    report.rows.push_back(std::move(row));
+  }
+}
+
+std::string cell(double v, bool missing) {
+  if (missing) return "-";
+  if (v == std::floor(v) && std::abs(v) < 1e15)
+    return with_commas(static_cast<std::int64_t>(v));
+  return fixed(v, 6);
+}
+
+std::string delta_cell(const CompareRow& row) {
+  if (row.missing_a || row.missing_b) return "missing";
+  if (row.delta_pct == 0.0) return "0%";
+  if (std::isinf(row.delta_pct)) return row.delta_pct > 0 ? "+inf%" : "-inf%";
+  const std::string body = fixed(row.delta_pct, 4) + "%";
+  return row.delta_pct > 0 ? "+" + body : body;
+}
+
+}  // namespace
+
+std::string CompareReport::render() const {
+  AsciiTable table({"Kind", "Name", run_a, run_b, "Delta", ""});
+  table.set_align(1, Align::Left);
+  for (const CompareRow& row : rows)
+    table.add_row({row.kind, row.name, cell(row.a, row.missing_a),
+                   cell(row.b, row.missing_b), delta_cell(row),
+                   row.regressed ? "REGRESSED" : "ok"});
+  std::string out = table.render();
+  out += regression ? "verdict: REGRESSION (see rows marked REGRESSED)\n"
+                    : "verdict: no regression\n";
+  return out;
+}
+
+CompareReport compare_runs(const obs::LedgerRecord& a,
+                           const obs::LedgerRecord& b,
+                           const CompareOptions& options) {
+  CompareReport report;
+  report.run_a = a.id;
+  report.run_b = b.id;
+  {
+    std::map<std::string, std::pair<double, double>> aligned;
+    std::map<std::string, std::pair<bool, bool>> present;
+    fold_side(a.counters, /*is_b=*/false, aligned, present);
+    fold_side(b.counters, /*is_b=*/true, aligned, present);
+    diff_kind("counter", aligned, present, options, report);
+  }
+  {
+    std::map<std::string, std::pair<double, double>> aligned;
+    std::map<std::string, std::pair<bool, bool>> present;
+    fold_side(a.metrics, /*is_b=*/false, aligned, present);
+    fold_side(b.metrics, /*is_b=*/true, aligned, present);
+    diff_kind("metric", aligned, present, options, report);
+  }
+  return report;
+}
+
+}  // namespace ftspm

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ftspm/exec/thread_pool.h"
+#include "ftspm/obs/event_log.h"
 #include "ftspm/obs/timer.h"
 #include "ftspm/util/error.h"
 
@@ -19,6 +20,7 @@ std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
       obs::enabled() ? obs::current_trace() : nullptr;
   const obs::TraceEventSink::LaneId lane =
       trace != nullptr ? trace->lane("suite", "benchmarks") : 0;
+  obs::EventLog* events = obs::enabled() ? obs::current_event_log() : nullptr;
   std::uint64_t cumulative_cycles = 0;
 
   std::vector<SuiteRow> rows;
@@ -26,6 +28,10 @@ std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
   std::size_t done = 0;
   for (MiBenchmark bench : all_benchmarks()) {
     const std::string name = to_string(bench);
+    if (events != nullptr)
+      events->emit("phase_start", cumulative_cycles,
+                   {obs::TraceArg::str("kind", "suite"),
+                    obs::TraceArg::str("benchmark", name)});
     std::vector<SystemResult> results;
     {
       const obs::ScopedTimer timer("suite." + name);
@@ -40,8 +46,15 @@ std::vector<SuiteRow> run_suite(const StructureEvaluator& evaluator,
                       results[0].run.total_cycles,
                       {obs::TraceArg::num("cycles",
                                           results[0].run.total_cycles)});
-      cumulative_cycles += results[0].run.total_cycles;
     }
+    if (events != nullptr)
+      events->emit("phase_end",
+                   cumulative_cycles + results[0].run.total_cycles,
+                   {obs::TraceArg::str("kind", "suite"),
+                    obs::TraceArg::str("benchmark", name),
+                    obs::TraceArg::num("cycles",
+                                       results[0].run.total_cycles)});
+    cumulative_cycles += results[0].run.total_cycles;
     rows.push_back(SuiteRow{bench, name, std::move(results[0]),
                             std::move(results[1]), std::move(results[2])});
     ++done;
@@ -100,17 +113,29 @@ std::vector<SuiteRow> run_suite_parallel(const StructureEvaluator& evaluator,
     obs::Registry& reg = obs::registry();
     for (std::size_t i = 0; i < rows.size(); ++i)
       reg.timer("suite." + rows[i].name).record_ns(wall_ns[i]);
-    if (obs::TraceEventSink* trace = obs::current_trace()) {
-      const obs::TraceEventSink::LaneId lane =
-          trace->lane("suite", "benchmarks");
-      std::uint64_t cumulative_cycles = 0;
-      for (const SuiteRow& row : rows) {
+    obs::TraceEventSink* trace = obs::current_trace();
+    const obs::TraceEventSink::LaneId lane =
+        trace != nullptr ? trace->lane("suite", "benchmarks") : 0;
+    obs::EventLog* events = obs::current_event_log();
+    std::uint64_t cumulative_cycles = 0;
+    for (const SuiteRow& row : rows) {
+      if (events != nullptr)
+        events->emit("phase_start", cumulative_cycles,
+                     {obs::TraceArg::str("kind", "suite"),
+                      obs::TraceArg::str("benchmark", row.name)});
+      if (trace != nullptr)
         trace->complete(lane, row.name, cumulative_cycles,
                         row.ftspm.run.total_cycles,
                         {obs::TraceArg::num("cycles",
                                             row.ftspm.run.total_cycles)});
-        cumulative_cycles += row.ftspm.run.total_cycles;
-      }
+      if (events != nullptr)
+        events->emit("phase_end",
+                     cumulative_cycles + row.ftspm.run.total_cycles,
+                     {obs::TraceArg::str("kind", "suite"),
+                      obs::TraceArg::str("benchmark", row.name),
+                      obs::TraceArg::num("cycles",
+                                         row.ftspm.run.total_cycles)});
+      cumulative_cycles += row.ftspm.run.total_cycles;
     }
   }
   return rows;

@@ -93,4 +93,10 @@ class JsonValue {
 /// on malformed input.
 JsonValue parse_json(std::string_view text);
 
+/// Parses newline-delimited JSON (NDJSON): one document per line,
+/// blank lines skipped, CR tolerated before LF. Each line is parsed
+/// strictly; errors are rethrown with a 1-based line number. Used by
+/// the event-log and run-ledger readers.
+std::vector<JsonValue> parse_ndjson(std::string_view text);
+
 }  // namespace ftspm

@@ -433,4 +433,32 @@ JsonValue parse_json(std::string_view text) {
   return parser.parse_document();
 }
 
+std::vector<JsonValue> parse_ndjson(std::string_view text) {
+  std::vector<JsonValue> docs;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    bool blank = true;
+    for (char c : line)
+      if (c != ' ' && c != '\t') {
+        blank = false;
+        break;
+      }
+    if (blank) continue;
+    try {
+      docs.push_back(parse_json(line));
+    } catch (const Error& e) {
+      throw Error("ndjson line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return docs;
+}
+
 }  // namespace ftspm

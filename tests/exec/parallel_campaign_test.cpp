@@ -13,9 +13,14 @@
 #include <utility>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "ftspm/fault/injector.h"
 #include "ftspm/fault/strike_model.h"
+#include "ftspm/obs/metrics.h"
 #include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
 
 namespace ftspm::exec {
 namespace {
@@ -215,6 +220,102 @@ TEST(ParallelCampaignTest, ProgressIsMonotoneWithOneCompletionCall) {
   }
   EXPECT_EQ(completions, 1);
   EXPECT_EQ(calls.back().first, cfg.strikes);
+}
+
+TEST(ParallelCampaignTest, MetricsSnapshotIdenticalAcrossJobCounts) {
+  // The merged registry must be a pure function of (seed, strikes,
+  // shard_count): per-shard deltas are folded post-join in shard
+  // order, so the snapshot can't depend on worker interleaving.
+  CampaignConfig cfg;
+  cfg.strikes = 30'000;
+  std::vector<std::string> snapshots;
+  for (std::uint32_t jobs : {1u, 2u, 8u}) {
+    obs::registry().clear();
+    const obs::EnabledScope enable(true);
+    ExecConfig exec;
+    exec.shards = 4;
+    exec.jobs = jobs;
+    run_campaign_sharded(surfaces(), model(), cfg, exec);
+    snapshots.push_back(obs::registry().to_json());
+  }
+  obs::registry().clear();
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+  // The snapshot must actually carry the campaign counters.
+  EXPECT_NE(snapshots[0].find("campaign.strikes"), std::string::npos);
+}
+
+TEST(ParallelCampaignTest, HeartbeatStreamIsSchemaValidNdjson) {
+  CampaignConfig cfg;
+  cfg.strikes = 60'000;
+  const std::string path = temp_path("ftspm_heartbeat_test");
+  std::remove(path.c_str());
+  ExecConfig exec;
+  exec.jobs = 4;
+  exec.shards = 4;
+  exec.chunk_strikes = 1'000;
+  exec.heartbeat.out_path = path;
+  exec.heartbeat.interval_ms = 1;  // force at least one mid-run beat
+  const ShardedRun run = run_campaign_sharded(surfaces(), model(), cfg, exec);
+  EXPECT_TRUE(run.complete);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<JsonValue> beats = parse_ndjson(buffer.str());
+  // First beat fires immediately and a final beat is flushed at stop.
+  ASSERT_GE(beats.size(), 2u);
+  for (const JsonValue& beat : beats) {
+    EXPECT_DOUBLE_EQ(beat.at("schema").number, 1.0);
+    EXPECT_EQ(beat.at("event").string, "heartbeat");
+    EXPECT_EQ(beat.at("shards").array.size(), 4u);
+    EXPECT_LE(beat.at("done").number, static_cast<double>(cfg.strikes));
+    EXPECT_DOUBLE_EQ(beat.at("total").number,
+                     static_cast<double>(cfg.strikes));
+    EXPECT_GE(beat.at("pool_utilization").number, 0.0);
+    EXPECT_LE(beat.at("pool_utilization").number, 1.0);
+  }
+  EXPECT_EQ(beats.back().at("final").boolean, true);
+  EXPECT_DOUBLE_EQ(beats.back().at("done").number,
+                   static_cast<double>(cfg.strikes));
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCampaignTest, HeartbeatNeverTouchesDeterministicArtefacts) {
+  // A heartbeat-enabled run must leave the merged counters and the
+  // metrics registry exactly as a silent run would.
+  CampaignConfig cfg;
+  cfg.strikes = 20'000;
+  ExecConfig silent;
+  silent.shards = 2;
+  silent.jobs = 2;
+
+  obs::registry().clear();
+  std::string silent_metrics;
+  ShardedRun plain;
+  {
+    const obs::EnabledScope enable(true);
+    plain = run_campaign_sharded(surfaces(), model(), cfg, silent);
+    silent_metrics = obs::registry().to_json();
+  }
+
+  const std::string path = temp_path("ftspm_heartbeat_purity_test");
+  ExecConfig noisy = silent;
+  noisy.heartbeat.out_path = path;
+  noisy.heartbeat.interval_ms = 1;
+  obs::registry().clear();
+  std::string noisy_metrics;
+  ShardedRun beating;
+  {
+    const obs::EnabledScope enable(true);
+    beating = run_campaign_sharded(surfaces(), model(), cfg, noisy);
+    noisy_metrics = obs::registry().to_json();
+  }
+  obs::registry().clear();
+  expect_same(plain.merged, beating.merged);
+  EXPECT_EQ(silent_metrics, noisy_metrics);
+  std::remove(path.c_str());
 }
 
 TEST(ParallelCampaignTest, AutoShardCountFollowsJobs) {

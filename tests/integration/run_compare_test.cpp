@@ -1,0 +1,80 @@
+#include "ftspm/report/run_compare.h"
+
+#include <gtest/gtest.h>
+
+namespace ftspm {
+namespace {
+
+obs::LedgerRecord run(const std::string& id, std::uint64_t sdc,
+                      double vulnerability) {
+  obs::LedgerRecord r;
+  r.id = id;
+  r.command = "campaign";
+  r.workload = "secded";
+  r.counters = {{"strikes", 1000}, {"sdc", sdc}};
+  r.metrics = {{"vulnerability", vulnerability}};
+  return r;
+}
+
+TEST(RunCompareTest, IdenticalRunsHaveNoRegression) {
+  const CompareReport report =
+      compare_runs(run("a", 7, 0.25), run("b", 7, 0.25), {});
+  EXPECT_FALSE(report.regression);
+  for (const CompareRow& row : report.rows) {
+    EXPECT_DOUBLE_EQ(row.delta_pct, 0.0);
+    EXPECT_FALSE(row.regressed);
+  }
+}
+
+TEST(RunCompareTest, DriftPastThresholdRegresses) {
+  CompareOptions options;
+  options.threshold_pct = 5.0;
+  const CompareReport report =
+      compare_runs(run("a", 100, 0.25), run("b", 110, 0.25), options);
+  EXPECT_TRUE(report.regression);
+  bool found = false;
+  for (const CompareRow& row : report.rows) {
+    if (row.name != "sdc") continue;
+    found = true;
+    EXPECT_NEAR(row.delta_pct, 10.0, 1e-9);
+    EXPECT_TRUE(row.regressed);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RunCompareTest, DriftWithinThresholdPasses) {
+  CompareOptions options;
+  options.threshold_pct = 15.0;
+  const CompareReport report =
+      compare_runs(run("a", 100, 0.25), run("b", 110, 0.25), options);
+  EXPECT_FALSE(report.regression);
+}
+
+TEST(RunCompareTest, MetricFilterGatesOnlyThatName) {
+  CompareOptions options;
+  options.metric = "vulnerability";
+  const CompareReport report =
+      compare_runs(run("a", 100, 0.25), run("b", 999, 0.25), options);
+  EXPECT_FALSE(report.regression);  // sdc drift ignored by the gate
+  CompareOptions gate_sdc;
+  gate_sdc.metric = "sdc";
+  EXPECT_TRUE(
+      compare_runs(run("a", 100, 0.25), run("b", 999, 0.25), gate_sdc)
+          .regression);
+}
+
+TEST(RunCompareTest, MissingCountersAlwaysRegress) {
+  obs::LedgerRecord a = run("a", 7, 0.25);
+  obs::LedgerRecord b = run("b", 7, 0.25);
+  b.counters.emplace_back("extra", 1);
+  CompareOptions loose;
+  loose.threshold_pct = 1e9;  // even an infinite threshold can't excuse it
+  const CompareReport report = compare_runs(a, b, loose);
+  EXPECT_TRUE(report.regression);
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("missing"), std::string::npos);
+  EXPECT_NE(rendered.find("REGRESSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftspm

@@ -1,0 +1,97 @@
+#include "ftspm/obs/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::obs {
+namespace {
+
+std::string temp_path(const char* stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem + "." +
+         std::to_string(::getpid());
+}
+
+LedgerRecord sample(const std::string& id) {
+  LedgerRecord r;
+  r.id = id;
+  r.command = "campaign";
+  r.workload = "secded";
+  r.seed = 42;
+  r.jobs = 2;
+  r.shards = 4;
+  r.counters = {{"strikes", 1000}, {"sdc", 7}};
+  r.metrics = {{"vulnerability", 0.25}};
+  r.wall_ms = 12.5;
+  r.strikes_per_sec = 80000.0;
+  return r;
+}
+
+TEST(LedgerTest, RoundTripsThroughJson) {
+  const LedgerRecord a = sample("run-0");
+  const LedgerRecord b = LedgerRecord::from_json(parse_json(a.to_json()));
+  EXPECT_EQ(b.id, "run-0");
+  EXPECT_EQ(b.command, "campaign");
+  EXPECT_EQ(b.workload, "secded");
+  EXPECT_EQ(b.seed, 42u);
+  EXPECT_EQ(b.jobs, 2u);
+  EXPECT_EQ(b.shards, 4u);
+  ASSERT_EQ(b.counters.size(), 2u);
+  ASSERT_EQ(b.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.wall_ms, 12.5);
+  EXPECT_FALSE(b.library_version.empty());
+}
+
+TEST(LedgerTest, JsonSortsCountersByKey) {
+  LedgerRecord r = sample("run-0");
+  r.counters = {{"zeta", 2}, {"alpha", 1}};
+  const std::string json = r.to_json();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+TEST(LedgerTest, AppendAndReadBack) {
+  const std::string path = temp_path("ftspm_ledger_test");
+  std::remove(path.c_str());
+  EXPECT_TRUE(read_ledger(path).empty());  // missing file = empty ledger
+  append_ledger(sample("run-0"), path);
+  append_ledger(sample("run-1"), path);
+  const std::vector<LedgerRecord> runs = read_ledger(path);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].id, "run-0");
+  EXPECT_EQ(runs[1].id, "run-1");
+  std::remove(path.c_str());
+}
+
+TEST(LedgerTest, FindRunMatchesIdThenIndex) {
+  std::vector<LedgerRecord> runs;
+  runs.push_back(sample("baseline"));
+  runs.push_back(sample("candidate"));
+  runs.push_back(sample("baseline"));  // re-used id: last one wins
+  EXPECT_EQ(find_run(runs, "candidate"), &runs[1]);
+  EXPECT_EQ(find_run(runs, "baseline"), &runs[2]);
+  EXPECT_EQ(find_run(runs, "0"), &runs[0]);
+  EXPECT_EQ(find_run(runs, "2"), &runs[2]);
+  EXPECT_EQ(find_run(runs, "3"), nullptr);
+  EXPECT_EQ(find_run(runs, "missing"), nullptr);
+}
+
+TEST(LedgerTest, RejectsUnknownSchema) {
+  EXPECT_THROW(
+      LedgerRecord::from_json(parse_json(
+          "{\"schema\":99,\"id\":\"x\",\"command\":\"campaign\","
+          "\"workload\":\"w\",\"scale\":1,\"seed\":0,\"jobs\":1,"
+          "\"shards\":1,\"library_version\":\"1.0\",\"counters\":{},"
+          "\"metrics\":{}}")),
+      Error);
+}
+
+}  // namespace
+}  // namespace ftspm::obs

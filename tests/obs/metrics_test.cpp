@@ -61,6 +61,98 @@ TEST(HistogramTest, RejectsNonIncreasingBounds) {
   EXPECT_THROW(Histogram({}), Error);
 }
 
+TEST(HistogramTest, QuantilePinnedValues) {
+  // The reference pin for the interpolated estimator: uniform 1..40
+  // over bounds {10,20,30,40} (10 observations per bucket).
+  Histogram h({10.0, 20.0, 30.0, 40.0});
+  for (int v = 1; v <= 40; ++v) h.observe(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 38.0);
+  EXPECT_NEAR(h.quantile(0.99), 39.6, 1e-9);
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SnapshotCarriesQuantiles) {
+  Registry r;
+  Histogram& h = r.histogram("lat", {10.0, 20.0, 30.0, 40.0});
+  for (int v = 1; v <= 40; ++v) h.observe(static_cast<double>(v));
+  const JsonValue doc = parse_json(r.to_json());
+  const JsonValue& j = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(j.at("p50").number, 20.0);
+  EXPECT_DOUBLE_EQ(j.at("p95").number, 38.0);
+  EXPECT_NEAR(j.at("p99").number, 39.6, 1e-9);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndDemandsSameBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.observe(0.5);
+  b.observe(1.5);
+  b.observe(5.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  Histogram other({3.0, 4.0});
+  EXPECT_THROW(a.merge_from(other), Error);
+}
+
+TEST(TimerStatTest, MergeAddsCountsAndKeepsTheLargerMax) {
+  TimerStat a;
+  TimerStat b;
+  a.record_ns(100);
+  b.record_ns(250);
+  b.record_ns(10);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total_ns(), 360u);
+  EXPECT_EQ(a.max_ns(), 250u);
+  TimerStat empty;
+  a.merge_from(empty);  // merging an idle timer is a no-op
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(RegistryTest, MergeFoldsEveryInstrumentKind) {
+  Registry a;
+  Registry b;
+  a.counter("c").add(1);
+  b.counter("c").add(2);
+  b.counter("only_b").add(7);
+  b.gauge("g").set(3.5);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+  b.timer("t").record_ns(50);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c").value(), 3u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 3.5);
+  EXPECT_EQ(a.histogram("h", {1.0, 2.0}).count(), 1u);
+  EXPECT_EQ(a.timer("t").count(), 1u);
+}
+
+TEST(RegistryTest, ThreadScopeRedirectsAndRestores) {
+  registry().clear();
+  const EnabledScope enable(true);
+  Registry local;
+  EXPECT_FALSE(thread_registry_redirected());
+  {
+    const ThreadRegistryScope scope(local);
+    EXPECT_TRUE(thread_registry_redirected());
+    FTSPM_OBS_COUNT("redirected", 1);
+  }
+  EXPECT_FALSE(thread_registry_redirected());
+  EXPECT_EQ(local.counter("redirected").value(), 1u);
+  EXPECT_EQ(registry().size(), 0u);
+  registry().clear();
+}
+
 TEST(TimerStatTest, TracksCountTotalAndMax) {
   TimerStat t;
   t.record_ns(100);

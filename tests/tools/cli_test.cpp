@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ftspm/util/json.h"
 
@@ -279,6 +280,115 @@ TEST(CliTest, SuiteOutputIsJobsInvariant) {
   EXPECT_EQ(parallel.exit_code, 0);
   ASSERT_FALSE(serial.output.empty());
   EXPECT_EQ(serial.output, parallel.output);
+}
+
+TEST(CliTest, EventLogIsByteIdenticalAcrossJobCounts) {
+  // The structured event log is keyed on simulated time only, so for a
+  // pinned shard count it must not change with the worker count.
+  const std::string campaign = "campaign --strikes 20000 --shards 4";
+  std::string reference;
+  for (const char* jobs : {"1", "2", "8"}) {
+    const std::string path =
+        temp_path((std::string("ftspm_cli_events_j") + jobs).c_str());
+    const CommandResult r = run_tool_stdout(
+        std::string("--jobs ") + jobs + " --events-out " + path + " " +
+        campaign);
+    ASSERT_EQ(r.exit_code, 0);
+    const std::string log = slurp(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(log.empty());
+    if (reference.empty()) {
+      reference = log;
+      // Spot-check the record kinds the schema promises.
+      for (const char* event :
+           {"run_manifest", "phase_start", "shard_start", "shard_end",
+            "phase_end", "campaign_summary"})
+        EXPECT_NE(log.find(std::string("\"event\":\"") + event + "\""),
+                  std::string::npos)
+            << event;
+      for (const JsonValue& line : parse_ndjson(log))
+        EXPECT_DOUBLE_EQ(line.at("schema").number, 1.0);
+    } else {
+      EXPECT_EQ(log, reference) << "--jobs " << jobs;
+    }
+  }
+}
+
+TEST(CliTest, HeartbeatWritesNdjsonAndLeavesStdoutAlone) {
+  const std::string path = temp_path("ftspm_cli_heartbeat.ndjson");
+  std::remove(path.c_str());
+  const CommandResult plain =
+      run_tool_stdout("campaign --strikes 50000 --shards 4 --jobs 2");
+  const CommandResult beating = run_tool_stdout(
+      "--heartbeat-out " + path +
+      " --heartbeat-interval-ms 1 campaign --strikes 50000 --shards 4"
+      " --jobs 2");
+  ASSERT_EQ(plain.exit_code, 0);
+  ASSERT_EQ(beating.exit_code, 0);
+  EXPECT_EQ(plain.output, beating.output);
+  const std::vector<JsonValue> beats = parse_ndjson(slurp(path));
+  std::remove(path.c_str());
+  ASSERT_GE(beats.size(), 2u);
+  for (const JsonValue& beat : beats)
+    EXPECT_EQ(beat.at("event").string, "heartbeat");
+  EXPECT_EQ(beats.back().at("final").boolean, true);
+}
+
+TEST(CliTest, LedgerCompareGatesOnRegression) {
+  const std::string ledger = temp_path("ftspm_cli_ledger.jsonl");
+  std::remove(ledger.c_str());
+  const std::string common = " campaign --strikes 20000 --shards 4";
+  ASSERT_EQ(run_tool_stdout("--ledger " + ledger + common).exit_code, 0);
+  ASSERT_EQ(run_tool_stdout("--ledger " + ledger + " --jobs 4" + common)
+                .exit_code,
+            0);
+  // Different occupancy moves every counter: an injected regression.
+  ASSERT_EQ(run_tool_stdout("--ledger " + ledger + common +
+                            " --occupancy 0.3")
+                .exit_code,
+            0);
+
+  const CommandResult listing = run_tool("--ledger " + ledger + " runs list");
+  EXPECT_EQ(listing.exit_code, 0);
+  EXPECT_NE(listing.output.find("run-0"), std::string::npos);
+  EXPECT_NE(listing.output.find("run-2"), std::string::npos);
+
+  // Same seed and shard count (jobs differ): byte-equal counters.
+  const CommandResult same =
+      run_tool("--ledger " + ledger + " compare run-0 run-1");
+  EXPECT_EQ(same.exit_code, 0);
+  EXPECT_NE(same.output.find("no regression"), std::string::npos);
+
+  const CommandResult drift =
+      run_tool("--ledger " + ledger + " compare run-0 run-2 --threshold 5");
+  EXPECT_EQ(drift.exit_code, 1);
+  EXPECT_NE(drift.output.find("REGRESSED"), std::string::npos);
+
+  // A huge threshold on a single stable metric passes the gate.
+  const CommandResult gated = run_tool(
+      "--ledger " + ledger + " compare run-0 run-2 --metric strikes");
+  EXPECT_EQ(gated.exit_code, 0);
+
+  const CommandResult missing =
+      run_tool("--ledger " + ledger + " compare run-0 no_such_run");
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.output.find("not found"), std::string::npos);
+  std::remove(ledger.c_str());
+}
+
+TEST(CliTest, CampaignJsonTimingOnlyWithTimeFlag) {
+  const std::string args = "campaign --strikes 5000 --json";
+  const CommandResult plain = run_tool_stdout(args);
+  ASSERT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(parse_json(plain.output).find("timing"), nullptr);
+  const CommandResult timed = run_tool_stdout(args + " --time");
+  ASSERT_EQ(timed.exit_code, 0);
+  const JsonValue doc = parse_json(timed.output);
+  const JsonValue* timing = doc.find("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_EQ(timing->at("nondeterministic").boolean, true);
+  EXPECT_GT(timing->at("wall_ms").number, 0.0);
+  EXPECT_GE(timing->at("strikes_per_sec").number, 0.0);
 }
 
 TEST(CliTest, EvaluateJsonEmbedsManifest) {

@@ -18,9 +18,18 @@
 //                       [--dirty-fraction F] [--refetch-words N]
 //                       [--json] [--csv]
 //
+//   ftspm_tool runs list [--ledger FILE]
+//   ftspm_tool compare <runA> <runB> [--ledger FILE] [--threshold PCT]
+//                      [--metric NAME]
+//
 // Global options (accepted by every command, any position):
 //   --trace-out FILE    write a Chrome trace-event JSON of the run
 //   --metrics-out FILE  write the metrics registry snapshot as JSON
+//   --events-out FILE   write the structured NDJSON event log
+//   --heartbeat-out FILE        live NDJSON heartbeats (campaign)
+//   --heartbeat-interval-ms N   milliseconds between heartbeats (1000)
+//   --ledger FILE       append this run's record to an NDJSON ledger
+//   --run-id NAME       ledger record id (default run-<index>)
 //   --progress          report progress on stderr (suite/report/campaign)
 //   --jobs N            worker threads for suite/report/campaign
 //                       (default 1 = serial; 0 = hardware concurrency)
@@ -45,6 +54,8 @@
 #include "ftspm/core/transfer_schedule.h"
 #include "ftspm/exec/parallel_campaign.h"
 #include "ftspm/exec/thread_pool.h"
+#include "ftspm/obs/event_log.h"
+#include "ftspm/obs/ledger.h"
 #include "ftspm/obs/metrics.h"
 #include "ftspm/obs/timer.h"
 #include "ftspm/obs/trace_sink.h"
@@ -53,11 +64,13 @@
 #include "ftspm/report/csv_export.h"
 #include "ftspm/report/json_report.h"
 #include "ftspm/report/render.h"
+#include "ftspm/report/run_compare.h"
 #include "ftspm/report/suite_runner.h"
 #include "ftspm/util/args.h"
 #include "ftspm/util/error.h"
 #include "ftspm/util/format.h"
 #include "ftspm/util/table.h"
+#include "ftspm/util/version.h"
 #include "ftspm/workload/case_study.h"
 #include "ftspm/workload/trace_io.h"
 #include "ftspm/workload/suite.h"
@@ -70,6 +83,11 @@ namespace {
 struct GlobalOptions {
   std::string trace_out;
   std::string metrics_out;
+  std::string events_out;
+  std::string heartbeat_out;
+  std::uint32_t heartbeat_interval_ms = 1000;
+  std::string ledger;  ///< Append a run record here (campaign/suite).
+  std::string run_id;  ///< Ledger id override (default run-<index>).
   bool progress = false;
   std::uint32_t jobs = 1;  // 0 = hardware concurrency
 };
@@ -80,16 +98,22 @@ struct GlobalOptions {
 class ObsSession {
  public:
   explicit ObsSession(GlobalOptions opts) : opts_(std::move(opts)) {
-    if (!opts_.trace_out.empty() || !opts_.metrics_out.empty())
+    if (!opts_.trace_out.empty() || !opts_.metrics_out.empty() ||
+        !opts_.events_out.empty())
       obs::set_enabled(true);
     if (!opts_.trace_out.empty()) {
       sink_ = std::make_unique<obs::TraceEventSink>();
       scope_ = std::make_unique<obs::TraceScope>(sink_.get());
     }
+    if (!opts_.events_out.empty()) {
+      events_ = std::make_unique<obs::EventLog>();
+      event_scope_ = std::make_unique<obs::EventLogScope>(events_.get());
+    }
   }
 
   bool progress() const noexcept { return opts_.progress; }
   std::uint32_t jobs() const noexcept { return opts_.jobs; }
+  const GlobalOptions& options() const noexcept { return opts_; }
 
   /// Writes the requested artefacts. Called after the command ran so
   /// I/O errors surface as a nonzero exit instead of dying in a dtor.
@@ -107,12 +131,20 @@ class ObsSession {
       FTSPM_CHECK(out.good(), "write failed for " + opts_.metrics_out);
       std::cerr << "wrote metrics to " << opts_.metrics_out << "\n";
     }
+    if (events_ != nullptr) {
+      event_scope_.reset();
+      events_->write_file(opts_.events_out);
+      std::cerr << "wrote event log (" << events_->record_count()
+                << " records) to " << opts_.events_out << "\n";
+    }
   }
 
  private:
   GlobalOptions opts_;
   std::unique_ptr<obs::TraceEventSink> sink_;
   std::unique_ptr<obs::TraceScope> scope_;
+  std::unique_ptr<obs::EventLog> events_;
+  std::unique_ptr<obs::EventLogScope> event_scope_;
 };
 
 /// The invocation's session, set by dispatch() before any cmd_* runs.
@@ -159,28 +191,70 @@ std::vector<std::string> extract_global_options(int argc,
     }
     if (take_value(arg, "--trace-out", &g.trace_out, i)) continue;
     if (take_value(arg, "--metrics-out", &g.metrics_out, i)) continue;
-    std::string jobs_text;
-    if (take_value(arg, "--jobs", &jobs_text, i)) {
+    if (take_value(arg, "--events-out", &g.events_out, i)) continue;
+    if (take_value(arg, "--heartbeat-out", &g.heartbeat_out, i)) continue;
+    if (take_value(arg, "--ledger", &g.ledger, i)) continue;
+    if (take_value(arg, "--run-id", &g.run_id, i)) continue;
+    // stoul stops at the first non-digit, so "8x" would silently parse
+    // as 8; demand that the whole token was consumed.
+    auto parse_count = [](std::string_view name, const std::string& text,
+                          unsigned long max) {
       try {
-        // stoul stops at the first non-digit, so "8x" would silently
-        // parse as 8; demand that the whole token was consumed.
         std::size_t consumed = 0;
-        const unsigned long v = std::stoul(jobs_text, &consumed);
-        if (consumed != jobs_text.size())
-          throw InvalidArgument("--jobs value '" + jobs_text +
+        const unsigned long v = std::stoul(text, &consumed);
+        if (consumed != text.size())
+          throw InvalidArgument(std::string(name) + " value '" + text +
                                 "' has trailing characters");
-        if (v > 1024) throw InvalidArgument("--jobs must be at most 1024");
-        g.jobs = static_cast<std::uint32_t>(v);
+        if (v > max)
+          throw InvalidArgument(std::string(name) + " must be at most " +
+                                std::to_string(max));
+        return v;
       } catch (const InvalidArgument&) {
         throw;
       } catch (const std::exception&) {
-        throw InvalidArgument("--jobs requires a non-negative integer");
+        throw InvalidArgument(std::string(name) +
+                              " requires a non-negative integer");
       }
+    };
+    std::string jobs_text;
+    if (take_value(arg, "--jobs", &jobs_text, i)) {
+      g.jobs =
+          static_cast<std::uint32_t>(parse_count("--jobs", jobs_text, 1024));
+      continue;
+    }
+    std::string interval_text;
+    if (take_value(arg, "--heartbeat-interval-ms", &interval_text, i)) {
+      const unsigned long v =
+          parse_count("--heartbeat-interval-ms", interval_text, 3600000);
+      FTSPM_REQUIRE(v > 0, "--heartbeat-interval-ms must be positive");
+      g.heartbeat_interval_ms = static_cast<std::uint32_t>(v);
       continue;
     }
     rest.emplace_back(arg);
   }
   return rest;
+}
+
+/// Appends one run record to the --ledger file; a no-op when the
+/// option is absent. Fills the id: --run-id wins, else run-<index>
+/// over the records already in the file.
+void append_run_record(obs::LedgerRecord record) {
+  if (g_session == nullptr) return;
+  const GlobalOptions& g = g_session->options();
+  if (g.ledger.empty()) return;
+  record.id = !g.run_id.empty()
+                  ? g.run_id
+                  : "run-" + std::to_string(obs::read_ledger(g.ledger).size());
+  obs::append_ledger(record, g.ledger);
+  std::cerr << "appended run '" << record.id << "' to " << g.ledger << "\n";
+}
+
+/// The ledger the read-side commands (`runs`, `compare`) consult:
+/// --ledger when given, else the conventional ./ledger.jsonl.
+std::string ledger_path_or_default() {
+  const std::string path =
+      g_session != nullptr ? g_session->options().ledger : std::string();
+  return path.empty() ? "ledger.jsonl" : path;
 }
 
 /// Progress reporter for the suite-shaped commands; ETA comes from the
@@ -439,8 +513,26 @@ int cmd_suite(int argc, const char* const* argv) {
   const std::uint64_t scale =
       static_cast<std::uint64_t>(args.option_int("scale"));
   const StructureEvaluator evaluator;
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<SuiteRow> rows = run_suite_parallel(
       evaluator, scale, jobs_requested(), make_suite_progress());
+  {
+    obs::LedgerRecord record;
+    record.command = "suite";
+    record.workload = "suite";
+    record.scale = scale;
+    record.jobs = jobs_requested();
+    for (const SuiteRow& row : rows) {
+      record.counters.emplace_back(row.name + ".cycles",
+                                   row.ftspm.run.total_cycles);
+      record.metrics.emplace_back(row.name + ".vulnerability",
+                                  row.ftspm.avf.vulnerability());
+    }
+    record.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    append_run_record(std::move(record));
+  }
   if (args.flag("json")) {
     std::cout << suite_json(rows, evaluator,
                             RunManifest{"ftspm_tool suite", "suite", scale, 0})
@@ -659,6 +751,11 @@ int cmd_campaign(int argc, const char* const* argv) {
   exec_cfg.resume_path = args.option("resume");
   exec_cfg.checkpoint_interval =
       static_cast<std::uint64_t>(args.option_int("checkpoint-interval"));
+  if (g_session != nullptr) {
+    exec_cfg.heartbeat.out_path = g_session->options().heartbeat_out;
+    exec_cfg.heartbeat.interval_ms = g_session->options().heartbeat_interval_ms;
+    exec_cfg.heartbeat.stderr_line = progress_requested();
+  }
   const StrikeMultiplicityModel strikes =
       StrikeMultiplicityModel::for_node(args.option_double("node"));
 
@@ -684,10 +781,16 @@ int cmd_campaign(int argc, const char* const* argv) {
 
   // The serial path is the golden reference; only engage the sharded
   // engine when a parallel/resumable feature was actually asked for.
+  // The heartbeat emitter lives in the sharded runner, so asking for
+  // one engages it too (with its defaults: one shard per job).
   const bool wants_exec = exec_cfg.jobs > 1 || exec_cfg.shards > 1 ||
                           !exec_cfg.checkpoint_path.empty() ||
-                          !exec_cfg.resume_path.empty();
+                          !exec_cfg.resume_path.empty() ||
+                          exec_cfg.heartbeat.enabled();
   RecoveryResult result;
+  std::uint32_t used_jobs = 1;
+  std::uint32_t used_shards = 1;
+  const auto wall_start = std::chrono::steady_clock::now();
   {
     // --time books the run into the obs wall-timer registry (forcing
     // observability on for the duration so the timer is live); the
@@ -702,6 +805,8 @@ int cmd_campaign(int argc, const char* const* argv) {
       const exec::RecoveryShardedRun run = exec::run_recovery_campaign_sharded(
           {rregion}, strikes, cfg, policy, exec_cfg);
       result = run.merged;
+      used_jobs = exec_cfg.effective_jobs();
+      used_shards = static_cast<std::uint32_t>(run.shard_results.size());
       // Informational only, and on stderr: stdout must stay byte-identical
       // for a given (seed, strikes, shard count) whatever --jobs says.
       std::cerr << "shards " << run.shard_results.size() << ", jobs "
@@ -710,6 +815,11 @@ int cmd_campaign(int argc, const char* const* argv) {
       result = run_recovery_campaign({rregion}, strikes, cfg, policy);
     }
   }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  const double strikes_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(cfg.strikes) * 1e3 / wall_ms : 0.0;
   if (args.flag("time")) {
     // Wall time is machine-dependent, so like the shard note it goes to
     // stderr: stdout stays byte-identical run to run.
@@ -724,10 +834,71 @@ int cmd_campaign(int argc, const char* const* argv) {
   }
   const CampaignResult& r = result.strikes;
   const RecoveryCounters* rec = policy.active() ? &result.recovery : nullptr;
+
+  if (obs::EventLog* events = obs::current_event_log()) {
+    std::vector<obs::TraceArg> fields;
+    fields.push_back(obs::TraceArg::str("protection", name));
+    fields.push_back(obs::TraceArg::num("seed", cfg.seed));
+    fields.push_back(
+        obs::TraceArg::num("shards", static_cast<std::uint64_t>(used_shards)));
+    fields.push_back(obs::TraceArg::num("strikes", r.strikes));
+    fields.push_back(obs::TraceArg::num("masked", r.masked));
+    fields.push_back(obs::TraceArg::num("dre", r.dre));
+    fields.push_back(obs::TraceArg::num("due", r.due));
+    fields.push_back(obs::TraceArg::num("sdc", r.sdc));
+    fields.push_back(obs::TraceArg::num("vulnerability", r.vulnerability()));
+    if (rec != nullptr) {
+      fields.push_back(obs::TraceArg::num("corrections", rec->corrections));
+      fields.push_back(
+          obs::TraceArg::num("scrub_corrections", rec->scrub_corrections));
+      fields.push_back(obs::TraceArg::num("refetches", rec->refetches));
+      fields.push_back(obs::TraceArg::num("unrecoverable", rec->unrecoverable));
+      fields.push_back(
+          obs::TraceArg::num("recovery_cycles", rec->recovery_cycles));
+    }
+    events->emit("campaign_summary", r.strikes, std::move(fields));
+  }
+
+  {
+    obs::LedgerRecord record;
+    record.command = "campaign";
+    record.workload = name;
+    record.scale = 1;
+    record.seed = cfg.seed;
+    record.jobs = used_jobs;
+    record.shards = used_shards;
+    record.counters = {{"strikes", r.strikes}, {"masked", r.masked},
+                       {"dre", r.dre},         {"due", r.due},
+                       {"sdc", r.sdc}};
+    record.metrics = {{"vulnerability", r.vulnerability()}};
+    if (rec != nullptr) {
+      record.counters.insert(
+          record.counters.end(),
+          {{"demand_reads", rec->demand_reads},
+           {"corrections", rec->corrections},
+           {"scrub_passes", rec->scrub_passes},
+           {"scrub_words", rec->scrub_words},
+           {"scrub_corrections", rec->scrub_corrections},
+           {"refetches", rec->refetches},
+           {"unrecoverable", rec->unrecoverable},
+           {"sdc_reads", rec->sdc_reads},
+           {"recovery_cycles", rec->recovery_cycles}});
+      record.metrics.emplace_back("mean_repair_cycles",
+                                  rec->mean_repair_cycles());
+      record.metrics.emplace_back("recovery_energy_pj",
+                                  rec->recovery_energy_pj);
+    }
+    record.wall_ms = wall_ms;
+    record.strikes_per_sec = strikes_per_sec;
+    append_run_record(std::move(record));
+  }
+
   if (args.flag("json")) {
+    const CampaignTiming timing{wall_ms, strikes_per_sec};
     std::cout << campaign_json(r, rec,
                                RunManifest{"ftspm_tool campaign", name, 1,
-                                           cfg.seed})
+                                           cfg.seed},
+                               args.flag("time") ? &timing : nullptr)
               << "\n";
     return 0;
   }
@@ -837,6 +1008,62 @@ int cmd_export(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_runs(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool runs", "inspect the run ledger");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1 &&
+                    args.positionals()[0] == "list",
+                "expected `runs list`");
+  const std::string path = ledger_path_or_default();
+  const std::vector<obs::LedgerRecord> runs = obs::read_ledger(path);
+  if (runs.empty()) {
+    std::cout << "ledger " << path << " has no runs\n";
+    return 0;
+  }
+  AsciiTable t({"#", "Id", "Command", "Workload", "Seed", "Shards", "Jobs",
+                "Counters", "Wall ms"});
+  t.set_align(1, Align::Left);
+  t.set_align(2, Align::Left);
+  t.set_align(3, Align::Left);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const obs::LedgerRecord& r = runs[i];
+    t.add_row({std::to_string(i), r.id, r.command, r.workload,
+               std::to_string(r.seed), std::to_string(r.shards),
+               std::to_string(r.jobs), std::to_string(r.counters.size()),
+               fixed(r.wall_ms, 1)});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_compare(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool compare",
+                 "diff two ledger runs; nonzero exit on regression");
+  args.add_option("threshold",
+                  "tolerated |relative delta| in percent (0 = exact)", "0");
+  args.add_option("metric", "gate only this counter/metric (default: all)",
+                  "");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 2,
+                "expected two run references (id or index)");
+  const std::string path = ledger_path_or_default();
+  const std::vector<obs::LedgerRecord> runs = obs::read_ledger(path);
+  const obs::LedgerRecord* a = obs::find_run(runs, args.positionals()[0]);
+  const obs::LedgerRecord* b = obs::find_run(runs, args.positionals()[1]);
+  if (a == nullptr)
+    throw InvalidArgument("run '" + args.positionals()[0] + "' not found in " +
+                          path);
+  if (b == nullptr)
+    throw InvalidArgument("run '" + args.positionals()[1] + "' not found in " +
+                          path);
+  CompareOptions options;
+  options.threshold_pct = args.option_double("threshold");
+  options.metric = args.option("metric");
+  const CompareReport report = compare_runs(*a, *b, options);
+  std::cout << report.render();
+  return report.regression ? 1 : 0;
+}
+
 void print_usage(std::ostream& os) {
   os << "ftspm_tool — FTSPM reproduction driver\n"
         "commands:\n"
@@ -856,10 +1083,20 @@ void print_usage(std::ostream& os) {
         "  report                   write all tables/figures as CSV\n"
         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
         "  reuse    <workload>      LRU reuse-distance analysis\n"
+        "  runs list                list the run ledger (see --ledger)\n"
+        "  compare  <runA> <runB>   diff two ledger runs; exits 1 on a\n"
+        "                           regression (--threshold/--metric)\n"
         "  help                     print this message\n"
         "global options (any command, any position):\n"
         "  --trace-out FILE         Chrome trace-event JSON of the run\n"
         "  --metrics-out FILE       metrics registry snapshot as JSON\n"
+        "  --events-out FILE        structured NDJSON event log\n"
+        "  --heartbeat-out FILE     live NDJSON heartbeats (campaign)\n"
+        "  --heartbeat-interval-ms N  ms between heartbeats (1000)\n"
+        "  --ledger FILE            append this run to an NDJSON ledger\n"
+        "                           (campaign/suite); also the file read\n"
+        "                           by runs/compare (ledger.jsonl)\n"
+        "  --run-id NAME            ledger record id (run-<index>)\n"
         "  --progress               progress on stderr (suite/report/\n"
         "                           campaign)\n"
         "  --jobs N                 worker threads for suite/report/\n"
@@ -894,6 +1131,11 @@ int dispatch(int argc, const char* const* argv) {
 
   ObsSession session(globals);
   g_session = &session;
+  if (obs::EventLog* events = obs::current_event_log()) {
+    events->emit("run_manifest", 0,
+                 {obs::TraceArg::str("command", "ftspm_tool " + cmd),
+                  obs::TraceArg::str("library_version", kLibraryVersion)});
+  }
   const char* const* av = rest_argv.data();
   int rc = -1;
   if (cmd == "list") rc = cmd_list();
@@ -909,6 +1151,8 @@ int dispatch(int argc, const char* const* argv) {
   else if (cmd == "report") rc = cmd_report(rest_argc, av);
   else if (cmd == "partition") rc = cmd_partition(rest_argc, av);
   else if (cmd == "reuse") rc = cmd_reuse(rest_argc, av);
+  else if (cmd == "runs") rc = cmd_runs(rest_argc, av);
+  else if (cmd == "compare") rc = cmd_compare(rest_argc, av);
   else {
     g_session = nullptr;
     std::cerr << "unknown command '" << cmd << "'\n";
