@@ -29,6 +29,7 @@
 #include "ftspm/mem/technology_library.h"
 #include "ftspm/report/json_report.h"
 #include "ftspm/util/error.h"
+#include "ftspm/util/format.h"
 #include "ftspm/util/json.h"
 #include "ftspm/workload/case_study.h"
 
@@ -253,22 +254,34 @@ int check_against_baseline(const std::string& path,
     const double before = base.at("strikes_per_sec").number;
     const double now = it->strikes_per_sec();
     const double floor = before * (1.0 - kRegressionTolerance);
+    // Relative delta vs baseline, printed on pass and failure alike so
+    // a slow drift is visible before it crosses the tolerance.
+    const double delta_pct =
+        before != 0.0 ? (now - before) / before * 100.0 : 0.0;
     if (now < floor) {
       std::cout << "CHECK FAIL: " << name << " strikes/sec " << now
-                << " is > 25% below baseline " << before << "\n";
+                << " is > 25% below baseline " << before << " ("
+                << fixed(delta_pct, 1) << "%)\n";
       ++failures;
     } else {
       std::cout << "check ok: " << name << " strikes/sec " << now
-                << " vs baseline " << before << "\n";
+                << " vs baseline " << before << " ("
+                << (delta_pct >= 0.0 ? "+" : "") << fixed(delta_pct, 1)
+                << "%)\n";
     }
   }
+  const double speedup_delta_pct =
+      (classifier.speedup() - kMinClassifierSpeedup) / kMinClassifierSpeedup *
+      100.0;
   if (classifier.speedup() < kMinClassifierSpeedup) {
     std::cout << "CHECK FAIL: classifier speedup " << classifier.speedup()
-              << "x is below the " << kMinClassifierSpeedup << "x floor\n";
+              << "x is below the " << kMinClassifierSpeedup << "x floor ("
+              << fixed(speedup_delta_pct, 1) << "%)\n";
     ++failures;
   } else {
     std::cout << "check ok: classifier speedup " << classifier.speedup()
-              << "x\n";
+              << "x vs " << kMinClassifierSpeedup << "x floor (+"
+              << fixed(speedup_delta_pct, 1) << "%)\n";
   }
   return failures;
 }

@@ -102,10 +102,19 @@ class TemporalCampaign {
   /// Advances `state` by up to `max_strikes` temporal strikes,
   /// stopping at config.strikes. RNG consumption matches the serial
   /// loop draw for draw, so any chunking schedule yields identical
-  /// counters. The observer (nullable) sees absolute strike indices.
+  /// counters. The observer (nullable) sees absolute strike indices;
+  /// `grid` (nullable, see fault/sensitivity.h) records each strike's
+  /// origin and final outcome without affecting results.
   void run_chunk(const CampaignConfig& config, CampaignShardState& state,
                  std::uint64_t max_strikes,
-                 CampaignObserver* observer = nullptr) const;
+                 CampaignObserver* observer = nullptr,
+                 SensitivityGrid* grid = nullptr) const;
+
+  /// The injection surfaces (one per SPM region, in region order) the
+  /// campaign strikes — what make_sensitivity_grid buckets over.
+  const std::vector<InjectionRegion>& surfaces() const noexcept {
+    return surfaces_;
+  }
 
  private:
   const Program& program_;
@@ -134,7 +143,8 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
                                      const Program& program,
                                      const ProgramProfile& profile,
                                      const StrikeMultiplicityModel& strikes,
-                                     const CampaignConfig& config = {});
+                                     const CampaignConfig& config = {},
+                                     SensitivityGrid* grid = nullptr);
 
 /// Sharded/parallel run_temporal_campaign; same determinism contract
 /// as run_system_campaign_parallel.

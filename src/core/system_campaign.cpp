@@ -171,7 +171,8 @@ TemporalCampaign::TemporalCampaign(const SpmLayout& layout,
 void TemporalCampaign::run_chunk(const CampaignConfig& config,
                                  CampaignShardState& state,
                                  std::uint64_t max_strikes,
-                                 CampaignObserver* observer) const {
+                                 CampaignObserver* observer,
+                                 SensitivityGrid* grid) const {
   const std::uint64_t end =
       std::min(config.strikes, state.done + max_strikes);
   for (std::uint64_t s = state.done; s < end; ++s) {
@@ -213,6 +214,7 @@ void TemporalCampaign::run_chunk(const CampaignConfig& config,
     }
     ++state.partial.strikes;
     if (observer != nullptr) observer->on_strike(s, outcome);
+    if (grid != nullptr) grid->record(rid, origin, outcome);
   }
   state.done = end;
 }
@@ -222,13 +224,14 @@ CampaignResult run_temporal_campaign(const SpmLayout& layout,
                                      const Program& program,
                                      const ProgramProfile& profile,
                                      const StrikeMultiplicityModel& strikes,
-                                     const CampaignConfig& config) {
+                                     const CampaignConfig& config,
+                                     SensitivityGrid* grid) {
   const TemporalCampaign campaign(layout, plan, program, profile, strikes);
   CampaignShardState state =
       begin_campaign_shard(config.seed ^ TemporalCampaign::kSeedSalt);
   emit_campaign_phase_start("temporal", config);
   CampaignObserver observer(config, "temporal");
-  campaign.run_chunk(config, state, config.strikes, &observer);
+  campaign.run_chunk(config, state, config.strikes, &observer, grid);
   emit_campaign_phase_end("temporal", state.partial);
   return state.partial;
 }
@@ -238,7 +241,16 @@ exec::ShardedRun run_temporal_campaign_parallel(
     const ProgramProfile& profile, const StrikeMultiplicityModel& strikes,
     const CampaignConfig& config, const exec::ExecConfig& exec_config) {
   const TemporalCampaign campaign(layout, plan, program, profile, strikes);
-  return exec::run_sharded_campaign(
+  // One private grid per shard, merged post-join in shard order — the
+  // same discipline as the exec runner's delta registries, so the
+  // merged grid is jobs-invariant.
+  std::vector<SensitivityGrid> grids;
+  if (exec_config.sensitivity_buckets != 0) {
+    const SensitivityGrid proto = make_sensitivity_grid(
+        campaign.surfaces(), exec_config.sensitivity_buckets);
+    grids.assign(exec_config.effective_shards(), proto);
+  }
+  exec::ShardedRun run = exec::run_sharded_campaign(
       config, exec_config, "temporal", TemporalCampaign::kSeedSalt,
       [&](const exec::CampaignShard& shard, CampaignShardState& state,
           std::uint64_t max_strikes) {
@@ -246,8 +258,15 @@ exec::ShardedRun run_temporal_campaign_parallel(
         // runner merges the deltas post-join in shard order.
         CampaignObserver observer(shard.config, "temporal");
         campaign.run_chunk(shard.config, state, max_strikes,
-                           obs::enabled() ? &observer : nullptr);
+                           obs::enabled() ? &observer : nullptr,
+                           grids.empty() ? nullptr : &grids[shard.index]);
       });
+  if (!grids.empty()) {
+    run.sensitivity = grids.front();
+    for (std::size_t i = 1; i < grids.size(); ++i)
+      run.sensitivity.merge_from(grids[i]);
+  }
+  return run;
 }
 
 }  // namespace ftspm

@@ -23,6 +23,7 @@
 
 #include "ftspm/exec/shard.h"
 #include "ftspm/fault/recovery.h"
+#include "ftspm/fault/sensitivity.h"
 #include "ftspm/fault/strike_model.h"
 
 namespace ftspm::exec {
@@ -74,6 +75,13 @@ struct ExecConfig {
   /// Live telemetry (off unless out_path is set). Never affects
   /// results or deterministic artefacts.
   HeartbeatConfig heartbeat;
+  /// Buckets per region of the per-shard sensitivity grids (see
+  /// fault/sensitivity.h); 0 disables them. Each shard records into its
+  /// own grid and the coordinator merges them in shard order, so the
+  /// merged grid is jobs-invariant. A resumed run's grid covers only
+  /// the strikes executed by this invocation (grids are not
+  /// checkpointed). Never affects campaign counters.
+  std::uint32_t sensitivity_buckets = 0;
 
   std::uint32_t effective_jobs() const noexcept;
   std::uint32_t effective_shards() const noexcept;
@@ -85,6 +93,9 @@ struct ShardedRun {
   CampaignResult merged;
   bool complete = true;
   std::vector<CampaignResult> shard_results;
+  /// Shard-order merge of the per-shard sensitivity grids; inactive
+  /// unless ExecConfig::sensitivity_buckets was set.
+  SensitivityGrid sensitivity;
 };
 
 /// Advances `state` by at most `max_strikes` strikes of `shard`.
@@ -121,6 +132,9 @@ struct RecoveryShardedRun {
   RecoveryResult merged;
   bool complete = true;
   std::vector<RecoveryResult> shard_results;
+  /// Shard-order merge of the per-shard sensitivity grids; inactive
+  /// unless ExecConfig::sensitivity_buckets was set.
+  SensitivityGrid sensitivity;
 };
 
 /// The live-array recovery campaign (fault/recovery.h), sharded. Each

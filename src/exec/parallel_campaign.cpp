@@ -489,11 +489,43 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
   return run;
 }
 
+namespace {
+
+/// One private sensitivity grid per shard (empty when disabled). Like
+/// the RecoveryShardSide vector, each slot is touched only by the
+/// worker that owns the shard, so no synchronization is needed.
+std::vector<SensitivityGrid> make_shard_grids(std::size_t shard_count,
+                                              const SensitivityGrid& proto) {
+  std::vector<SensitivityGrid> grids;
+  if (!proto.active()) return grids;
+  grids.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) grids.push_back(proto);
+  return grids;
+}
+
+/// Shard-order merge of the per-shard grids into `merged`, mirroring
+/// the delta-registry merge: counts end up identical to a serial run's
+/// for any --jobs.
+void merge_shard_grids(SensitivityGrid& merged,
+                       const std::vector<SensitivityGrid>& grids) {
+  if (grids.empty()) return;
+  merged = grids.front();
+  for (std::size_t i = 1; i < grids.size(); ++i)
+    merged.merge_from(grids[i]);
+}
+
+}  // namespace
+
 ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
                                 const StrikeMultiplicityModel& strikes,
                                 const CampaignConfig& config,
                                 const ExecConfig& exec) {
-  return run_sharded_campaign(
+  std::vector<SensitivityGrid> grids = make_shard_grids(
+      exec.effective_shards(),
+      exec.sensitivity_buckets != 0
+          ? make_sensitivity_grid(regions, exec.sensitivity_buckets)
+          : SensitivityGrid());
+  ShardedRun run = run_sharded_campaign(
       config, exec, "static", /*seed_salt=*/0,
       [&](const CampaignShard& shard, CampaignShardState& state,
           std::uint64_t max_strikes) {
@@ -502,8 +534,11 @@ ShardedRun run_campaign_sharded(const std::vector<InjectionRegion>& regions,
         // it), merged post-join so counters match the serial run's.
         CampaignObserver observer(shard.config, "static");
         run_campaign_chunk(regions, strikes, shard.config, state, max_strikes,
-                           obs::enabled() ? &observer : nullptr);
+                           obs::enabled() ? &observer : nullptr,
+                           grids.empty() ? nullptr : &grids[shard.index]);
       });
+  merge_shard_grids(run.sensitivity, grids);
+  return run;
 }
 
 namespace {
@@ -543,12 +578,13 @@ RecoveryShardedRun run_recovery_campaign_sharded(
     std::vector<InjectionRegion> inject;
     inject.reserve(regions.size());
     for (const RecoveryRegion& r : regions) inject.push_back(r.inject);
-    const ShardedRun run = run_campaign_sharded(inject, strikes, config, exec);
+    ShardedRun run = run_campaign_sharded(inject, strikes, config, exec);
     out.complete = run.complete;
     out.merged = RecoveryResult{run.merged, {}};
     out.shard_results.reserve(run.shard_results.size());
     for (const CampaignResult& shard : run.shard_results)
       out.shard_results.push_back(RecoveryResult{shard, {}});
+    out.sensitivity = std::move(run.sensitivity);
     return out;
   }
   FTSPM_REQUIRE(exec.checkpoint_path.empty() && exec.resume_path.empty(),
@@ -559,6 +595,11 @@ RecoveryShardedRun run_recovery_campaign_sharded(
   // The runner owns the core shard states; the image/counter sides live
   // here, indexed by shard, touched only by that shard's worker.
   std::vector<RecoveryShardSide> sides(exec.effective_shards());
+  std::vector<SensitivityGrid> grids = make_shard_grids(
+      exec.effective_shards(),
+      exec.sensitivity_buckets != 0
+          ? make_sensitivity_grid(regions, exec.sensitivity_buckets)
+          : SensitivityGrid());
   const ShardedRun run = run_sharded_campaign(
       config, exec, "recovery", LiveArrayCampaign::kSeedSalt,
       [&](const CampaignShard& shard, CampaignShardState& state,
@@ -567,8 +608,10 @@ RecoveryShardedRun run_recovery_campaign_sharded(
         campaign.ensure_shard_images(side, shard.config.seed);
         CampaignObserver observer(shard.config, "recovery");
         campaign.run_chunk(shard.config, state, side, max_strikes,
-                           obs::enabled() ? &observer : nullptr);
+                           obs::enabled() ? &observer : nullptr,
+                           grids.empty() ? nullptr : &grids[shard.index]);
       });
+  merge_shard_grids(out.sensitivity, grids);
 
   out.complete = run.complete;
   out.shard_results.reserve(run.shard_results.size());

@@ -82,11 +82,16 @@ struct CampaignResult {
   }
 };
 
+class SensitivityGrid;
+
 /// Runs a campaign of uniformly-aimed strikes over the given surfaces
 /// (weighted by physical bits). Deterministic for a fixed config.
+/// `grid` (nullable) receives every strike's (region, origin bit,
+/// final outcome) — see fault/sensitivity.h; it never affects results.
 CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
                             const StrikeMultiplicityModel& strikes,
-                            const CampaignConfig& config = {});
+                            const CampaignConfig& config = {},
+                            SensitivityGrid* grid = nullptr);
 
 class CampaignObserver;
 
@@ -134,12 +139,15 @@ CampaignShardState begin_campaign_shard(std::uint64_t seed) noexcept;
 /// config.strikes. Consumes the RNG exactly as `run_campaign` does, so
 /// chunking never changes results: any chunk-size schedule reaching
 /// config.strikes yields the same counters as one serial run. The
-/// observer (nullable) sees absolute strike indices.
+/// observer (nullable) sees absolute strike indices; `grid` (nullable,
+/// must be active) accumulates per-(region, bucket) outcome counts off
+/// the hot path.
 void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
                         const StrikeMultiplicityModel& strikes,
                         const CampaignConfig& config,
                         CampaignShardState& state, std::uint64_t max_strikes,
-                        CampaignObserver* observer = nullptr);
+                        CampaignObserver* observer = nullptr,
+                        SensitivityGrid* grid = nullptr);
 
 /// Injects one m-bit adjacent upset starting at `first_bit` of a region
 /// and classifies it (ACE filtering excluded — pure code behaviour).

@@ -185,10 +185,13 @@ class LiveArrayCampaign {
   /// config.strikes. Aim draws match the static campaign draw for
   /// draw; recovery draws happen strictly within a strike, so any
   /// chunking schedule yields identical counters. The observer
-  /// (nullable) sees absolute strike indices.
+  /// (nullable) sees absolute strike indices; `grid` (nullable, see
+  /// fault/sensitivity.h) records each strike's origin and final
+  /// outcome without affecting results.
   void run_chunk(const CampaignConfig& config, CampaignShardState& core,
                  RecoveryShardSide& side, std::uint64_t max_strikes,
-                 CampaignObserver* observer = nullptr) const;
+                 CampaignObserver* observer = nullptr,
+                 SensitivityGrid* grid = nullptr) const;
 
   const std::vector<RecoveryRegion>& regions() const noexcept {
     return regions_;
@@ -222,6 +225,7 @@ class LiveArrayCampaign {
 RecoveryResult run_recovery_campaign(const std::vector<RecoveryRegion>& regions,
                                      const StrikeMultiplicityModel& strikes,
                                      const CampaignConfig& config,
-                                     const RecoveryPolicy& policy);
+                                     const RecoveryPolicy& policy,
+                                     SensitivityGrid* grid = nullptr);
 
 }  // namespace ftspm

@@ -6,6 +6,7 @@
 #include "ftspm/ecc/parity_codec.h"
 #include "ftspm/ecc/secded_codec.h"
 #include "ftspm/fault/campaign_observer.h"
+#include "ftspm/fault/sensitivity.h"
 #include "ftspm/util/error.h"
 
 namespace ftspm {
@@ -250,7 +251,7 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
                         const StrikeMultiplicityModel& strikes,
                         const CampaignConfig& config,
                         CampaignShardState& state, std::uint64_t max_strikes,
-                        CampaignObserver* observer) {
+                        CampaignObserver* observer, SensitivityGrid* grid) {
   FTSPM_REQUIRE(!regions.empty(), "campaign needs at least one region");
   // Rebuild the weight table in the shard's scratch: clear() keeps the
   // capacity, so every chunk after the first is allocation-free.
@@ -288,18 +289,20 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
     }
     ++state.partial.strikes;
     if (observer != nullptr) observer->on_strike(s, outcome);
+    if (grid != nullptr) grid->record(ri, origin, outcome);
   }
   state.done = end;
 }
 
 CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
                             const StrikeMultiplicityModel& strikes,
-                            const CampaignConfig& config) {
+                            const CampaignConfig& config,
+                            SensitivityGrid* grid) {
   CampaignShardState state = begin_campaign_shard(config.seed);
   emit_campaign_phase_start("static", config);
   CampaignObserver observer(config, "static");
   run_campaign_chunk(regions, strikes, config, state, config.strikes,
-                     &observer);
+                     &observer, grid);
   emit_campaign_phase_end("static", state.partial);
   return state.partial;
 }

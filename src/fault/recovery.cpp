@@ -5,6 +5,7 @@
 #include "ftspm/ecc/parity_codec.h"
 #include "ftspm/ecc/secded_codec.h"
 #include "ftspm/fault/campaign_observer.h"
+#include "ftspm/fault/sensitivity.h"
 #include "ftspm/util/error.h"
 
 namespace ftspm {
@@ -259,7 +260,8 @@ void LiveArrayCampaign::run_chunk(const CampaignConfig& config,
                                   CampaignShardState& core,
                                   RecoveryShardSide& side,
                                   std::uint64_t max_strikes,
-                                  CampaignObserver* observer) const {
+                                  CampaignObserver* observer,
+                                  SensitivityGrid* grid) const {
   FTSPM_REQUIRE(side.initialized,
                 "ensure_shard_images must run before run_chunk");
   const auto outcome_of = [](WordRepair repair) {
@@ -321,6 +323,7 @@ void LiveArrayCampaign::run_chunk(const CampaignConfig& config,
     }
     ++core.partial.strikes;
     if (observer != nullptr) observer->on_strike(s, outcome);
+    if (grid != nullptr) grid->record(ri, origin, outcome);
 
     if (policy_.scrub_interval != 0 &&
         (s + 1) % policy_.scrub_interval == 0) {
@@ -344,14 +347,15 @@ void LiveArrayCampaign::run_chunk(const CampaignConfig& config,
 RecoveryResult run_recovery_campaign(const std::vector<RecoveryRegion>& regions,
                                      const StrikeMultiplicityModel& strikes,
                                      const CampaignConfig& config,
-                                     const RecoveryPolicy& policy) {
+                                     const RecoveryPolicy& policy,
+                                     SensitivityGrid* grid) {
   if (!policy.active()) {
     // Nothing stateful to model: delegate to the static injector so
     // the historical counters are reproduced bit for bit.
     std::vector<InjectionRegion> inject;
     inject.reserve(regions.size());
     for (const RecoveryRegion& r : regions) inject.push_back(r.inject);
-    return RecoveryResult{run_campaign(inject, strikes, config), {}};
+    return RecoveryResult{run_campaign(inject, strikes, config, grid), {}};
   }
   const LiveArrayCampaign campaign(regions, strikes, policy);
   CampaignShardState core =
@@ -360,7 +364,7 @@ RecoveryResult run_recovery_campaign(const std::vector<RecoveryRegion>& regions,
   campaign.ensure_shard_images(side, config.seed);
   emit_campaign_phase_start("recovery", config);
   CampaignObserver observer(config, "recovery");
-  campaign.run_chunk(config, core, side, config.strikes, &observer);
+  campaign.run_chunk(config, core, side, config.strikes, &observer, grid);
   emit_campaign_phase_end("recovery", core.partial);
   emit_recovery_metrics(side.counters);
   return RecoveryResult{core.partial, side.counters};

@@ -1,0 +1,60 @@
+// Observability: label sets for dimensional metrics.
+//
+// A LabelSet is a small sorted collection of key=value pairs that
+// identifies one series of a labelled metric family ("campaign.outcome"
+// broken out by region / ECC scheme / outcome / phase). The canonical
+// encoding — keys sorted, "key=value" pairs joined with ';' — is the
+// series' identity: two LabelSets with the same pairs encode
+// identically regardless of insertion order, so snapshots and shard
+// merges stay deterministic. ';' (not ',') keeps the encoding safe to
+// embed in the registry's CSV dump without quoting.
+//
+// Labels are for low-cardinality dimensions (a handful of regions, four
+// outcomes, two phases). Every distinct label set allocates a series in
+// the registry; never label by strike index, address, or anything else
+// unbounded.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftspm::obs {
+
+/// Sorted key=value label pairs with a canonical string encoding.
+/// Keys and values must be non-empty and free of the structural
+/// characters '=', ';', ',', '{', '}', '"' and control characters;
+/// violations throw ftspm::Error at construction, never at snapshot
+/// time.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  LabelSet(std::initializer_list<
+           std::pair<std::string_view, std::string_view>>
+               labels);
+
+  /// Adds a pair (or replaces the value of an existing key), keeping
+  /// the set sorted. Returns *this for chaining.
+  LabelSet& set(std::string_view key, std::string_view value);
+
+  /// Canonical encoding: "k1=v1;k2=v2" with keys in sorted order.
+  /// Empty for an empty set.
+  const std::string& encoded() const noexcept { return encoded_; }
+
+  const std::vector<std::pair<std::string, std::string>>& pairs()
+      const noexcept {
+    return pairs_;
+  }
+  bool empty() const noexcept { return pairs_.empty(); }
+  std::size_t size() const noexcept { return pairs_.size(); }
+
+ private:
+  void rebuild_encoding();
+
+  std::vector<std::pair<std::string, std::string>> pairs_;  ///< Key-sorted.
+  std::string encoded_;
+};
+
+}  // namespace ftspm::obs

@@ -64,6 +64,23 @@ struct LedgerRecord {
 /// empty ledger; malformed lines throw ftspm::Error with line numbers.
 std::vector<LedgerRecord> read_ledger(const std::string& path);
 
+/// A lenient ledger read: the records that parsed plus one warning per
+/// skipped line. Browsing commands (`runs list`, `report trend`) use
+/// this so one truncated line — a crashed appender, a partial copy —
+/// cannot hide every other run; gating commands (`compare`) stay on
+/// the strict read_ledger.
+struct LedgerScan {
+  std::vector<LedgerRecord> records;
+  /// One human-readable warning per skipped line, in file order, each
+  /// naming the 1-based file line number.
+  std::vector<std::string> warnings;
+};
+
+/// Reads `path` like read_ledger but skips malformed lines (bad JSON,
+/// bad record shape, unknown schema) instead of throwing, collecting a
+/// warning per skip. A missing file is an empty scan.
+LedgerScan scan_ledger(const std::string& path);
+
 /// Appends `record` to the ledger at `path` (created if absent). The
 /// line is written with one append-mode write so concurrent appenders
 /// never interleave partial lines. Throws ftspm::Error on I/O failure.

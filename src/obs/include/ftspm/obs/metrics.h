@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "ftspm/obs/labels.h"
+
 #ifndef FTSPM_OBS
 #define FTSPM_OBS 1
 #endif
@@ -143,6 +145,15 @@ class Registry {
                        std::vector<double> bucket_bounds);
   TimerStat& timer(std::string_view name);
 
+  /// Labelled (dimensional) variants: one family `name`, one series per
+  /// distinct LabelSet (see labels.h). Series are keyed by the
+  /// canonical label encoding, so lookup order never affects snapshots
+  /// or merges. All series of a histogram family share the bounds fixed
+  /// by its first call; later bounds arguments are ignored.
+  Counter& counter(std::string_view name, const LabelSet& labels);
+  Histogram& histogram(std::string_view name, const LabelSet& labels,
+                       std::vector<double> bucket_bounds);
+
   /// Deterministic JSON document: {"counters":{...},"gauges":{...},
   /// "histograms":{...}} with keys in sorted order.
   std::string to_json(const SnapshotOptions& options = {}) const;
@@ -165,15 +176,31 @@ class Registry {
   void merge_from(const Registry& other);
 
   std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size() + histograms_.size() +
-           timers_.size();
+    std::size_t n = counters_.size() + gauges_.size() + histograms_.size() +
+                    timers_.size();
+    for (const auto& [name, family] : labelled_counters_)
+      n += family.size();
+    for (const auto& [name, family] : labelled_histograms_)
+      n += family.series.size();
+    return n;
   }
 
  private:
+  /// Series of one labelled histogram family, sharing one bounds
+  /// vector. Series keys are canonical label encodings.
+  struct HistogramFamily {
+    std::vector<double> bounds;
+    std::map<std::string, Histogram, std::less<>> series;
+  };
+
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, TimerStat, std::less<>> timers_;
+  std::map<std::string, std::map<std::string, Counter, std::less<>>,
+           std::less<>>
+      labelled_counters_;
+  std::map<std::string, HistogramFamily, std::less<>> labelled_histograms_;
 };
 
 /// The process-wide registry used by the FTSPM_OBS_* macros and by all

@@ -1,0 +1,57 @@
+#include "ftspm/obs/labels.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ftspm/util/error.h"
+
+namespace ftspm::obs {
+
+namespace {
+
+void validate_token(std::string_view token, const char* what) {
+  FTSPM_REQUIRE(!token.empty(),
+                std::string("label ") + what + " must be non-empty");
+  for (const char c : token) {
+    const bool structural = c == '=' || c == ';' || c == ',' || c == '{' ||
+                            c == '}' || c == '"';
+    FTSPM_REQUIRE(!structural && !std::iscntrl(static_cast<unsigned char>(c)),
+                  std::string("label ") + what + " '" + std::string(token) +
+                      "' contains a reserved character");
+  }
+}
+
+}  // namespace
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  for (const auto& [key, value] : labels) set(key, value);
+}
+
+LabelSet& LabelSet::set(std::string_view key, std::string_view value) {
+  validate_token(key, "key");
+  validate_token(value, "value");
+  const auto it = std::lower_bound(
+      pairs_.begin(), pairs_.end(), key,
+      [](const auto& pair, std::string_view k) { return pair.first < k; });
+  if (it != pairs_.end() && it->first == key) {
+    it->second = std::string(value);
+  } else {
+    pairs_.insert(it, {std::string(key), std::string(value)});
+  }
+  rebuild_encoding();
+  return *this;
+}
+
+void LabelSet::rebuild_encoding() {
+  encoded_.clear();
+  for (const auto& [key, value] : pairs_) {
+    if (!encoded_.empty()) encoded_ += ';';
+    encoded_ += key;
+    encoded_ += '=';
+    encoded_ += value;
+  }
+}
+
+}  // namespace ftspm::obs

@@ -121,6 +121,37 @@ std::vector<LedgerRecord> read_ledger(const std::string& path) {
   return records;
 }
 
+LedgerScan scan_ledger(const std::string& path) {
+  LedgerScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return scan;  // A ledger that was never written to.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Split lines by hand (rather than parse_ndjson) so every warning can
+  // carry the true file line number even after earlier lines failed.
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    ++line_no;
+    std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    try {
+      scan.records.push_back(LedgerRecord::from_json(parse_json(line)));
+    } catch (const Error& e) {
+      scan.warnings.push_back("ledger '" + path + "' line " +
+                              std::to_string(line_no) + " skipped: " +
+                              e.what());
+    }
+  }
+  return scan;
+}
+
 void append_ledger(const LedgerRecord& record, const std::string& path) {
   const std::string line = record.to_json() + "\n";
   std::ofstream out(path, std::ios::binary | std::ios::app);

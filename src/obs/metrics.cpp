@@ -101,18 +101,37 @@ TimerStat& Registry::timer(std::string_view name) {
   return timers_.emplace(std::string(name), TimerStat{}).first->second;
 }
 
+Counter& Registry::counter(std::string_view name, const LabelSet& labels) {
+  auto family = labelled_counters_.find(name);
+  if (family == labelled_counters_.end())
+    family = labelled_counters_
+                 .emplace(std::string(name),
+                          std::map<std::string, Counter, std::less<>>{})
+                 .first;
+  auto& series = family->second;
+  const auto it = series.find(labels.encoded());
+  if (it != series.end()) return it->second;
+  return series.emplace(labels.encoded(), Counter{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, const LabelSet& labels,
+                               std::vector<double> bucket_bounds) {
+  auto family = labelled_histograms_.find(name);
+  if (family == labelled_histograms_.end())
+    family = labelled_histograms_
+                 .emplace(std::string(name),
+                          HistogramFamily{std::move(bucket_bounds), {}})
+                 .first;
+  auto& series = family->second.series;
+  const auto it = series.find(labels.encoded());
+  if (it != series.end()) return it->second;
+  return series.emplace(labels.encoded(), Histogram(family->second.bounds))
+      .first->second;
+}
+
 std::string Registry::to_json(const SnapshotOptions& options) const {
   JsonWriter w;
-  w.begin_object();
-  w.begin_object("counters");
-  for (const auto& [name, c] : counters_) w.field(name, c.value());
-  w.end_object();
-  w.begin_object("gauges");
-  for (const auto& [name, g] : gauges_) w.field(name, g.value());
-  w.end_object();
-  w.begin_object("histograms");
-  for (const auto& [name, h] : histograms_) {
-    w.begin_object(name);
+  const auto histogram_body = [&w](const Histogram& h) {
     w.begin_array("bounds");
     for (double b : h.bounds()) w.element(b);
     w.end_array();
@@ -126,10 +145,46 @@ std::string Registry::to_json(const SnapshotOptions& options) const {
         .field("max", h.max())
         .field("p50", h.quantile(0.50))
         .field("p95", h.quantile(0.95))
-        .field("p99", h.quantile(0.99))
-        .end_object();
+        .field("p99", h.quantile(0.99));
+  };
+  w.begin_object();
+  w.begin_object("counters");
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, g] : gauges_) w.field(name, g.value());
+  w.end_object();
+  w.begin_object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    w.begin_object(name);
+    histogram_body(h);
+    w.end_object();
   }
   w.end_object();
+  // Labelled families appear only once one exists, so snapshots from
+  // code that never labels stay byte-identical to the pre-label shape.
+  if (!labelled_counters_.empty()) {
+    w.begin_object("labelled_counters");
+    for (const auto& [name, series] : labelled_counters_) {
+      w.begin_object(name);
+      for (const auto& [labels, c] : series) w.field(labels, c.value());
+      w.end_object();
+    }
+    w.end_object();
+  }
+  if (!labelled_histograms_.empty()) {
+    w.begin_object("labelled_histograms");
+    for (const auto& [name, family] : labelled_histograms_) {
+      w.begin_object(name);
+      for (const auto& [labels, h] : family.series) {
+        w.begin_object(labels);
+        histogram_body(h);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
   if (options.include_wall_time) {
     w.begin_object("timers_ns");
     for (const auto& [name, t] : timers_) {
@@ -162,24 +217,37 @@ std::string Registry::to_csv(const SnapshotOptions& options) const {
     std::string s = std::to_string(v);
     return s;
   };
+  const auto histogram_rows = [&](std::string_view kind,
+                                  const std::string& name,
+                                  const Histogram& h) {
+    row(kind, name, "count", std::to_string(h.count()));
+    row(kind, name, "sum", num(h.sum()));
+    row(kind, name, "min", num(h.min()));
+    row(kind, name, "max", num(h.max()));
+    row(kind, name, "p50", num(h.quantile(0.50)));
+    row(kind, name, "p95", num(h.quantile(0.95)));
+    row(kind, name, "p99", num(h.quantile(0.99)));
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      const std::string field =
+          i < h.bounds().size() ? "le_" + num(h.bounds()[i]) : "overflow";
+      row(kind, name, field, std::to_string(h.buckets()[i]));
+    }
+  };
   for (const auto& [name, c] : counters_)
     row("counter", name, "value", std::to_string(c.value()));
   for (const auto& [name, g] : gauges_)
     row("gauge", name, "value", num(g.value()));
-  for (const auto& [name, h] : histograms_) {
-    row("histogram", name, "count", std::to_string(h.count()));
-    row("histogram", name, "sum", num(h.sum()));
-    row("histogram", name, "min", num(h.min()));
-    row("histogram", name, "max", num(h.max()));
-    row("histogram", name, "p50", num(h.quantile(0.50)));
-    row("histogram", name, "p95", num(h.quantile(0.95)));
-    row("histogram", name, "p99", num(h.quantile(0.99)));
-    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
-      const std::string field =
-          i < h.bounds().size() ? "le_" + num(h.bounds()[i]) : "overflow";
-      row("histogram", name, field, std::to_string(h.buckets()[i]));
-    }
-  }
+  for (const auto& [name, h] : histograms_)
+    histogram_rows("histogram", name, h);
+  // The ';'-separated label encoding (labels.h) keeps these names free
+  // of commas, so the flat comma-split format stays parseable.
+  for (const auto& [name, series] : labelled_counters_)
+    for (const auto& [labels, c] : series)
+      row("labelled_counter", name + "{" + labels + "}", "value",
+          std::to_string(c.value()));
+  for (const auto& [name, family] : labelled_histograms_)
+    for (const auto& [labels, h] : family.series)
+      histogram_rows("labelled_histogram", name + "{" + labels + "}", h);
   if (options.include_wall_time) {
     for (const auto& [name, t] : timers_) {
       row("timer", name, "count", std::to_string(t.count()));
@@ -195,6 +263,10 @@ void Registry::reset_values() {
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
   for (auto& [name, t] : timers_) t.reset();
+  for (auto& [name, series] : labelled_counters_)
+    for (auto& [labels, c] : series) c.reset();
+  for (auto& [name, family] : labelled_histograms_)
+    for (auto& [labels, h] : family.series) h.reset();
 }
 
 void Registry::clear() {
@@ -202,6 +274,8 @@ void Registry::clear() {
   gauges_.clear();
   histograms_.clear();
   timers_.clear();
+  labelled_counters_.clear();
+  labelled_histograms_.clear();
 }
 
 void Registry::merge_from(const Registry& other) {
@@ -212,6 +286,30 @@ void Registry::merge_from(const Registry& other) {
     histogram(name, h.bounds()).merge_from(h);
   for (const auto& [name, t] : other.timers_)
     if (t.count() != 0) timer(name).merge_from(t);
+  // Labelled series merge like their plain counterparts; the series key
+  // (canonical label encoding) needs no LabelSet round trip.
+  for (const auto& [name, series] : other.labelled_counters_) {
+    auto& mine = labelled_counters_[name];
+    for (const auto& [labels, c] : series)
+      if (c.value() != 0) mine[labels].add(c.value());
+  }
+  for (const auto& [name, family] : other.labelled_histograms_) {
+    auto it = labelled_histograms_.find(name);
+    if (it == labelled_histograms_.end())
+      it = labelled_histograms_
+               .emplace(name, HistogramFamily{family.bounds, {}})
+               .first;
+    for (const auto& [labels, h] : family.series) {
+      auto& series = it->second.series;
+      const auto hit = series.find(labels);
+      if (hit != series.end()) {
+        hit->second.merge_from(h);
+      } else {
+        series.emplace(labels, Histogram(it->second.bounds))
+            .first->second.merge_from(h);
+      }
+    }
+  }
 }
 
 namespace {

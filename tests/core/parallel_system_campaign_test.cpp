@@ -11,6 +11,7 @@
 
 #include "ftspm/core/system_campaign.h"
 #include "ftspm/core/systems.h"
+#include "ftspm/fault/sensitivity.h"
 #include "ftspm/workload/case_study.h"
 
 namespace ftspm {
@@ -128,6 +129,48 @@ TEST(ParallelTemporalCampaignTest, JobsInvariantAndResumable) {
   EXPECT_TRUE(rest.complete);
   expect_same(rest.merged, a.merged);
   std::remove(path.c_str());
+}
+
+TEST(ParallelTemporalCampaignTest, SensitivityGridIsJobsInvariant) {
+  const Fixture& f = fixture();
+  CampaignConfig cfg;
+  cfg.strikes = 15'000;
+
+  // Serial reference grid over the campaign's own surfaces.
+  TemporalCampaign campaign(f.evaluator.ftspm_layout(), f.ftspm.plan,
+                            f.workload.program, f.profile,
+                            f.evaluator.strike_model());
+  SensitivityGrid serial = make_sensitivity_grid(campaign.surfaces(), 24);
+  run_temporal_campaign(f.evaluator.ftspm_layout(), f.ftspm.plan,
+                        f.workload.program, f.profile,
+                        f.evaluator.strike_model(), cfg, &serial);
+
+  std::string first;
+  for (std::uint32_t jobs : {1u, 4u}) {
+    exec::ExecConfig exec;
+    exec.jobs = jobs;
+    exec.shards = 3;
+    exec.sensitivity_buckets = 24;
+    const exec::ShardedRun run = run_temporal_campaign_parallel(
+        f.evaluator.ftspm_layout(), f.ftspm.plan, f.workload.program,
+        f.profile, f.evaluator.strike_model(), cfg, exec);
+    ASSERT_TRUE(run.sensitivity.active());
+    expect_same(run.sensitivity.totals(), run.merged);
+    if (first.empty())
+      first = run.sensitivity.to_csv();
+    else
+      EXPECT_EQ(run.sensitivity.to_csv(), first);
+  }
+
+  // One-shard parallel grid equals the serial grid.
+  exec::ExecConfig one;
+  one.jobs = 2;
+  one.shards = 1;
+  one.sensitivity_buckets = 24;
+  const exec::ShardedRun run = run_temporal_campaign_parallel(
+      f.evaluator.ftspm_layout(), f.ftspm.plan, f.workload.program,
+      f.profile, f.evaluator.strike_model(), cfg, one);
+  EXPECT_EQ(run.sensitivity.to_csv(), serial.to_csv());
 }
 
 }  // namespace

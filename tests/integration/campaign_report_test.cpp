@@ -1,0 +1,230 @@
+// Offline report toolchain: the HTML/CSV renderers must be pure
+// functions of (ledger record, metrics snapshot, grid) with pinned
+// output shape, and the report's numbers must agree with the campaign
+// counters they were rendered from.
+#include "ftspm/report/campaign_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ftspm/obs/metrics.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::report {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+/// A small fully hand-built run: two regions, four buckets, counters
+/// consistent with the grid so the cross-checks below are meaningful.
+CampaignReportInput golden_input() {
+  CampaignReportInput input;
+  input.record.id = "run-7";
+  input.record.command = "campaign";
+  input.record.workload = "case-study";
+  input.record.scale = 2;
+  input.record.seed = 42;
+  input.record.jobs = 4;
+  input.record.shards = 4;
+  input.record.library_version = "test";
+  input.record.counters = {{"strikes", 10},  {"masked", 4}, {"dre", 3},
+                           {"due", 2},       {"sdc", 1}};
+  input.record.metrics = {{"vulnerability", 0.3}};
+  input.record.wall_ms = 12.5;
+  input.record.strikes_per_sec = 800.0;
+
+  obs::Registry reg;
+  reg.histogram("campaign.bucket_strikes",
+                obs::LabelSet{{"region", "dspm"}}, {1.0, 10.0, 100.0})
+      .observe(3.0);
+  input.metrics = parse_json(reg.to_json());
+
+  SensitivityGrid grid({SensitivityGrid::RegionSpec{"dspm", "secded", 100},
+                        SensitivityGrid::RegionSpec{"ispm", "parity", 64}},
+                       4);
+  grid.record(0, 5, StrikeOutcome::Masked);
+  grid.record(0, 5, StrikeOutcome::Masked);
+  grid.record(0, 30, StrikeOutcome::Masked);
+  grid.record(0, 55, StrikeOutcome::Dre);
+  grid.record(0, 80, StrikeOutcome::Due);
+  grid.record(0, 99, StrikeOutcome::Sdc);
+  grid.record(1, 0, StrikeOutcome::Masked);
+  grid.record(1, 20, StrikeOutcome::Dre);
+  grid.record(1, 40, StrikeOutcome::Dre);
+  grid.record(1, 63, StrikeOutcome::Due);
+  input.grid = grid;
+  return input;
+}
+
+TEST(CampaignReportHtmlTest, StructuralSmoke) {
+  const CampaignReportInput input = golden_input();
+  const std::string html = campaign_report_html(input);
+
+  // Self-contained document, no scripts or external fetches.
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+
+  // One heatmap SVG and one outcome table per region.
+  EXPECT_EQ(count_occurrences(html, "<svg class=\"heatmap\""),
+            input.grid.region_count());
+  EXPECT_EQ(count_occurrences(html, "<table class=\"region-outcomes\">"),
+            input.grid.region_count());
+  // One cell rect per (region, bucket).
+  EXPECT_EQ(count_occurrences(html, "<rect "),
+            input.grid.region_count() * input.grid.buckets());
+
+  // Region headings carry label, scheme and geometry.
+  EXPECT_NE(html.find("dspm (secded, 100 bits, 4 buckets)"),
+            std::string::npos);
+  EXPECT_NE(html.find("ispm (parity, 64 bits, 4 buckets)"),
+            std::string::npos);
+
+  // The manifest and counters made it through.
+  EXPECT_NE(html.find("run-7"), std::string::npos);
+  EXPECT_NE(html.find("case-study"), std::string::npos);
+  EXPECT_NE(html.find("<td>strikes</td><td>10</td>"), std::string::npos);
+
+  // Histogram percentile section appears when the snapshot has one.
+  EXPECT_NE(html.find("campaign.bucket_strikes{region=dspm}"),
+            std::string::npos);
+}
+
+TEST(CampaignReportHtmlTest, OutcomeTablesSumToCampaignCounters) {
+  const CampaignReportInput input = golden_input();
+  // The hand-built grid and ledger counters agree; the report's region
+  // totals must therefore reproduce the campaign counters exactly.
+  const CampaignResult totals = input.grid.totals();
+  EXPECT_EQ(totals.strikes, 10u);
+  EXPECT_EQ(totals.masked, 4u);
+  EXPECT_EQ(totals.dre, 3u);
+  EXPECT_EQ(totals.due, 2u);
+  EXPECT_EQ(totals.sdc, 1u);
+
+  const std::string csv = campaign_report_csv(input);
+  std::uint64_t strikes = 0;
+  for (const char* label : {"dspm", "ispm"}) {
+    const std::string prefix = "region," + std::string(label) + ",strikes,";
+    const std::size_t pos = csv.find(prefix);
+    ASSERT_NE(pos, std::string::npos) << csv;
+    strikes += std::stoull(csv.substr(pos + prefix.size()));
+  }
+  EXPECT_EQ(strikes, totals.strikes);
+}
+
+TEST(CampaignReportHtmlTest, GridlessRunsGetANoteNotAHeatmap) {
+  CampaignReportInput input = golden_input();
+  input.grid = SensitivityGrid();
+  input.metrics = JsonValue();
+  const std::string html = campaign_report_html(input);
+  EXPECT_EQ(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("No sensitivity grid was recorded"),
+            std::string::npos);
+  // Counters and manifest still render.
+  EXPECT_NE(html.find("<td>strikes</td><td>10</td>"), std::string::npos);
+}
+
+TEST(CampaignReportCsvTest, PinnedGoldenOutput) {
+  CampaignReportInput input = golden_input();
+  input.metrics = JsonValue();  // keep the golden small
+  const std::string expected =
+      "section,name,field,value\n"
+      "manifest,id,,run-7\n"
+      "manifest,command,,campaign\n"
+      "manifest,workload,,case-study\n"
+      "manifest,scale,,2\n"
+      "manifest,seed,,42\n"
+      "manifest,jobs,,4\n"
+      "manifest,shards,,4\n"
+      "manifest,library_version,,test\n"
+      "counter,dre,,3\n"
+      "counter,due,,2\n"
+      "counter,masked,,4\n"
+      "counter,sdc,,1\n"
+      "counter,strikes,,10\n"
+      "metric,vulnerability,,0.3\n"
+      "region,dspm,strikes,6\n"
+      "region,dspm,masked,3\n"
+      "region,dspm,dre,1\n"
+      "region,dspm,due,1\n"
+      "region,dspm,sdc,1\n"
+      "region,ispm,strikes,4\n"
+      "region,ispm,masked,1\n"
+      "region,ispm,dre,2\n"
+      "region,ispm,due,1\n"
+      "region,ispm,sdc,0\n"
+      "timing,wall_ms,nondeterministic,12.5\n"
+      "timing,strikes_per_sec,nondeterministic,800\n";
+  EXPECT_EQ(campaign_report_csv(input), expected);
+}
+
+TEST(CampaignReportTest, RenderingIsDeterministic) {
+  const CampaignReportInput input = golden_input();
+  EXPECT_EQ(campaign_report_html(input), campaign_report_html(input));
+  EXPECT_EQ(campaign_report_csv(input), campaign_report_csv(input));
+}
+
+std::vector<obs::LedgerRecord> trend_records() {
+  obs::LedgerRecord a;
+  a.id = "run-0";
+  a.workload = "case-study";
+  a.counters = {{"strikes", 1000}, {"due", 20}, {"sdc", 5}};
+  a.strikes_per_sec = 1e6;
+  obs::LedgerRecord b;
+  b.id = "run-1";
+  b.workload = "case-study";
+  b.counters = {{"strikes", 2000}, {"due", 10}, {"sdc", 2}};
+  b.strikes_per_sec = 2e6;
+  obs::LedgerRecord suite;
+  suite.id = "suite-0";
+  suite.workload = "case-study";  // no strike counters at all
+  return {a, b, suite};
+}
+
+TEST(LedgerTrendTest, ReducesRecordsInFileOrder) {
+  const std::vector<TrendPoint> points = ledger_trend(trend_records());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].index, 0u);
+  EXPECT_EQ(points[0].id, "run-0");
+  EXPECT_EQ(points[0].strikes, 1000u);
+  EXPECT_EQ(points[0].sdc, 5u);
+  EXPECT_DOUBLE_EQ(points[0].sdc_rate, 0.005);
+  EXPECT_DOUBLE_EQ(points[0].vulnerability, 0.025);
+  EXPECT_DOUBLE_EQ(points[0].strikes_per_sec, 1e6);
+  EXPECT_DOUBLE_EQ(points[1].sdc_rate, 0.001);
+  // Strike-less records keep their slot with zeroed derived fields.
+  EXPECT_EQ(points[2].id, "suite-0");
+  EXPECT_EQ(points[2].strikes, 0u);
+  EXPECT_DOUBLE_EQ(points[2].sdc_rate, 0.0);
+}
+
+TEST(LedgerTrendTest, CsvIsPinned) {
+  const std::string expected =
+      "index,id,workload,strikes,sdc,sdc_rate,vulnerability,"
+      "strikes_per_sec\n"
+      "0,run-0,case-study,1000,5,0.005,0.025,1e+06\n"
+      "1,run-1,case-study,2000,2,0.001,0.006,2e+06\n"
+      "2,suite-0,case-study,0,0,0,0,0\n";
+  EXPECT_EQ(trend_csv(ledger_trend(trend_records())), expected);
+}
+
+TEST(LedgerTrendTest, TableCarriesTheTrajectoryColumns) {
+  const std::string table = trend_table(ledger_trend(trend_records()));
+  EXPECT_NE(table.find("SDC rate"), std::string::npos);
+  EXPECT_NE(table.find("Vulnerability"), std::string::npos);
+  EXPECT_NE(table.find("run-1"), std::string::npos);
+  EXPECT_NE(table.find("suite-0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftspm::report

@@ -83,6 +83,63 @@ TEST(LedgerTest, FindRunMatchesIdThenIndex) {
   EXPECT_EQ(find_run(runs, "missing"), nullptr);
 }
 
+TEST(LedgerScanTest, MissingFileIsAnEmptyScan) {
+  const LedgerScan scan = scan_ledger(temp_path("ftspm_scan_missing"));
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_TRUE(scan.warnings.empty());
+}
+
+TEST(LedgerScanTest, SkipsCorruptLinesWithTheirLineNumbers) {
+  const std::string path = temp_path("ftspm_scan_corrupt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string good0 = sample("run-0").to_json();
+    const std::string good1 = sample("run-1").to_json();
+    // Line 2 is a truncated append, line 4 is valid JSON with the
+    // wrong shape; lines 1, 3 and 6 must still come back (5 is blank).
+    const std::string body = good0 + "\n" +
+                             good0.substr(0, good0.size() / 2) + "\n" +
+                             good1 + "\n" +
+                             "{\"schema\":1}\n"
+                             "\n" +
+                             good0 + "\n";
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+  // The strict reader refuses the whole file ...
+  EXPECT_THROW(read_ledger(path), Error);
+  // ... while the scan keeps every parseable record.
+  const LedgerScan scan = scan_ledger(path);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].id, "run-0");
+  EXPECT_EQ(scan.records[1].id, "run-1");
+  EXPECT_EQ(scan.records[2].id, "run-0");
+  ASSERT_EQ(scan.warnings.size(), 2u);
+  EXPECT_NE(scan.warnings[0].find("line 2"), std::string::npos)
+      << scan.warnings[0];
+  EXPECT_NE(scan.warnings[1].find("line 4"), std::string::npos)
+      << scan.warnings[1];
+  std::remove(path.c_str());
+}
+
+TEST(LedgerScanTest, ToleratesCrlfAndBlankLines) {
+  const std::string path = temp_path("ftspm_scan_crlf");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string body =
+        sample("run-0").to_json() + "\r\n\r\n" + sample("run-1").to_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+  const LedgerScan scan = scan_ledger(path);
+  EXPECT_TRUE(scan.warnings.empty());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1].id, "run-1");
+  std::remove(path.c_str());
+}
+
 TEST(LedgerTest, RejectsUnknownSchema) {
   EXPECT_THROW(
       LedgerRecord::from_json(parse_json(

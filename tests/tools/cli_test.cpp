@@ -391,6 +391,204 @@ TEST(CliTest, CampaignJsonTimingOnlyWithTimeFlag) {
   EXPECT_GE(timing->at("strikes_per_sec").number, 0.0);
 }
 
+TEST(CliTest, SensitivityGridFileIsJobsInvariant) {
+  // Fixed (seed, strikes, shards): the merged grid CSV must not
+  // depend on the worker count, and its totals row-sum must match the
+  // (jobs-invariant) campaign stdout.
+  const std::string base = "campaign --strikes 20000 --shards 4 "
+                           "--sensitivity-buckets 32 --sensitivity-out ";
+  std::string reference;
+  for (const char* jobs : {"1", "2", "8"}) {
+    const std::string path =
+        temp_path((std::string("ftspm_cli_grid_j") + jobs).c_str());
+    const CommandResult r =
+        run_tool_stdout(std::string("--jobs ") + jobs + " " + base + path);
+    ASSERT_EQ(r.exit_code, 0);
+    const std::string grid = slurp(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(grid.empty());
+    EXPECT_EQ(grid.rfind("region,label,protection,bucket,first_bit,"
+                         "last_bit,strikes,masked,dre,due,sdc",
+                         0),
+              0u)
+        << grid.substr(0, 120);
+    if (reference.empty())
+      reference = grid;
+    else
+      EXPECT_EQ(grid, reference) << "--jobs " << jobs;
+  }
+
+  // The serial path (no parallel flags) writes the same grid as a
+  // one-shard sharded run.
+  const std::string serial_path = temp_path("ftspm_cli_grid_serial");
+  const std::string one_path = temp_path("ftspm_cli_grid_oneshard");
+  ASSERT_EQ(run_tool_stdout("campaign --strikes 20000 "
+                            "--sensitivity-buckets 32 --sensitivity-out " +
+                            serial_path)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_tool_stdout("--jobs 2 campaign --strikes 20000 --shards 1 "
+                            "--sensitivity-buckets 32 --sensitivity-out " +
+                            one_path)
+                .exit_code,
+            0);
+  EXPECT_EQ(slurp(serial_path), slurp(one_path));
+  std::remove(serial_path.c_str());
+  std::remove(one_path.c_str());
+}
+
+TEST(CliTest, RunsListLastLimitsTheListing) {
+  const std::string ledger = temp_path("ftspm_cli_ledger_last.jsonl");
+  std::remove(ledger.c_str());
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(run_tool_stdout("--ledger " + ledger +
+                              " campaign --strikes 2000")
+                  .exit_code,
+              0);
+  const CommandResult all = run_tool("--ledger " + ledger + " runs list");
+  EXPECT_EQ(all.exit_code, 0);
+  EXPECT_NE(all.output.find("run-0"), std::string::npos);
+  EXPECT_NE(all.output.find("run-2"), std::string::npos);
+
+  const CommandResult last =
+      run_tool("--ledger " + ledger + " runs list --last 2");
+  EXPECT_EQ(last.exit_code, 0);
+  EXPECT_EQ(last.output.find("run-0"), std::string::npos) << last.output;
+  EXPECT_NE(last.output.find("run-1"), std::string::npos);
+  EXPECT_NE(last.output.find("run-2"), std::string::npos);
+
+  // --last larger than the ledger shows everything.
+  const CommandResult over =
+      run_tool("--ledger " + ledger + " runs list --last 99");
+  EXPECT_NE(over.output.find("run-0"), std::string::npos);
+  std::remove(ledger.c_str());
+}
+
+TEST(CliTest, RunsListSkipsCorruptLedgerLinesWithAWarning) {
+  const std::string ledger = temp_path("ftspm_cli_ledger_corrupt.jsonl");
+  std::remove(ledger.c_str());
+  ASSERT_EQ(
+      run_tool_stdout("--ledger " + ledger + " campaign --strikes 2000")
+          .exit_code,
+      0);
+  {  // Simulate a crashed appender: half a record on line 2.
+    std::ofstream out(ledger, std::ios::app | std::ios::binary);
+    out << "{\"schema\":1,\"id\":\"torn\n";
+  }
+  ASSERT_EQ(
+      run_tool_stdout("--ledger " + ledger + " campaign --strikes 2000")
+          .exit_code,
+      0);
+
+  const CommandResult listing = run_tool("--ledger " + ledger + " runs list");
+  EXPECT_EQ(listing.exit_code, 0);
+  EXPECT_NE(listing.output.find("warning:"), std::string::npos)
+      << listing.output;
+  EXPECT_NE(listing.output.find("line 2"), std::string::npos)
+      << listing.output;
+  EXPECT_NE(listing.output.find("run-0"), std::string::npos);
+  EXPECT_NE(listing.output.find("run-1"), std::string::npos);
+
+  // The strict compare gate still refuses the damaged file.
+  const CommandResult compare =
+      run_tool("--ledger " + ledger + " compare run-0 run-1");
+  EXPECT_NE(compare.exit_code, 0);
+  std::remove(ledger.c_str());
+}
+
+TEST(CliTest, ReportRendersACompletedRunEndToEnd) {
+  const std::string ledger = temp_path("ftspm_cli_report_ledger.jsonl");
+  const std::string metrics = temp_path("ftspm_cli_report_metrics.json");
+  const std::string grid = temp_path("ftspm_cli_report_grid.csv");
+  const std::string html = temp_path("ftspm_cli_report.html");
+  const std::string csv = temp_path("ftspm_cli_report.csv");
+  for (const std::string& p : {ledger, metrics, grid, html, csv})
+    std::remove(p.c_str());
+
+  ASSERT_EQ(run_tool_stdout("--ledger " + ledger + " --metrics-out " +
+                            metrics +
+                            " campaign --strikes 20000 --shards 2 "
+                            "--sensitivity-buckets 16 --sensitivity-out " +
+                            grid)
+                .exit_code,
+            0);
+
+  const CommandResult r =
+      run_tool("--ledger " + ledger + " report run-0 --metrics " + metrics +
+               " --sensitivity " + grid + " --html " + html + " --out-csv " +
+               csv);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("wrote report for run 'run-0'"),
+            std::string::npos);
+
+  const std::string doc = slurp(html);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(doc.find("<svg class=\"heatmap\""), std::string::npos);
+  EXPECT_NE(doc.find("<table class=\"region-outcomes\">"),
+            std::string::npos);
+  EXPECT_NE(doc.find("campaign.bucket_strikes"), std::string::npos);
+
+  // The CSV cross-checks the ledger counters against the grid totals:
+  // the run recorded every strike, so region strike rows sum to the
+  // "counter,strikes" row.
+  const std::string report_csv = slurp(csv);
+  EXPECT_NE(report_csv.find("counter,strikes,,20000"), std::string::npos)
+      << report_csv;
+  EXPECT_NE(report_csv.find("region,r0,strikes,20000"), std::string::npos)
+      << report_csv;
+
+  // An unknown run reference is a usage error.
+  const CommandResult missing =
+      run_tool("--ledger " + ledger + " report no_such_run");
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.output.find("not found"), std::string::npos);
+
+  for (const std::string& p : {ledger, metrics, grid, html, csv})
+    std::remove(p.c_str());
+}
+
+TEST(CliTest, ReportTrendSummarizesTheLedger) {
+  const std::string ledger = temp_path("ftspm_cli_trend_ledger.jsonl");
+  std::remove(ledger.c_str());
+  ASSERT_EQ(
+      run_tool_stdout("--ledger " + ledger + " campaign --strikes 5000")
+          .exit_code,
+      0);
+  ASSERT_EQ(run_tool_stdout("--ledger " + ledger +
+                            " campaign --strikes 5000 --occupancy 0.5")
+                .exit_code,
+            0);
+
+  const CommandResult table =
+      run_tool_stdout("--ledger " + ledger + " report trend");
+  EXPECT_EQ(table.exit_code, 0);
+  EXPECT_NE(table.output.find("SDC rate"), std::string::npos)
+      << table.output;
+  EXPECT_NE(table.output.find("run-1"), std::string::npos);
+
+  const CommandResult csv =
+      run_tool_stdout("--ledger " + ledger + " report trend --csv");
+  EXPECT_EQ(csv.exit_code, 0);
+  EXPECT_EQ(csv.output.rfind("index,id,workload,strikes,sdc,sdc_rate,"
+                             "vulnerability,strikes_per_sec",
+                             0),
+            0u)
+      << csv.output;
+  EXPECT_NE(csv.output.find("\n0,run-0,"), std::string::npos);
+  EXPECT_NE(csv.output.find("\n1,run-1,"), std::string::npos);
+
+  // The historical suite-export spelling of `report` still works
+  // (flags only, no positional).
+  const std::string out_dir = temp_path("ftspm_cli_report_suite_dir");
+  const CommandResult legacy =
+      run_tool_stdout("report --scale 64 --out-dir " + out_dir);
+  EXPECT_EQ(legacy.exit_code, 0) << legacy.output;
+  EXPECT_NE(legacy.output.find("wrote"), std::string::npos);
+  run_command("rm -rf " + out_dir);
+  std::remove(ledger.c_str());
+}
+
 TEST(CliTest, EvaluateJsonEmbedsManifest) {
   const CommandResult r = run_tool("evaluate case_study --scale 32 --json");
   EXPECT_EQ(r.exit_code, 0);

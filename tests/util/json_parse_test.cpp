@@ -58,6 +58,63 @@ TEST(JsonParseTest, RejectsSurrogateEscapes) {
   EXPECT_THROW(parse_json(R"("\ud800")"), Error);
 }
 
+TEST(NdjsonParseTest, CrlfLineEndingsAreTolerated) {
+  const std::vector<JsonValue> docs =
+      parse_ndjson("{\"a\":1}\r\n{\"a\":2}\r\n");
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_DOUBLE_EQ(docs[0].at("a").number, 1.0);
+  EXPECT_DOUBLE_EQ(docs[1].at("a").number, 2.0);
+  // A lone CR line is blank after CR-stripping, not a document.
+  EXPECT_EQ(parse_ndjson("\r\n{\"a\":1}\r\n\r\n").size(), 1u);
+}
+
+TEST(NdjsonParseTest, EmptyLinesBetweenRecordsAreSkipped) {
+  const std::vector<JsonValue> docs =
+      parse_ndjson("\n{\"a\":1}\n\n\n{\"a\":2}\n\n");
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_DOUBLE_EQ(docs[1].at("a").number, 2.0);
+  EXPECT_TRUE(parse_ndjson("").empty());
+  EXPECT_TRUE(parse_ndjson("\n\r\n\n").empty());
+}
+
+TEST(NdjsonParseTest, FinalRecordWithoutTrailingNewlineParses) {
+  const std::vector<JsonValue> docs = parse_ndjson("{\"a\":1}\n{\"a\":2}");
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_DOUBLE_EQ(docs[1].at("a").number, 2.0);
+}
+
+TEST(NdjsonParseTest, TrailingGarbageAfterFinalRecordNamesItsLine) {
+  // A truncated appender leaves half a record on the last line; the
+  // error must carry that line's 1-based number, not just an offset.
+  try {
+    parse_ndjson("{\"a\":1}\n{\"a\":2}\n{\"a\":");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  // Garbage appended to an otherwise-valid line fails that line too.
+  EXPECT_THROW(parse_ndjson("{\"a\":1}{\"b\":2}\n"), Error);
+}
+
+TEST(NdjsonParseTest, RecordLargerThanAnyIoBufferParses) {
+  // One record far beyond typical stream buffer sizes (64 KiB+): line
+  // splitting must not assume a bounded line length.
+  std::string big = "{\"xs\":[";
+  for (int i = 0; i < 20'000; ++i) {
+    if (i != 0) big += ',';
+    big += std::to_string(i);
+  }
+  big += "]}";
+  ASSERT_GT(big.size(), 65536u);
+  const std::vector<JsonValue> docs =
+      parse_ndjson(big + "\n{\"tail\":true}\n");
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].at("xs").array.size(), 20'000u);
+  EXPECT_DOUBLE_EQ(docs[0].at("xs").array.back().number, 19'999.0);
+  EXPECT_TRUE(docs[1].at("tail").boolean);
+}
+
 TEST(JsonParseTest, RoundTripsWriterOutput) {
   JsonWriter w;
   w.begin_object();

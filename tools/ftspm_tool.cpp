@@ -16,11 +16,15 @@
 //                       [--checkpoint-interval N]
 //                       [--recover] [--scrub-interval N]
 //                       [--dirty-fraction F] [--refetch-words N]
+//                       [--sensitivity-out FILE] [--sensitivity-buckets N]
 //                       [--json] [--csv]
 //
-//   ftspm_tool runs list [--ledger FILE]
+//   ftspm_tool runs list [--ledger FILE] [--last N]
 //   ftspm_tool compare <runA> <runB> [--ledger FILE] [--threshold PCT]
 //                      [--metric NAME]
+//   ftspm_tool report <run> [--metrics FILE] [--sensitivity FILE]
+//                     [--html FILE] [--out-csv FILE]
+//   ftspm_tool report trend [--csv]
 //
 // Global options (accepted by every command, any position):
 //   --trace-out FILE    write a Chrome trace-event JSON of the run
@@ -44,6 +48,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,6 +66,8 @@
 #include "ftspm/obs/trace_sink.h"
 #include "ftspm/profile/reuse.h"
 #include "ftspm/fault/injector.h"
+#include "ftspm/fault/sensitivity.h"
+#include "ftspm/report/campaign_report.h"
 #include "ftspm/report/csv_export.h"
 #include "ftspm/report/json_report.h"
 #include "ftspm/report/render.h"
@@ -237,14 +244,17 @@ std::vector<std::string> extract_global_options(int argc,
 
 /// Appends one run record to the --ledger file; a no-op when the
 /// option is absent. Fills the id: --run-id wins, else run-<index>
-/// over the records already in the file.
+/// over the records already in the file. Indexing uses the lenient
+/// scan so one torn line (a crashed appender) cannot brick every
+/// future append to the ledger.
 void append_run_record(obs::LedgerRecord record) {
   if (g_session == nullptr) return;
   const GlobalOptions& g = g_session->options();
   if (g.ledger.empty()) return;
-  record.id = !g.run_id.empty()
-                  ? g.run_id
-                  : "run-" + std::to_string(obs::read_ledger(g.ledger).size());
+  record.id =
+      !g.run_id.empty()
+          ? g.run_id
+          : "run-" + std::to_string(obs::scan_ledger(g.ledger).records.size());
   obs::append_ledger(record, g.ledger);
   std::cerr << "appended run '" << record.id << "' to " << g.ledger << "\n";
 }
@@ -663,7 +673,101 @@ int cmd_partition(int argc, const char* const* argv) {
   return 0;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FTSPM_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// `report trend`: the whole ledger reduced to its strikes/sec and
+/// residual-SDC-rate trajectories, as a table or CSV.
+int cmd_report_trend(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool report trend",
+                 "throughput and residual-SDC trajectories over the ledger");
+  args.add_flag("csv", "emit CSV instead of an ASCII table");
+  args.parse(argc, argv, 3);
+  FTSPM_REQUIRE(args.positionals().empty(),
+                "report trend takes no further arguments");
+  const std::string path = ledger_path_or_default();
+  const obs::LedgerScan scan = obs::scan_ledger(path);
+  for (const std::string& warning : scan.warnings)
+    std::cerr << "warning: " << warning << "\n";
+  if (scan.records.empty()) {
+    std::cout << "ledger " << path << " has no runs\n";
+    return 0;
+  }
+  const std::vector<report::TrendPoint> points =
+      report::ledger_trend(scan.records);
+  if (args.flag("csv"))
+    std::cout << report::trend_csv(points);
+  else
+    std::cout << report::trend_table(points);
+  return 0;
+}
+
+/// `report <run>`: one completed run rendered as a self-contained HTML
+/// report (heatmaps, outcome tables, percentiles) plus optional CSV.
+int cmd_report_run(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool report <run>",
+                 "render one completed campaign run as HTML (+ CSV)");
+  args.add_option("metrics",
+                  "the run's metrics snapshot JSON (--metrics-out file)", "");
+  args.add_option("sensitivity",
+                  "the run's sensitivity grid CSV (--sensitivity-out file)",
+                  "");
+  args.add_option("html", "HTML output path", "ftspm_report.html");
+  args.add_option("out-csv", "also write the report as CSV to FILE", "");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().size() == 1,
+                "expected one run reference (id or index)");
+  const std::string path = ledger_path_or_default();
+  const obs::LedgerScan scan = obs::scan_ledger(path);
+  for (const std::string& warning : scan.warnings)
+    std::cerr << "warning: " << warning << "\n";
+  const obs::LedgerRecord* run =
+      obs::find_run(scan.records, args.positionals()[0]);
+  if (run == nullptr)
+    throw InvalidArgument("run '" + args.positionals()[0] +
+                          "' not found in " + path);
+
+  report::CampaignReportInput input;
+  input.record = *run;
+  if (!args.option("metrics").empty())
+    input.metrics = parse_json(read_text_file(args.option("metrics")));
+  if (!args.option("sensitivity").empty())
+    input.grid =
+        SensitivityGrid::from_csv(read_text_file(args.option("sensitivity")));
+
+  const std::string html_path = args.option("html");
+  {
+    std::ofstream out(html_path, std::ios::binary);
+    FTSPM_CHECK(out.good(), "cannot open " + html_path);
+    out << report::campaign_report_html(input);
+    FTSPM_CHECK(out.good(), "write failed for " + html_path);
+  }
+  std::cout << "wrote report for run '" << run->id << "' to " << html_path
+            << "\n";
+  if (!args.option("out-csv").empty()) {
+    std::ofstream out(args.option("out-csv"), std::ios::binary);
+    FTSPM_CHECK(out.good(), "cannot open " + args.option("out-csv"));
+    out << report::campaign_report_csv(input);
+    FTSPM_CHECK(out.good(), "write failed for " + args.option("out-csv"));
+    std::cout << "wrote report CSV to " << args.option("out-csv") << "\n";
+  }
+  return 0;
+}
+
 int cmd_report(int argc, const char* const* argv) {
+  // Three shapes share the verb: `report` (the historical full-suite
+  // CSV export), `report trend`, and `report <run>` — disambiguated by
+  // the first positional so the historical spelling keeps working.
+  if (argc > 2) {
+    const std::string_view first = argv[2];
+    if (first == "trend") return cmd_report_trend(argc, argv);
+    if (!first.empty() && first[0] != '-') return cmd_report_run(argc, argv);
+  }
   ArgParser args("ftspm_tool report",
                  "write every table/figure as CSV for external plotting");
   args.add_option("scale", "trace scale divisor for the suite", "1");
@@ -699,6 +803,11 @@ int cmd_campaign(int argc, const char* const* argv) {
   args.add_option("dirty-fraction",
                   "probability a DUE word is dirty (unrecoverable)", "0.25");
   args.add_option("refetch-words", "words per DUE re-fetch transfer", "64");
+  args.add_option("sensitivity-out",
+                  "write the per-region fault-sensitivity grid CSV to FILE",
+                  "");
+  args.add_option("sensitivity-buckets",
+                  "address buckets per region in the sensitivity grid", "64");
   args.add_flag("json", "emit machine-readable JSON");
   args.add_flag("csv", "emit a single-row CSV");
   args.add_flag("time", "report wall-clock time and strikes/sec (stderr)");
@@ -779,6 +888,14 @@ int cmd_campaign(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(args.option_int("refetch-words"));
   rregion.scrub = kind == ProtectionKind::SecDed;
 
+  // Sensitivity grid: opt-in via --sensitivity-out. The grid never
+  // affects counters or RNG draws, and the sharded runner merges its
+  // per-shard grids in shard order, so the CSV is byte-identical for a
+  // fixed (seed, strikes, shard count) whatever --jobs says.
+  const std::string sensitivity_out = args.option("sensitivity-out");
+  const std::uint32_t sensitivity_buckets =
+      static_cast<std::uint32_t>(args.option_int("sensitivity-buckets"));
+
   // The serial path is the golden reference; only engage the sharded
   // engine when a parallel/resumable feature was actually asked for.
   // The heartbeat emitter lives in the sharded runner, so asking for
@@ -788,6 +905,7 @@ int cmd_campaign(int argc, const char* const* argv) {
                           !exec_cfg.resume_path.empty() ||
                           exec_cfg.heartbeat.enabled();
   RecoveryResult result;
+  SensitivityGrid grid;
   std::uint32_t used_jobs = 1;
   std::uint32_t used_shards = 1;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -802,9 +920,12 @@ int cmd_campaign(int argc, const char* const* argv) {
       span.emplace("campaign.wall");
     }
     if (wants_exec) {
-      const exec::RecoveryShardedRun run = exec::run_recovery_campaign_sharded(
+      if (!sensitivity_out.empty())
+        exec_cfg.sensitivity_buckets = sensitivity_buckets;
+      exec::RecoveryShardedRun run = exec::run_recovery_campaign_sharded(
           {rregion}, strikes, cfg, policy, exec_cfg);
       result = run.merged;
+      grid = std::move(run.sensitivity);
       used_jobs = exec_cfg.effective_jobs();
       used_shards = static_cast<std::uint32_t>(run.shard_results.size());
       // Informational only, and on stderr: stdout must stay byte-identical
@@ -812,8 +933,22 @@ int cmd_campaign(int argc, const char* const* argv) {
       std::cerr << "shards " << run.shard_results.size() << ", jobs "
                 << exec_cfg.effective_jobs() << "\n";
     } else {
-      result = run_recovery_campaign({rregion}, strikes, cfg, policy);
+      if (!sensitivity_out.empty())
+        grid = make_sensitivity_grid(std::vector<RecoveryRegion>{rregion},
+                                     sensitivity_buckets);
+      result = run_recovery_campaign({rregion}, strikes, cfg, policy,
+                                     grid.active() ? &grid : nullptr);
     }
+  }
+  if (!sensitivity_out.empty()) {
+    // Labelled registry entries first, so a --metrics-out snapshot
+    // written at session end carries the per-region outcome breakdown.
+    emit_sensitivity_metrics(grid, policy.active() ? "recovery" : "static");
+    std::ofstream out(sensitivity_out, std::ios::binary);
+    FTSPM_CHECK(out.good(), "cannot open " + sensitivity_out);
+    out << grid.to_csv();
+    FTSPM_CHECK(out.good(), "write failed for " + sensitivity_out);
+    std::cerr << "wrote sensitivity grid to " << sensitivity_out << "\n";
   }
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - wall_start)
@@ -1010,22 +1145,32 @@ int cmd_export(int argc, const char* const* argv) {
 
 int cmd_runs(int argc, const char* const* argv) {
   ArgParser args("ftspm_tool runs", "inspect the run ledger");
+  args.add_option("last", "show only the last N runs (0 = all)", "0");
   args.parse(argc, argv, 2);
   FTSPM_REQUIRE(args.positionals().size() == 1 &&
                     args.positionals()[0] == "list",
                 "expected `runs list`");
   const std::string path = ledger_path_or_default();
-  const std::vector<obs::LedgerRecord> runs = obs::read_ledger(path);
+  // Lenient scan: a browsing command should list every run that did
+  // parse, not die on the first truncated line (compare stays strict).
+  const obs::LedgerScan scan = obs::scan_ledger(path);
+  for (const std::string& warning : scan.warnings)
+    std::cerr << "warning: " << warning << "\n";
+  const std::vector<obs::LedgerRecord>& runs = scan.records;
   if (runs.empty()) {
     std::cout << "ledger " << path << " has no runs\n";
     return 0;
   }
+  const std::uint64_t last =
+      static_cast<std::uint64_t>(args.option_int("last"));
+  const std::size_t first =
+      last != 0 && last < runs.size() ? runs.size() - last : 0;
   AsciiTable t({"#", "Id", "Command", "Workload", "Seed", "Shards", "Jobs",
                 "Counters", "Wall ms"});
   t.set_align(1, Align::Left);
   t.set_align(2, Align::Left);
   t.set_align(3, Align::Left);
-  for (std::size_t i = 0; i < runs.size(); ++i) {
+  for (std::size_t i = first; i < runs.size(); ++i) {
     const obs::LedgerRecord& r = runs[i];
     t.add_row({std::to_string(i), r.id, r.command, r.workload,
                std::to_string(r.seed), std::to_string(r.shards),
@@ -1078,12 +1223,19 @@ void print_usage(std::ostream& os) {
         "  campaign                 Monte-Carlo strike campaign\n"
         "                           (--shards/--checkpoint/--resume;\n"
         "                           --recover/--scrub-interval for the\n"
-        "                           live-array recovery mode; --json/--csv)\n"
+        "                           live-array recovery mode;\n"
+        "                           --sensitivity-out for the per-region\n"
+        "                           fault heatmap grid; --json/--csv)\n"
         "  export   <workload>      dump the trace text format\n"
         "  report                   write all tables/figures as CSV\n"
+        "  report   <run>           render one ledger run as HTML\n"
+        "                           (--metrics/--sensitivity/--html/\n"
+        "                           --out-csv)\n"
+        "  report   trend           ledger trajectories (--csv)\n"
         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
         "  reuse    <workload>      LRU reuse-distance analysis\n"
-        "  runs list                list the run ledger (see --ledger)\n"
+        "  runs list                list the run ledger (see --ledger;\n"
+        "                           --last N for the tail)\n"
         "  compare  <runA> <runB>   diff two ledger runs; exits 1 on a\n"
         "                           regression (--threshold/--metric)\n"
         "  help                     print this message\n"
