@@ -1,0 +1,106 @@
+// NDJSON framing microbenchmarks (google-benchmark): the incremental
+// NdjsonReader against realistic feed patterns — one big slab (ledger
+// scans), socket-sized chunks (the serve daemon's recv loop), and the
+// pathological byte-at-a-time stream — plus the full parse path the
+// daemon runs per request frame.
+#include <benchmark/benchmark.h>
+
+#include "bench_io.h"
+
+#include <string>
+
+#include "ftspm/util/json.h"
+#include "ftspm/util/ndjson.h"
+
+namespace {
+
+using namespace ftspm;
+
+/// ~120-byte lines shaped like ledger/event-log records.
+std::string make_corpus(std::size_t lines) {
+  std::string corpus;
+  corpus.reserve(lines * 128);
+  for (std::size_t i = 0; i < lines; ++i) {
+    corpus += R"({"schema":1,"id":"run-)" + std::to_string(i) +
+              R"(","command":"campaign","counters":{"strikes":100000,)" +
+              R"("masked":0,"dre":86150,"due":8083,"sdc":5766}})" + "\n";
+  }
+  return corpus;
+}
+
+void BM_NdjsonFrameOneSlab(benchmark::State& state) {
+  const std::string corpus = make_corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    NdjsonReader reader(0);
+    reader.feed(corpus);
+    reader.finish();
+    std::size_t n = 0;
+    while (auto line = reader.next_line()) n += line->size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(corpus.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_NdjsonFrameOneSlab)->Arg(1000);
+
+void BM_NdjsonFrameSocketChunks(benchmark::State& state) {
+  // The serve daemon's shape: 4 KiB recv() chunks that split records
+  // at arbitrary offsets.
+  const std::string corpus = make_corpus(1000);
+  constexpr std::size_t kChunk = 4096;
+  for (auto _ : state) {
+    NdjsonReader reader;
+    std::size_t n = 0;
+    for (std::size_t off = 0; off < corpus.size(); off += kChunk) {
+      reader.feed(std::string_view(corpus).substr(off, kChunk));
+      while (auto line = reader.next_line()) n += line->size();
+    }
+    reader.finish();
+    while (auto line = reader.next_line()) n += line->size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(corpus.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_NdjsonFrameSocketChunks);
+
+void BM_NdjsonFrameByteAtATime(benchmark::State& state) {
+  // Worst case for the buffered scanner: every feed is one byte, so
+  // compaction and the no-newline fast path carry the cost.
+  const std::string corpus = make_corpus(50);
+  for (auto _ : state) {
+    NdjsonReader reader;
+    std::size_t n = 0;
+    for (const char c : corpus) {
+      reader.feed(std::string_view(&c, 1));
+      while (auto line = reader.next_line()) n += line->size();
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(corpus.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_NdjsonFrameByteAtATime);
+
+void BM_NdjsonFrameAndParse(benchmark::State& state) {
+  // Frame + JSON parse, the per-request cost on the daemon's reader
+  // thread.
+  const std::string corpus = make_corpus(1000);
+  for (auto _ : state) {
+    NdjsonReader reader;
+    reader.feed(corpus);
+    reader.finish();
+    std::size_t n = 0;
+    while (auto doc = reader.next()) n += doc->object.size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(corpus.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_NdjsonFrameAndParse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ftspm::bench::run_google_benchmark(argc, argv);
+}

@@ -15,6 +15,7 @@
 // reproduces the serial campaign exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -27,6 +28,8 @@
 #include "ftspm/fault/strike_model.h"
 
 namespace ftspm::exec {
+
+class ThreadPool;
 
 /// Opt-in wall-clock liveness stream for long sharded campaigns. A
 /// dedicated emitter thread samples the runner's thread-safe progress
@@ -82,6 +85,18 @@ struct ExecConfig {
   /// the strikes executed by this invocation (grids are not
   /// checkpointed). Never affects campaign counters.
   std::uint32_t sensitivity_buckets = 0;
+  /// Run on this caller-owned pool instead of constructing a private
+  /// one (the serve daemon schedules every admitted request onto one
+  /// shared pool). Non-owning; must outlive the run. When set, `jobs`
+  /// is ignored — concurrency is the pool's worker count. Never
+  /// affects results: counters depend only on (seed, strikes, shards).
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: workers poll this flag at chunk
+  /// granularity and stop scheduling further chunks once it reads
+  /// true. A cancelled run writes its final checkpoint and reports
+  /// complete() == false, exactly like a halt_after stop. Non-owning;
+  /// may be flipped from any thread.
+  const std::atomic<bool>* cancel = nullptr;
 
   std::uint32_t effective_jobs() const noexcept;
   std::uint32_t effective_shards() const noexcept;

@@ -387,7 +387,13 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
     chunks_total += (remaining + exec.chunk_strikes - 1) / exec.chunk_strikes;
   }
 
-  ThreadPool pool(jobs);
+  // A caller-owned pool (ExecConfig::pool) lets a long-running service
+  // amortize worker threads across requests; otherwise the run owns a
+  // private pool sized by effective_jobs(). Either way the counters are
+  // identical — concurrency never reaches the result.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (exec.pool == nullptr) owned_pool = std::make_unique<ThreadPool>(jobs);
+  ThreadPool& pool = exec.pool != nullptr ? *exec.pool : *owned_pool;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shard_count);
   for (std::uint32_t i = 0; i < shard_count; ++i) {
@@ -402,6 +408,11 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
       while (state.done < shard.config.strikes) {
         if (exec.halt_after != 0 &&
             progress.done() >= exec.halt_after) {
+          halted.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (exec.cancel != nullptr &&
+            exec.cancel->load(std::memory_order_relaxed)) {
           halted.store(true, std::memory_order_relaxed);
           break;
         }

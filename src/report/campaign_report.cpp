@@ -8,6 +8,47 @@
 
 namespace ftspm::report {
 
+obs::LedgerRecord campaign_run_record(const CampaignResult& result,
+                                      const RecoveryCounters* recovery,
+                                      std::string_view workload,
+                                      std::uint64_t seed, std::uint32_t jobs,
+                                      std::uint32_t shards, double wall_ms,
+                                      double strikes_per_sec) {
+  obs::LedgerRecord record;
+  record.command = "campaign";
+  record.workload = std::string(workload);
+  record.scale = 1;
+  record.seed = seed;
+  record.jobs = jobs;
+  record.shards = shards;
+  record.counters = {{"strikes", result.strikes},
+                     {"masked", result.masked},
+                     {"dre", result.dre},
+                     {"due", result.due},
+                     {"sdc", result.sdc}};
+  record.metrics = {{"vulnerability", result.vulnerability()}};
+  if (recovery != nullptr) {
+    record.counters.insert(
+        record.counters.end(),
+        {{"demand_reads", recovery->demand_reads},
+         {"corrections", recovery->corrections},
+         {"scrub_passes", recovery->scrub_passes},
+         {"scrub_words", recovery->scrub_words},
+         {"scrub_corrections", recovery->scrub_corrections},
+         {"refetches", recovery->refetches},
+         {"unrecoverable", recovery->unrecoverable},
+         {"sdc_reads", recovery->sdc_reads},
+         {"recovery_cycles", recovery->recovery_cycles}});
+    record.metrics.emplace_back("mean_repair_cycles",
+                                recovery->mean_repair_cycles());
+    record.metrics.emplace_back("recovery_energy_pj",
+                                recovery->recovery_energy_pj);
+  }
+  record.wall_ms = wall_ms;
+  record.strikes_per_sec = strikes_per_sec;
+  return record;
+}
+
 namespace {
 
 /// Shortest stable decimal for report values ("%.6g", the same pinning

@@ -18,11 +18,25 @@
 #include <string>
 #include <vector>
 
+#include "ftspm/fault/recovery.h"
 #include "ftspm/fault/sensitivity.h"
 #include "ftspm/obs/ledger.h"
 #include "ftspm/util/json.h"
 
 namespace ftspm::report {
+
+/// Builds the ledger record for one campaign run from its merged
+/// counters. Shared by `ftspm_tool campaign` and the serve daemon so a
+/// served run's record is construction-identical (same counter/metric
+/// names, same order) to a one-shot run's for the same outcome. The id
+/// is left empty — the appender fills it. `recovery` may be null when
+/// the recovery pipeline was inactive.
+obs::LedgerRecord campaign_run_record(const CampaignResult& result,
+                                      const RecoveryCounters* recovery,
+                                      std::string_view workload,
+                                      std::uint64_t seed, std::uint32_t jobs,
+                                      std::uint32_t shards, double wall_ms,
+                                      double strikes_per_sec);
 
 /// Everything `ftspm_tool report <run>` has to work with. The metrics
 /// snapshot and the grid are optional — runs recorded without

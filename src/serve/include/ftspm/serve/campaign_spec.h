@@ -1,0 +1,101 @@
+// The campaign request spec shared by the serve daemon, its client
+// library, and the load injector.
+//
+// A CampaignSpec mirrors `ftspm_tool campaign`'s flags field for field,
+// so a request submitted over the wire describes exactly the same run a
+// one-shot invocation would perform. run_campaign_spec() executes it
+// through the same engine (`exec::run_recovery_campaign_sharded`) and
+// campaign_spec_record() builds the same ledger record — which is what
+// makes the served-vs-one-shot determinism contract checkable: same
+// spec + same seed => bit-identical counters and an equivalent record,
+// whether the run came through a socket or argv.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ftspm/fault/injector.h"
+#include "ftspm/fault/recovery.h"
+#include "ftspm/obs/ledger.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::exec {
+class ThreadPool;
+}
+
+namespace ftspm::serve {
+
+/// One campaign request. Field names and defaults match the
+/// `ftspm_tool campaign` flags (plus an explicit seed, which the CLI
+/// pins to the library default).
+struct CampaignSpec {
+  std::string protection = "secded";  ///< parity|secded|none
+  std::uint64_t strikes = 100'000;
+  std::uint64_t seed = CampaignConfig{}.seed;
+  std::uint64_t size = 8192;          ///< Surface payload bytes.
+  std::uint32_t interleave = 1;
+  double node = 40.0;                 ///< Process node (nm).
+  double occupancy = 1.0;
+  std::uint32_t shards = 1;           ///< Determinism knob; >= 1.
+  bool recover = false;
+  std::uint64_t scrub_interval = 0;
+  double dirty_fraction = 0.25;
+  std::uint64_t refetch_words = 64;
+  /// Strikes between streamed heartbeat frames (0 = none). Reporting
+  /// only: never touches the RNG or the counters.
+  std::uint64_t heartbeat_strikes = 0;
+};
+
+/// Throws InvalidArgument when a field is out of range (unknown
+/// protection, zero strikes/shards, occupancy outside [0,1], ...).
+void validate_spec(const CampaignSpec& spec);
+
+/// Decodes the "spec" object of a campaign request. Unknown keys are
+/// rejected (a typoed field must not silently fall back to a default);
+/// missing keys keep their defaults. Throws InvalidArgument.
+CampaignSpec spec_from_json(const JsonValue& value);
+
+/// Encodes `spec` as the wire "spec" object (round-trips through
+/// spec_from_json).
+std::string spec_to_json(const CampaignSpec& spec);
+
+/// Execution context the daemon threads onto a spec run: the shared
+/// pool, the per-request cancel flag, and the heartbeat sink. All
+/// optional — the defaults run the spec standalone, like the CLI.
+struct CampaignRunHooks {
+  exec::ThreadPool* pool = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+  /// Worker threads when `pool` is null (0 = hardware concurrency).
+  std::uint32_t jobs = 1;
+  /// Invoked every spec.heartbeat_strikes strikes (aggregated across
+  /// shards) with (done, total). Must not throw.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+/// What one spec run produced.
+struct CampaignOutcome {
+  RecoveryResult result;
+  /// True when the spec engaged the recovery pipeline (recover or
+  /// scrubbing); selects the recovery block of the ledger record.
+  bool recovery_active = false;
+  /// False when the run was cancelled before finishing its strikes.
+  bool complete = true;
+  std::uint32_t used_jobs = 1;
+  std::uint32_t used_shards = 1;
+  double wall_ms = 0.0;
+  double strikes_per_sec = 0.0;
+};
+
+/// Runs the spec. Counters depend only on (seed, strikes, shards,
+/// protection/geometry/policy) — never on the pool, jobs, or hooks.
+CampaignOutcome run_campaign_spec(const CampaignSpec& spec,
+                                  const CampaignRunHooks& hooks = {});
+
+/// The outcome as a ledger record (id left empty for the appender),
+/// built by the same report helper the CLI uses.
+obs::LedgerRecord campaign_spec_record(const CampaignSpec& spec,
+                                       const CampaignOutcome& outcome);
+
+}  // namespace ftspm::serve

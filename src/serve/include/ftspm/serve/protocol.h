@@ -1,0 +1,104 @@
+// The serve wire protocol: NDJSON frames over a byte stream.
+//
+// Every frame is one JSON object on one line (framed by
+// util::NdjsonReader on the receive side). Clients send requests with a
+// "type" discriminator; the daemon answers with response frames tagged
+// by the request's "id" so one connection can multiplex several
+// in-flight requests:
+//
+//   request            responses
+//   ------------------ -------------------------------------------
+//   ping               pong
+//   campaign           accepted, heartbeat*, then result | error
+//   status             status
+//   cancel             cancelled | error(not_found); the cancelled
+//                      campaign's own stream ends with error(cancelled)
+//   shutdown           shutting_down (then the daemon drains and exits)
+//
+// Admission failures are structured errors, not dropped connections:
+// a full queue answers error(overloaded), a stopping daemon
+// error(shutting_down). docs/serving.md carries the full schema table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ftspm/obs/ledger.h"
+#include "ftspm/serve/campaign_spec.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::serve {
+
+/// Bumped on any incompatible frame-schema change; echoed by pong.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Machine-readable failure taxonomy carried by error frames.
+enum class ErrorCode : std::uint8_t {
+  BadRequest,    ///< Malformed frame or invalid spec; request dropped.
+  Overloaded,    ///< Admission queue full; resubmit later.
+  Cancelled,     ///< The request was cancelled before completing.
+  NotFound,      ///< cancel target matches no queued or running id.
+  ShuttingDown,  ///< Daemon is draining; no new admissions.
+  Internal,      ///< The run itself threw; message has the what().
+};
+
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A parsed client request.
+struct Request {
+  enum class Type : std::uint8_t { Ping, Campaign, Status, Cancel, Shutdown };
+  Type type = Type::Ping;
+  /// Campaign: client-chosen id echoed on every response frame (the
+  /// daemon assigns req-<n> when empty). Cancel: the target id.
+  std::string id;
+  /// Larger runs first; FIFO within a priority level.
+  std::uint32_t priority = 0;
+  CampaignSpec spec;  ///< Campaign requests only.
+};
+
+/// Parses one request frame. Throws InvalidArgument on an unknown
+/// type, missing fields, or a bad spec.
+Request parse_request(const JsonValue& value);
+
+/// Client-side encoders (one line, no trailing newline).
+std::string ping_request();
+std::string status_request();
+std::string shutdown_request();
+std::string cancel_request(std::string_view id);
+std::string campaign_request(const CampaignSpec& spec, std::string_view id,
+                             std::uint32_t priority);
+
+/// Daemon-side aggregate state for status frames (and cmd-line
+/// reporting). Plain data: the server snapshots its atomics into this.
+struct ServerStatus {
+  bool accepting = true;
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;       ///< 0 or 1 (single executor).
+  std::string running_id;          ///< Empty when idle.
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t max_queue = 0;
+  std::uint32_t jobs = 0;
+};
+
+/// Response-frame encoders (one line, no trailing newline).
+std::string pong_frame();
+std::string accepted_frame(std::string_view id, std::uint64_t queue_depth);
+std::string heartbeat_frame(std::string_view id, std::uint64_t done,
+                            std::uint64_t total);
+/// The final success frame: the run's counters/metrics exactly as its
+/// ledger record carries them, plus the appended run id (empty when
+/// the daemon keeps no ledger) and the timing block.
+std::string result_frame(std::string_view id, const obs::LedgerRecord& record,
+                         std::string_view run_id, bool complete);
+std::string status_frame(const ServerStatus& status);
+std::string cancelled_frame(std::string_view id);
+std::string shutting_down_frame();
+std::string error_frame(std::string_view id, ErrorCode code,
+                        std::string_view message);
+
+}  // namespace ftspm::serve

@@ -1,0 +1,531 @@
+#include "ftspm/serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ftspm/exec/thread_pool.h"
+#include "ftspm/obs/ledger.h"
+#include "ftspm/obs/metrics.h"
+#include "ftspm/serve/campaign_spec.h"
+#include "ftspm/util/error.h"
+
+namespace ftspm::serve {
+
+namespace {
+
+/// One accepted client. Shared between its reader thread, queued
+/// requests, and the executor; writes are serialized by `write_mutex`
+/// because the executor streams heartbeats/results while the reader
+/// may be answering a ping on the same fd.
+struct Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Writes one NDJSON frame. A failed write (peer gone) marks the
+/// connection closed; frames to a closed connection are dropped — the
+/// run itself must never die because its requester hung up.
+void write_frame(const ConnectionPtr& conn, std::string_view frame) {
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  std::string line(frame);
+  line += '\n';
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      conn->open.store(false, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+int make_unix_listener(const std::string& path) {
+  FTSPM_REQUIRE(!path.empty(), "serve: socket path must not be empty");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  FTSPM_REQUIRE(path.size() < sizeof(addr.sun_path),
+                "serve: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FTSPM_CHECK(fd >= 0, "serve: cannot create unix socket");
+  ::unlink(path.c_str());  // A stale socket from a crashed daemon.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw Error("serve: cannot bind/listen on '" + path + "'");
+  }
+  return fd;
+}
+
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FTSPM_CHECK(fd >= 0, "serve: cannot create tcp socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // Loopback only.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw Error("serve: cannot bind/listen on 127.0.0.1:" +
+                std::to_string(port));
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
+  bound = ntohs(actual.sin_port);
+  return fd;
+}
+
+/// One admitted campaign waiting for (or holding) the executor.
+struct PendingRequest {
+  std::string id;
+  std::uint32_t priority = 0;
+  std::uint64_t seq = 0;  ///< Admission order; FIFO within a priority.
+  CampaignSpec spec;
+  ConnectionPtr conn;
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(const ServerConfig& config) : cfg(config) {}
+
+  const ServerConfig& cfg;
+
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+
+  std::unique_ptr<exec::ThreadPool> pool;
+  std::thread accept_thread;
+  std::thread executor_thread;
+  std::mutex reader_mutex;  ///< Guards `readers`/`connections`.
+  std::vector<std::thread> readers;
+  std::vector<std::weak_ptr<Connection>> connections;
+  std::atomic<std::uint64_t> live_connections{0};
+
+  // Admission queue + executor handshake.
+  mutable std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<PendingRequest> queue;
+  bool stopping = false;
+  std::uint64_t next_seq = 0;
+  std::string running_id;                          // Guarded by queue_mutex.
+  std::shared_ptr<std::atomic<bool>> running_cancel;  // Likewise.
+
+  // Aggregate counters for status frames (lock-free readers).
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected_overload{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<bool> accepting{false};
+
+  std::mutex ledger_mutex;
+
+  void accept_loop();
+  void reader_loop(ConnectionPtr conn);
+  void executor_loop();
+  void handle_request(const ConnectionPtr& conn, const Request& req);
+  void admit_campaign(const ConnectionPtr& conn, Request req);
+  void handle_cancel(const ConnectionPtr& conn, const std::string& target);
+  ServerStatus snapshot() const;
+  void run_one(PendingRequest req);
+  void fold_into_registry() const;
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  final_status_.accepting = false;  // status() before start().
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) {
+    request_stop();
+    wait();
+  }
+}
+
+void Server::start() {
+  FTSPM_REQUIRE(impl_ == nullptr, "serve: server already started");
+  auto impl = std::make_unique<Impl>(config_);
+  FTSPM_CHECK(::pipe(impl->wake_pipe) == 0, "serve: cannot create wake pipe");
+  impl->unix_fd = make_unix_listener(config_.socket_path);
+  if (config_.tcp_port != 0)
+    impl->tcp_fd = make_tcp_listener(config_.tcp_port, tcp_port_);
+  impl->pool = std::make_unique<exec::ThreadPool>(config_.jobs);
+  impl->accepting.store(true, std::memory_order_release);
+  impl->executor_thread = std::thread([i = impl.get()] { i->executor_loop(); });
+  impl->accept_thread = std::thread([i = impl.get()] { i->accept_loop(); });
+  impl_ = std::move(impl);
+}
+
+void Server::request_stop() noexcept {
+  if (impl_ == nullptr) return;
+  // Async-signal-safe: one write, no locks. The accept loop owns the
+  // orderly part of the shutdown.
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(impl_->wake_pipe[1], &byte, 1);
+}
+
+void Server::wait() {
+  if (impl_ == nullptr) return;
+  Impl& impl = *impl_;
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+  {
+    // The accept loop has exited: no new readers can appear.
+    const std::lock_guard<std::mutex> lock(impl.reader_mutex);
+    for (std::thread& t : impl.readers)
+      if (t.joinable()) t.join();
+    impl.readers.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl.queue_mutex);
+    impl.stopping = true;
+  }
+  impl.queue_cv.notify_all();
+  if (impl.executor_thread.joinable()) impl.executor_thread.join();
+  impl.fold_into_registry();
+  final_status_ = impl.snapshot();
+  for (const int fd : {impl.wake_pipe[0], impl.wake_pipe[1]})
+    if (fd >= 0) ::close(fd);
+  impl.wake_pipe[0] = impl.wake_pipe[1] = -1;
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+  impl_.reset();
+}
+
+ServerStatus Server::status() const {
+  // After wait() the threads are gone; answer the drained snapshot so
+  // the CLI can print its exit summary.
+  return impl_ != nullptr ? impl_->snapshot() : final_status_;
+}
+
+ServerStatus Server::Impl::snapshot() const {
+  ServerStatus s;
+  s.accepting = accepting.load(std::memory_order_acquire);
+  s.admitted = admitted.load(std::memory_order_relaxed);
+  s.completed = completed.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload.load(std::memory_order_relaxed);
+  s.cancelled = cancelled.load(std::memory_order_relaxed);
+  s.failed = failed.load(std::memory_order_relaxed);
+  s.max_queue = cfg.max_queue;
+  s.jobs = pool != nullptr ? pool->size() : cfg.jobs;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    s.queued = queue.size();
+    s.running_id = running_id;
+    s.running = running_id.empty() ? 0 : 1;
+  }
+  return s;
+}
+
+void Server::Impl::accept_loop() {
+  while (true) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = pollfd{wake_pipe[0], POLLIN, 0};
+    fds[nfds++] = pollfd{unix_fd, POLLIN, 0};
+    if (tcp_fd >= 0) fds[nfds++] = pollfd{tcp_fd, POLLIN, 0};
+    const int rc = ::poll(fds, nfds, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // Stop requested.
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;
+      auto conn = std::make_shared<Connection>();
+      conn->fd = client;
+      if (live_connections.load(std::memory_order_relaxed) >=
+          cfg.max_connections) {
+        write_frame(conn, error_frame("", ErrorCode::Overloaded,
+                                      "too many connections"));
+        continue;  // conn dtor closes the fd.
+      }
+      live_connections.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(reader_mutex);
+      connections.push_back(conn);
+      readers.emplace_back([this, conn] { reader_loop(conn); });
+    }
+  }
+
+  // Shutdown: stop admissions, cancel the running request, bounce the
+  // queued ones. Reader threads see closed listeners only; they drain
+  // naturally when their clients hang up or the process exits.
+  accepting.store(false, std::memory_order_release);
+  std::deque<PendingRequest> orphaned;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    stopping = true;
+    orphaned.swap(queue);
+    if (running_cancel != nullptr)
+      running_cancel->store(true, std::memory_order_relaxed);
+  }
+  queue_cv.notify_all();
+  for (const PendingRequest& req : orphaned) {
+    cancelled.fetch_add(1, std::memory_order_relaxed);
+    write_frame(req.conn, error_frame(req.id, ErrorCode::ShuttingDown,
+                                      "daemon is shutting down"));
+  }
+  for (const int fd : {unix_fd, tcp_fd})
+    if (fd >= 0) ::close(fd);
+  unix_fd = tcp_fd = -1;
+  {
+    // Unblock reader threads parked in recv(): a half-close makes
+    // recv return 0 without yanking the fd out from under a writer.
+    const std::lock_guard<std::mutex> lock(reader_mutex);
+    for (const std::weak_ptr<Connection>& weak : connections)
+      if (const ConnectionPtr conn = weak.lock())
+        ::shutdown(conn->fd, SHUT_RD);
+  }
+}
+
+void Server::Impl::reader_loop(ConnectionPtr conn) {
+  NdjsonReader reader(cfg.max_frame_bytes);
+  char buf[4096];
+  while (conn->open.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    try {
+      reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      while (auto doc = reader.next()) {
+        Request req;
+        try {
+          req = parse_request(*doc);
+        } catch (const Error& e) {
+          write_frame(conn,
+                      error_frame("", ErrorCode::BadRequest, e.what()));
+          continue;  // Frame was well-formed JSON; the stream is intact.
+        }
+        handle_request(conn, req);
+      }
+    } catch (const Error& e) {
+      // Unparseable or oversized frame: the byte stream itself can no
+      // longer be trusted, so answer once and drop the connection.
+      write_frame(conn, error_frame("", ErrorCode::BadRequest, e.what()));
+      break;
+    }
+  }
+  conn->open.store(false, std::memory_order_release);
+  live_connections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::Impl::handle_request(const ConnectionPtr& conn,
+                                  const Request& req) {
+  switch (req.type) {
+    case Request::Type::Ping:
+      write_frame(conn, pong_frame());
+      return;
+    case Request::Type::Status:
+      write_frame(conn, status_frame(snapshot()));
+      return;
+    case Request::Type::Shutdown: {
+      write_frame(conn, shutting_down_frame());
+      const char byte = 's';
+      [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+      return;
+    }
+    case Request::Type::Cancel:
+      handle_cancel(conn, req.id);
+      return;
+    case Request::Type::Campaign:
+      admit_campaign(conn, req);
+      return;
+  }
+}
+
+void Server::Impl::admit_campaign(const ConnectionPtr& conn, Request req) {
+  PendingRequest pending;
+  pending.priority = req.priority;
+  pending.spec = req.spec;
+  pending.conn = conn;
+  pending.cancel = std::make_shared<std::atomic<bool>>(false);
+  std::uint64_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    if (stopping) {
+      write_frame(conn, error_frame(req.id, ErrorCode::ShuttingDown,
+                                    "daemon is shutting down"));
+      return;
+    }
+    if (queue.size() >= cfg.max_queue) {
+      rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      write_frame(conn,
+                  error_frame(req.id, ErrorCode::Overloaded,
+                              "admission queue full (" +
+                                  std::to_string(cfg.max_queue) + ")"));
+      return;
+    }
+    pending.seq = next_seq++;
+    pending.id = !req.id.empty() ? req.id
+                                 : "req-" + std::to_string(pending.seq);
+    queue.push_back(pending);
+    depth = queue.size();
+    // Written under queue_mutex so the executor (which pops under the
+    // same lock) cannot emit this request's result frame first.
+    admitted.fetch_add(1, std::memory_order_relaxed);
+    write_frame(conn, accepted_frame(pending.id, depth));
+  }
+  queue_cv.notify_one();
+}
+
+void Server::Impl::handle_cancel(const ConnectionPtr& conn,
+                                 const std::string& target) {
+  ConnectionPtr requester;
+  bool found = false;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    const auto it = std::find_if(
+        queue.begin(), queue.end(),
+        [&](const PendingRequest& p) { return p.id == target; });
+    if (it != queue.end()) {
+      requester = it->conn;
+      queue.erase(it);
+      found = true;
+    } else if (running_id == target && running_cancel != nullptr) {
+      // The executor notices at the next chunk boundary and answers
+      // the requester with error(cancelled) itself.
+      running_cancel->store(true, std::memory_order_relaxed);
+      write_frame(conn, cancelled_frame(target));
+      return;
+    }
+  }
+  if (!found) {
+    write_frame(conn, error_frame(target, ErrorCode::NotFound,
+                                  "no queued or running request '" + target +
+                                      "'"));
+    return;
+  }
+  cancelled.fetch_add(1, std::memory_order_relaxed);
+  write_frame(requester, error_frame(target, ErrorCode::Cancelled,
+                                     "cancelled while queued"));
+  if (requester != conn) write_frame(conn, cancelled_frame(target));
+}
+
+void Server::Impl::executor_loop() {
+  while (true) {
+    PendingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      queue_cv.wait(lock, [this] { return stopping || !queue.empty(); });
+      if (queue.empty()) {
+        if (stopping) return;
+        continue;
+      }
+      // Highest priority first; admission order within a level.
+      const auto best = std::min_element(
+          queue.begin(), queue.end(),
+          [](const PendingRequest& a, const PendingRequest& b) {
+            if (a.priority != b.priority) return a.priority > b.priority;
+            return a.seq < b.seq;
+          });
+      req = std::move(*best);
+      queue.erase(best);
+      running_id = req.id;
+      running_cancel = req.cancel;
+    }
+    run_one(std::move(req));
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      running_id.clear();
+      running_cancel.reset();
+    }
+  }
+}
+
+void Server::Impl::run_one(PendingRequest req) {
+  if (req.cancel->load(std::memory_order_relaxed) ||
+      !req.conn->open.load(std::memory_order_acquire)) {
+    // Cancelled (or orphaned by a hangup) before it ever ran.
+    cancelled.fetch_add(1, std::memory_order_relaxed);
+    write_frame(req.conn, error_frame(req.id, ErrorCode::Cancelled,
+                                      "cancelled before execution"));
+    return;
+  }
+  CampaignRunHooks hooks;
+  hooks.pool = pool.get();
+  hooks.cancel = req.cancel.get();
+  if (req.spec.heartbeat_strikes != 0) {
+    hooks.progress = [this, &req](std::uint64_t done, std::uint64_t total) {
+      write_frame(req.conn, heartbeat_frame(req.id, done, total));
+    };
+  }
+  CampaignOutcome outcome;
+  try {
+    outcome = run_campaign_spec(req.spec, hooks);
+  } catch (const std::exception& e) {
+    failed.fetch_add(1, std::memory_order_relaxed);
+    write_frame(req.conn, error_frame(req.id, ErrorCode::Internal, e.what()));
+    return;
+  }
+  if (!outcome.complete) {
+    cancelled.fetch_add(1, std::memory_order_relaxed);
+    write_frame(req.conn, error_frame(req.id, ErrorCode::Cancelled,
+                                      "cancelled mid-run"));
+    return;
+  }
+  obs::LedgerRecord record = campaign_spec_record(req.spec, outcome);
+  std::string run_id;
+  if (!cfg.ledger_path.empty()) {
+    // Same id convention as the one-shot tool: run-<index> over the
+    // records already present (lenient scan, like append_run_record).
+    const std::lock_guard<std::mutex> lock(ledger_mutex);
+    record.id = "run-" + std::to_string(
+                             obs::scan_ledger(cfg.ledger_path).records.size());
+    run_id = record.id;
+    obs::append_ledger(record, cfg.ledger_path);
+  }
+  completed.fetch_add(1, std::memory_order_relaxed);
+  write_frame(req.conn, result_frame(req.id, record, run_id,
+                                     /*complete=*/true));
+}
+
+void Server::Impl::fold_into_registry() const {
+  // Post-join, single-threaded: served-request outcomes as labelled
+  // counters, so a --metrics-out snapshot of a serve session carries
+  // the request mix next to the campaign counters.
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  const auto fold = [&reg](const std::string& outcome, std::uint64_t value) {
+    if (value != 0)
+      reg.counter("serve.requests", obs::LabelSet{{"outcome", outcome}})
+          .add(value);
+  };
+  fold("completed", completed.load(std::memory_order_relaxed));
+  fold("rejected_overload", rejected_overload.load(std::memory_order_relaxed));
+  fold("cancelled", cancelled.load(std::memory_order_relaxed));
+  fold("failed", failed.load(std::memory_order_relaxed));
+}
+
+}  // namespace ftspm::serve

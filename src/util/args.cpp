@@ -88,6 +88,33 @@ std::int64_t ArgParser::option_int(const std::string& name) const {
   return v;
 }
 
+std::uint64_t ArgParser::option_uint(const std::string& name,
+                                     std::uint64_t max) const {
+  const std::string& raw = option(name);
+  // Digits only: strtoull would accept leading whitespace, a sign
+  // (silently wrapping "-1" to 2^64-1), and clamp on overflow — all of
+  // which have bitten real flag typos. Parse by hand instead.
+  bool ok = !raw.empty();
+  std::uint64_t v = 0;
+  for (const char c : raw) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      ok = false;  // would overflow
+      break;
+    }
+    v = v * 10 + digit;
+  }
+  FTSPM_REQUIRE(ok, "--" + name + " expects a non-negative integer, got '" +
+                        raw + "'");
+  FTSPM_REQUIRE(v <= max, "--" + name + " must be at most " +
+                              std::to_string(max) + ", got '" + raw + "'");
+  return v;
+}
+
 double ArgParser::option_double(const std::string& name) const {
   const std::string& raw = option(name);
   char* end = nullptr;

@@ -30,6 +30,10 @@ class ArgParser {
   bool flag(const std::string& name) const;
   const std::string& option(const std::string& name) const;
   std::int64_t option_int(const std::string& name) const;
+  /// Strict non-negative integer: rejects signs, trailing garbage, and
+  /// values above `max` with InvalidArgument (exit 2 at the CLI).
+  std::uint64_t option_uint(const std::string& name,
+                            std::uint64_t max = UINT64_MAX) const;
   double option_double(const std::string& name) const;
   const std::vector<std::string>& positionals() const noexcept {
     return positionals_;

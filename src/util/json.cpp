@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "ftspm/util/error.h"
+#include "ftspm/util/ndjson.h"
 
 namespace ftspm {
 
@@ -434,30 +435,15 @@ JsonValue parse_json(std::string_view text) {
 }
 
 std::vector<JsonValue> parse_ndjson(std::string_view text) {
+  // Whole-document convenience wrapper over the incremental framer so
+  // ledger / event-log readers share one NDJSON path with the socket
+  // layer. Cap 0: callers hand us trusted local files of any size.
+  NdjsonReader reader(0);
+  reader.feed(text);
+  reader.finish();
   std::vector<JsonValue> docs;
-  std::size_t line_no = 0;
-  std::size_t pos = 0;
-  while (pos <= text.size()) {
-    const std::size_t nl = text.find('\n', pos);
-    std::string_view line = nl == std::string_view::npos
-                                ? text.substr(pos)
-                                : text.substr(pos, nl - pos);
-    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    bool blank = true;
-    for (char c : line)
-      if (c != ' ' && c != '\t') {
-        blank = false;
-        break;
-      }
-    if (blank) continue;
-    try {
-      docs.push_back(parse_json(line));
-    } catch (const Error& e) {
-      throw Error("ndjson line " + std::to_string(line_no) + ": " + e.what());
-    }
-  }
+  while (std::optional<JsonValue> doc = reader.next())
+    docs.push_back(std::move(*doc));
   return docs;
 }
 

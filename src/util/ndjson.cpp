@@ -1,0 +1,88 @@
+#include "ftspm/util/ndjson.h"
+
+#include <algorithm>
+
+#include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm {
+
+NdjsonReader::NdjsonReader(std::size_t max_record_bytes)
+    : max_record_bytes_(max_record_bytes) {}
+
+void NdjsonReader::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection doesn't hold every record it ever framed.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    scanned_ = scanned_ > consumed_ ? scanned_ - consumed_ : 0;
+    consumed_ = 0;
+  }
+}
+
+void NdjsonReader::feed(std::string_view bytes) {
+  FTSPM_CHECK(!finished_, "NdjsonReader::feed after finish");
+  const std::size_t old_size = buffer_.size();
+  buffer_.append(bytes);
+  // `scanned_` tracks the start of the current (unterminated) tail
+  // line; only the new chunk needs scanning, so feeding stays linear.
+  const std::size_t rel = bytes.rfind('\n');
+  if (rel != std::string_view::npos) scanned_ = old_size + rel + 1;
+  if (max_record_bytes_ != 0) {
+    const std::size_t tail_start = std::max(scanned_, consumed_);
+    if (buffer_.size() - tail_start > max_record_bytes_)
+      throw Error("ndjson record exceeds " +
+                  std::to_string(max_record_bytes_) + " bytes");
+  }
+}
+
+void NdjsonReader::finish() { finished_ = true; }
+
+bool NdjsonReader::exhausted() const noexcept {
+  return finished_ && consumed_ >= buffer_.size();
+}
+
+std::optional<std::string> NdjsonReader::next_line() {
+  while (consumed_ < buffer_.size()) {
+    const std::size_t nl = buffer_.find('\n', consumed_);
+    std::string_view line;
+    std::size_t advance = 0;
+    if (nl != std::string::npos) {
+      line = std::string_view(buffer_).substr(consumed_, nl - consumed_);
+      advance = nl - consumed_ + 1;
+    } else if (finished_) {
+      line = std::string_view(buffer_).substr(consumed_);
+      advance = buffer_.size() - consumed_;
+    } else {
+      return std::nullopt;  // Mid-record; wait for more bytes.
+    }
+    // A terminated over-cap line can slip past feed() when the chunk
+    // containing it also carried the newline; hold the line here too.
+    if (max_record_bytes_ != 0 && line.size() > max_record_bytes_)
+      throw Error("ndjson record exceeds " +
+                  std::to_string(max_record_bytes_) + " bytes");
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const bool blank = std::all_of(
+        line.begin(), line.end(), [](char c) { return c == ' ' || c == '\t'; });
+    std::string out(line);
+    consumed_ += advance;
+    if (blank) continue;
+    compact();
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<JsonValue> NdjsonReader::next() {
+  const std::optional<std::string> line = next_line();
+  if (!line.has_value()) return std::nullopt;
+  try {
+    return parse_json(*line);
+  } catch (const Error& e) {
+    throw Error("ndjson line " + std::to_string(line_number_) + ": " +
+                e.what());
+  }
+}
+
+}  // namespace ftspm

@@ -318,6 +318,65 @@ TEST(ParallelCampaignTest, HeartbeatNeverTouchesDeterministicArtefacts) {
   std::remove(path.c_str());
 }
 
+TEST(ParallelCampaignTest, SharedPoolMatchesPrivatePoolBitForBit) {
+  // ExecConfig::pool lets the serve daemon run every request on one
+  // long-lived pool; results must be identical to a run that built its
+  // own pool (determinism contract: concurrency never reaches results).
+  CampaignConfig cfg;
+  cfg.strikes = 30'000;
+  ExecConfig private_pool;
+  private_pool.jobs = 4;
+  private_pool.shards = 4;
+  const ShardedRun a =
+      run_campaign_sharded(surfaces(), model(), cfg, private_pool);
+
+  ThreadPool shared(2);
+  ExecConfig with_shared = private_pool;
+  with_shared.pool = &shared;
+  const ShardedRun b =
+      run_campaign_sharded(surfaces(), model(), cfg, with_shared);
+  expect_same(a.merged, b.merged);
+
+  // Back-to-back runs on the same pool stay identical (no state leaks
+  // across requests through the pool).
+  const ShardedRun c =
+      run_campaign_sharded(surfaces(), model(), cfg, with_shared);
+  expect_same(a.merged, c.merged);
+}
+
+TEST(ParallelCampaignTest, PreCancelledRunStopsWithPartialResults) {
+  CampaignConfig cfg;
+  cfg.strikes = 200'000;
+  ExecConfig exec;
+  exec.jobs = 2;
+  exec.shards = 2;
+  exec.chunk_strikes = 1'000;
+  std::atomic<bool> cancel{true};  // Cancelled before the first chunk.
+  exec.cancel = &cancel;
+  const ShardedRun run = run_campaign_sharded(surfaces(), model(), cfg, exec);
+  EXPECT_FALSE(run.complete);
+  EXPECT_EQ(run.merged.strikes, 0u);
+}
+
+TEST(ParallelCampaignTest, MidRunCancelHaltsBeforeCompletion) {
+  CampaignConfig cfg;
+  cfg.strikes = 5'000'000;  // Big enough that cancel lands mid-run.
+  std::atomic<bool> cancel{false};
+  ExecConfig exec;
+  exec.jobs = 2;
+  exec.shards = 2;
+  exec.chunk_strikes = 1'000;
+  exec.cancel = &cancel;
+  cfg.progress_interval = 1'000;
+  cfg.progress = [&](std::uint64_t done, std::uint64_t) {
+    if (done >= 10'000) cancel.store(true, std::memory_order_relaxed);
+  };
+  const ShardedRun run = run_campaign_sharded(surfaces(), model(), cfg, exec);
+  EXPECT_FALSE(run.complete);
+  EXPECT_GT(run.merged.strikes, 0u);
+  EXPECT_LT(run.merged.strikes, cfg.strikes);
+}
+
 TEST(ParallelCampaignTest, AutoShardCountFollowsJobs) {
   ExecConfig exec;
   exec.jobs = 3;

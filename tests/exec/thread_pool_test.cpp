@@ -76,6 +76,102 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, MultipleProducersSubmitConcurrently) {
+  // The serve daemon's scheduler is the first multi-producer user:
+  // several connection threads submit onto one shared pool. Every task
+  // must run exactly once and every future must become ready.
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures[kProducers];
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        futures[p].push_back(pool.submit([&] { ran.fetch_add(1); }));
+    });
+  for (std::thread& t : producers) t.join();
+  for (auto& fs : futures)
+    for (std::future<void>& f : fs) f.get();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolTest, MultipleProducersEachSeeOwnExceptions) {
+  // Exceptions must route to the submitting producer's futures only —
+  // one failing client cannot poison another client's tasks.
+  ThreadPool pool(2);
+  std::vector<std::thread> producers;
+  std::atomic<int> ok_tasks{0};
+  std::atomic<int> failures_seen{0};
+  for (int p = 0; p < 4; ++p)
+    producers.emplace_back([&, p] {
+      std::vector<std::future<void>> fs;
+      for (int i = 0; i < 50; ++i) {
+        const bool fail = p % 2 == 0 && i % 10 == 0;
+        fs.push_back(pool.submit([&, fail] {
+          if (fail) throw std::runtime_error("producer failure");
+          ok_tasks.fetch_add(1);
+        }));
+      }
+      for (std::future<void>& f : fs) {
+        try {
+          f.get();
+        } catch (const std::runtime_error&) {
+          failures_seen.fetch_add(1);
+        }
+      }
+    });
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(failures_seen.load(), 2 * 5);  // 2 failing producers × 5 each.
+  EXPECT_EQ(ok_tasks.load(), 4 * 50 - 2 * 5);
+}
+
+TEST(ThreadPoolTest, RunAllExceptionOrderHoldsUnderQueuePressure) {
+  // Saturate a small pool with slow tasks so later failures complete
+  // before earlier ones are even dequeued; the rethrow must still pick
+  // the first failure by *task order*, not completion order.
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i)
+    tasks.push_back(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  tasks.push_back([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    throw std::runtime_error("slow-early");
+  });
+  for (int i = 0; i < 8; ++i) tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("fast-late"); });
+  try {
+    pool.run_all(std::move(tasks));
+    FAIL() << "run_all should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "slow-early");
+  }
+}
+
+TEST(ThreadPoolTest, RunAllFromMultipleThreadsOnOneSharedPool) {
+  // Two run_all batches interleaved on one pool (the daemon runs one
+  // request's shards while another request's batch is being submitted).
+  ThreadPool pool(4);
+  std::atomic<int> a_ran{0};
+  std::atomic<int> b_ran{0};
+  std::thread a([&] {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 32; ++i) tasks.push_back([&] { a_ran.fetch_add(1); });
+    pool.run_all(std::move(tasks));
+  });
+  std::thread b([&] {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 32; ++i) tasks.push_back([&] { b_ran.fetch_add(1); });
+    pool.run_all(std::move(tasks));
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(a_ran.load(), 32);
+  EXPECT_EQ(b_ran.load(), 32);
+}
+
 TEST(ThreadPoolTest, BusyTimeAccumulatesWhileTasksRun) {
   ThreadPool pool(2);
   std::vector<std::function<void()>> tasks;

@@ -75,8 +75,19 @@ TEST(HistogramTest, QuantilePinnedValues) {
 }
 
 TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  // The documented sentinel: an empty histogram answers 0.0 for every
+  // q, including the clamped extremes. Load reports lean on this for
+  // zero-weight request classes, so the contract is pinned here.
   Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  // reset() returns a populated histogram to the same sentinel.
+  h.observe(1.5);
+  EXPECT_GT(h.quantile(0.5), 0.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
 }
 
 TEST(HistogramTest, SnapshotCarriesQuantiles) {

@@ -220,6 +220,71 @@ TEST(CliTest, PartitionBadWeightFailsWithUsageExit) {
   }
 }
 
+TEST(CliTest, HeartbeatIntervalRejectsGarbageAndZero) {
+  // Same contract as --jobs: trailing garbage, signs, and out-of-range
+  // values are usage errors (exit 2), never silently truncated.
+  for (const char* bad : {"100x", "0", "-5", "1e3", ""}) {
+    const CommandResult r =
+        run_tool(std::string("--heartbeat-interval-ms ") + "'" + bad +
+                 "' campaign --strikes 1000");
+    EXPECT_EQ(r.exit_code, 2) << bad << "\n" << r.output;
+    EXPECT_NE(r.output.find("--heartbeat-interval-ms"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(CliTest, SensitivityBucketsRejectsGarbageNegativeAndZero) {
+  // option_int used to accept "-4" here and wrap it through a uint32
+  // cast into four billion buckets; pin the strict parse.
+  for (const char* bad : {"64x", "-4", "0", "4.5", "9999999999999999999999"}) {
+    const CommandResult r = run_tool(
+        std::string("campaign --strikes 1000 --sensitivity-buckets ") + bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << "\n" << r.output;
+    EXPECT_NE(r.output.find("sensitivity-buckets"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(CliTest, ServeFlagsRejectGarbageAndOutOfRange) {
+  // All of these must die in flag validation (exit 2) without ever
+  // binding a socket.
+  const char* cases[] = {"serve --max-queue 4x",   "serve --max-queue -1",
+                         "serve --max-queue 0",    "serve --tcp 65536",
+                         "serve --tcp port",       "serve --max-connections 0",
+                         "serve --max-frame-bytes 16"};
+  for (const char* args : cases) {
+    const CommandResult r = run_tool(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << args << "\n" << r.output;
+  }
+}
+
+TEST(CliTest, LoadFlagsRejectGarbageAndOutOfRange) {
+  // Flag validation happens before any connect, so these exit 2 even
+  // with no daemon listening.
+  const char* cases[] = {
+      "load --connections 0",     "load --connections 2x",
+      "load --requests -3",       "load --rate -1",
+      "load --rate fast",         "load --mix 'small:-1'",
+      "load --mix 'small:1:0'",   "load --mix ':'",
+      "load --mix 'a:1:500x'"};
+  for (const char* args : cases) {
+    const CommandResult r = run_tool(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << args << "\n" << r.output;
+  }
+}
+
 TEST(CliTest, CampaignRecoveryStdoutIsJobsInvariant) {
   const std::string base =
       "campaign --strikes 20000 --shards 4 --occupancy 0.4 --recover "

@@ -90,6 +90,36 @@ TEST(ArgParserTest, BadNumbersThrow) {
   EXPECT_THROW(p.option_double("ratio"), InvalidArgument);
 }
 
+TEST(ArgParserTest, OptionUintAcceptsPlainDigitsOnly) {
+  ArgParser p("demo", "test");
+  p.add_option("n", "count", "0");
+  const auto argv = argv_of({"demo", "--n", "42"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.option_uint("n"), 42u);
+  EXPECT_EQ(p.option_uint("n", 42), 42u);  // At the cap is fine.
+}
+
+TEST(ArgParserTest, OptionUintRejectsSignsGarbageAndOverflow) {
+  // option_int happily returns -4 here; option_uint is the strict
+  // spelling the CLI uses for count-like flags.
+  for (const char* bad : {"-4", "+4", " 4", "4x", "4.0", "", "x",
+                          "18446744073709551616" /* 2^64 */}) {
+    ArgParser p("demo", "test");
+    p.add_option("n", "count", "0");
+    const char* argv[] = {"demo", "--n", bad};
+    p.parse(3, argv);
+    EXPECT_THROW(p.option_uint("n"), InvalidArgument) << "'" << bad << "'";
+  }
+}
+
+TEST(ArgParserTest, OptionUintEnforcesTheCap) {
+  ArgParser p("demo", "test");
+  p.add_option("n", "count", "100");
+  const auto argv = argv_of({"demo"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.option_uint("n", 99), InvalidArgument);
+}
+
 TEST(ArgParserTest, TypeConfusionThrows) {
   ArgParser p("demo", "test");
   p.add_flag("verbose", "talk");

@@ -19,6 +19,11 @@
 //                       [--sensitivity-out FILE] [--sensitivity-buckets N]
 //                       [--json] [--csv]
 //
+//   ftspm_tool serve    [--socket PATH] [--tcp PORT] [--max-queue N]
+//                       [--max-connections N] [--max-frame-bytes N]
+//   ftspm_tool load     [--socket PATH] [--tcp PORT] [--connections N]
+//                       [--requests N] [--mix name:w[:strikes],...]
+//                       [--rate R] [--seed N] [--quick] [--json] [--csv]
 //   ftspm_tool runs list [--ledger FILE] [--last N]
 //   ftspm_tool compare <runA> <runB> [--ledger FILE] [--threshold PCT]
 //                      [--metric NAME]
@@ -41,8 +46,10 @@
 // Workloads: `case_study` (the paper's Section-IV program) or any
 // MiBench-style suite name (`ftspm_tool list`).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -73,6 +80,8 @@
 #include "ftspm/report/render.h"
 #include "ftspm/report/run_compare.h"
 #include "ftspm/report/suite_runner.h"
+#include "ftspm/serve/load.h"
+#include "ftspm/serve/server.h"
 #include "ftspm/util/args.h"
 #include "ftspm/util/error.h"
 #include "ftspm/util/format.h"
@@ -893,8 +902,10 @@ int cmd_campaign(int argc, const char* const* argv) {
   // per-shard grids in shard order, so the CSV is byte-identical for a
   // fixed (seed, strikes, shard count) whatever --jobs says.
   const std::string sensitivity_out = args.option("sensitivity-out");
-  const std::uint32_t sensitivity_buckets =
-      static_cast<std::uint32_t>(args.option_int("sensitivity-buckets"));
+  const std::uint32_t sensitivity_buckets = static_cast<std::uint32_t>(
+      args.option_uint("sensitivity-buckets", 1u << 20));
+  FTSPM_REQUIRE(sensitivity_buckets > 0,
+                "--sensitivity-buckets must be positive");
 
   // The serial path is the golden reference; only engage the sharded
   // engine when a parallel/resumable feature was actually asked for.
@@ -994,39 +1005,11 @@ int cmd_campaign(int argc, const char* const* argv) {
     events->emit("campaign_summary", r.strikes, std::move(fields));
   }
 
-  {
-    obs::LedgerRecord record;
-    record.command = "campaign";
-    record.workload = name;
-    record.scale = 1;
-    record.seed = cfg.seed;
-    record.jobs = used_jobs;
-    record.shards = used_shards;
-    record.counters = {{"strikes", r.strikes}, {"masked", r.masked},
-                       {"dre", r.dre},         {"due", r.due},
-                       {"sdc", r.sdc}};
-    record.metrics = {{"vulnerability", r.vulnerability()}};
-    if (rec != nullptr) {
-      record.counters.insert(
-          record.counters.end(),
-          {{"demand_reads", rec->demand_reads},
-           {"corrections", rec->corrections},
-           {"scrub_passes", rec->scrub_passes},
-           {"scrub_words", rec->scrub_words},
-           {"scrub_corrections", rec->scrub_corrections},
-           {"refetches", rec->refetches},
-           {"unrecoverable", rec->unrecoverable},
-           {"sdc_reads", rec->sdc_reads},
-           {"recovery_cycles", rec->recovery_cycles}});
-      record.metrics.emplace_back("mean_repair_cycles",
-                                  rec->mean_repair_cycles());
-      record.metrics.emplace_back("recovery_energy_pj",
-                                  rec->recovery_energy_pj);
-    }
-    record.wall_ms = wall_ms;
-    record.strikes_per_sec = strikes_per_sec;
-    append_run_record(std::move(record));
-  }
+  // The serve daemon builds its records through the same helper, so a
+  // served run and this one-shot path stay construction-identical.
+  append_run_record(report::campaign_run_record(r, rec, name, cfg.seed,
+                                                used_jobs, used_shards,
+                                                wall_ms, strikes_per_sec));
 
   if (args.flag("json")) {
     const CampaignTiming timing{wall_ms, strikes_per_sec};
@@ -1209,6 +1192,135 @@ int cmd_compare(int argc, const char* const* argv) {
   return report.regression ? 1 : 0;
 }
 
+/// The daemon a SIGINT/SIGTERM should drain, published by cmd_serve
+/// before the handlers are installed. request_stop() is async-signal-
+/// safe (one byte down the wake pipe), so the handler may call it.
+std::atomic<serve::Server*> g_serve_daemon{nullptr};
+
+void serve_signal_handler(int) {
+  if (serve::Server* daemon = g_serve_daemon.load()) daemon->request_stop();
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool serve",
+                 "long-running campaign daemon (NDJSON over a socket)");
+  args.add_option("socket", "unix-domain socket path to bind", "ftspm.sock");
+  args.add_option("tcp", "also listen on 127.0.0.1:PORT (0 = unix only)",
+                  "0");
+  args.add_option("max-queue",
+                  "admission queue bound; a full queue answers "
+                  "error(overloaded)",
+                  "16");
+  args.add_option("max-connections",
+                  "concurrent client connections before shedding", "64");
+  args.add_option("max-frame-bytes", "per-request NDJSON frame cap",
+                  "1048576");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().empty(),
+                "serve takes no positional arguments");
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = args.option("socket");
+  cfg.tcp_port = static_cast<std::uint16_t>(args.option_uint("tcp", 65535));
+  cfg.max_queue = args.option_uint("max-queue", 1u << 20);
+  FTSPM_REQUIRE(cfg.max_queue > 0, "--max-queue must be positive");
+  cfg.max_connections = args.option_uint("max-connections", 65536);
+  FTSPM_REQUIRE(cfg.max_connections > 0,
+                "--max-connections must be positive");
+  cfg.max_frame_bytes = static_cast<std::size_t>(
+      args.option_uint("max-frame-bytes", 1u << 30));
+  FTSPM_REQUIRE(cfg.max_frame_bytes >= 1024,
+                "--max-frame-bytes must be at least 1024");
+  cfg.jobs = jobs_requested();
+  if (g_session != nullptr) cfg.ledger_path = g_session->options().ledger;
+
+  serve::Server server(cfg);
+  server.start();
+  g_serve_daemon.store(&server);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::cerr << "serving on " << cfg.socket_path;
+  if (cfg.tcp_port != 0)
+    std::cerr << " and 127.0.0.1:" << server.bound_tcp_port();
+  std::cerr << "  (jobs " << cfg.jobs << ", queue " << cfg.max_queue
+            << "); SIGTERM drains and exits\n";
+  server.wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_daemon.store(nullptr);
+  const serve::ServerStatus st = server.status();
+  std::cerr << "daemon drained: " << st.completed << " completed, "
+            << st.rejected_overload << " shed, " << st.cancelled
+            << " cancelled, " << st.failed << " failed\n";
+  return 0;
+}
+
+int cmd_load(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool load",
+                 "YCSB-style load injector for a running serve daemon");
+  args.add_option("socket", "daemon unix socket path", "ftspm.sock");
+  args.add_option("tcp", "connect to 127.0.0.1:PORT instead", "0");
+  args.add_option("connections", "concurrent client connections", "2");
+  args.add_option("requests", "total requests across all connections",
+                  "16");
+  args.add_option("mix",
+                  "request mix: name:weight[:strikes],... "
+                  "(default: built-in small/medium/large)",
+                  "");
+  args.add_option("rate",
+                  "open-loop arrival rate per connection in req/sec "
+                  "(0 = closed loop)",
+                  "0");
+  args.add_option("seed", "mix RNG seed (reproducible request sequence)",
+                  "1");
+  args.add_flag("quick", "shrink the built-in mix for smoke tests");
+  args.add_flag("json", "emit the machine-readable report");
+  args.add_flag("csv", "emit the per-class CSV report");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().empty(),
+                "load takes no positional arguments");
+
+  serve::LoadConfig cfg;
+  cfg.socket_path = args.option("socket");
+  cfg.tcp_port = static_cast<std::uint16_t>(args.option_uint("tcp", 65535));
+  cfg.connections =
+      static_cast<std::uint32_t>(args.option_uint("connections", 1024));
+  FTSPM_REQUIRE(cfg.connections > 0, "--connections must be positive");
+  cfg.requests = args.option_uint("requests", 1u << 20);
+  cfg.rate = args.option_double("rate");
+  FTSPM_REQUIRE(cfg.rate >= 0.0 && std::isfinite(cfg.rate),
+                "--rate must be a finite non-negative number");
+  cfg.seed = args.option_uint("seed");
+  const std::string mix = args.option("mix");
+  cfg.classes = mix.empty() ? serve::default_mix(args.flag("quick"))
+                            : serve::parse_mix(mix);
+
+  const serve::LoadReport report = serve::run_load(cfg);
+
+  if (args.flag("json")) {
+    std::cout << report.to_json() << "\n";
+  } else if (args.flag("csv")) {
+    std::cout << report.to_csv();
+  } else {
+    std::cout << "sent " << report.sent << ", completed " << report.completed
+              << ", overloaded " << report.overloaded << ", errors "
+              << report.errors << "  (" << fixed(report.wall_ms, 1)
+              << " ms wall)\n";
+    for (const serve::ClassStats& c : report.classes) {
+      std::cout << "  " << c.name << ": sent " << c.sent << ", completed "
+                << c.completed << ", overloaded " << c.overloaded
+                << ", p50 " << fixed(c.latency_ms.quantile(0.50), 2)
+                << " ms, p95 " << fixed(c.latency_ms.quantile(0.95), 2)
+                << " ms, p99 " << fixed(c.latency_ms.quantile(0.99), 2)
+                << " ms\n";
+    }
+  }
+  // A load run that saw transport-level errors (daemon died mid-run)
+  // exits nonzero; shed (overloaded) requests are expected behaviour
+  // under pressure and do not fail the run.
+  return report.errors > 0 ? 1 : 0;
+}
+
 void print_usage(std::ostream& os) {
   os << "ftspm_tool — FTSPM reproduction driver\n"
         "commands:\n"
@@ -1238,6 +1350,13 @@ void print_usage(std::ostream& os) {
         "                           --last N for the tail)\n"
         "  compare  <runA> <runB>   diff two ledger runs; exits 1 on a\n"
         "                           regression (--threshold/--metric)\n"
+        "  serve                    campaign daemon: NDJSON requests over\n"
+        "                           a unix socket (--socket/--tcp/\n"
+        "                           --max-queue; --jobs/--ledger apply;\n"
+        "                           see docs/serving.md)\n"
+        "  load                     drive a running daemon with a YCSB-\n"
+        "                           style mix (--connections/--requests/\n"
+        "                           --mix/--rate; --json/--csv report)\n"
         "  help                     print this message\n"
         "global options (any command, any position):\n"
         "  --trace-out FILE         Chrome trace-event JSON of the run\n"
@@ -1305,6 +1424,8 @@ int dispatch(int argc, const char* const* argv) {
   else if (cmd == "reuse") rc = cmd_reuse(rest_argc, av);
   else if (cmd == "runs") rc = cmd_runs(rest_argc, av);
   else if (cmd == "compare") rc = cmd_compare(rest_argc, av);
+  else if (cmd == "serve") rc = cmd_serve(rest_argc, av);
+  else if (cmd == "load") rc = cmd_load(rest_argc, av);
   else {
     g_session = nullptr;
     std::cerr << "unknown command '" << cmd << "'\n";
