@@ -200,7 +200,8 @@ void TemporalCampaign::run_chunk(const CampaignConfig& config,
     if (occupant != nullptr) {
       const std::uint32_t flips =
           strikes_.sample_flips(state.rng, config.max_flips);
-      outcome = classify_strike(surface, origin, flips, state.rng);
+      outcome =
+          classify_strike(surface, origin, flips, state.rng, state.scratch);
       if (outcome != StrikeOutcome::Masked &&
           !state.rng.next_bool(
               profile_.ace_fraction(program_, occupant->block)))

@@ -6,6 +6,7 @@
 // is P(1 flip) and SDC probability is P(>=2 flips).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "ftspm/ecc/codec.h"
@@ -37,6 +38,14 @@ class ParityCodec {
   /// Equivalent to encode(x) -> flip -> decode for every x (linearity).
   static PatternDecode classify_pattern(std::uint64_t data_mask,
                                         std::uint8_t parity_mask) noexcept;
+
+  /// classify_pattern over arrays: out[i] == classify_pattern(
+  /// data_masks[i], parity_masks[i]) for every i. Branch-free popcount
+  /// loop for the batched campaign engine.
+  static void classify_pattern_batch(const std::uint64_t* data_masks,
+                                     const std::uint8_t* parity_masks,
+                                     std::size_t count,
+                                     PatternDecode* out) noexcept;
 
   /// Flips physical bit `bit` (0..64) in place. Used by fault injection.
   static void flip_bit(ParityWord& word, std::uint32_t bit);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "ftspm/ecc/codec.h"
@@ -48,6 +49,61 @@ class SecDedCodec {
   /// encode/flip/decode kept as the oracle it is tested against.
   static PatternDecode classify_pattern(std::uint64_t data_mask,
                                         std::uint8_t check_mask) noexcept;
+
+  /// What the Hsiao decode rule does for one 8-bit syndrome value: the
+  /// decode status plus the data-bit correction mask it would apply.
+  /// Row `s` of syndrome_table() fully determines the outcome of any
+  /// error pattern folding to syndrome `s` (combined with the pattern's
+  /// own data mask for the residual).
+  struct SyndromeDecode {
+    DecodeStatus status = DecodeStatus::Clean;
+    std::uint64_t correction_mask = 0;
+  };
+
+  /// The 256-entry syndrome decode LUT classify_pattern reads, exposed
+  /// so batch classifiers can map whole arrays of folded syndromes to
+  /// outcomes without a per-pattern call.
+  static const std::array<SyndromeDecode, 256>& syndrome_table() noexcept;
+
+  // --- Batch entry points (docs/performance.md, "Batched classification").
+
+  /// Folds `count` error patterns into their 8-bit syndromes:
+  /// syndromes[i] = syndrome of (data_masks[i], check_masks[i]).
+  /// Dispatches at runtime to the best available kernel — AVX2 or SSSE3
+  /// `pshufb` nibble-table folds on x86, else the scalar byte-table
+  /// kernel — all bit-identical (the SIMD kernels hand their tail to
+  /// the scalar one). Safe to call concurrently.
+  static void fold_syndromes(const std::uint64_t* data_masks,
+                             const std::uint8_t* check_masks,
+                             std::size_t count,
+                             std::uint8_t* syndromes) noexcept;
+
+  /// The scalar byte-table fold — always available, and the reference
+  /// the SIMD kernels are pinned against in tests.
+  static void fold_syndromes_scalar(const std::uint64_t* data_masks,
+                                    const std::uint8_t* check_masks,
+                                    std::size_t count,
+                                    std::uint8_t* syndromes) noexcept;
+
+  /// classify_pattern over arrays: out[i] == classify_pattern(
+  /// data_masks[i], check_masks[i]) for every i, computed via
+  /// fold_syndromes plus the syndrome LUT.
+  static void classify_pattern_batch(const std::uint64_t* data_masks,
+                                     const std::uint8_t* check_masks,
+                                     std::size_t count,
+                                     PatternDecode* out) noexcept;
+
+  /// Name of the fold kernel fold_syndromes currently dispatches to:
+  /// "avx2", "ssse3", or "scalar".
+  static const char* fold_backend() noexcept;
+
+  /// Forces the fold kernel: "auto" (re-resolve the best available),
+  /// "scalar", "ssse3", or "avx2". Returns false — leaving the current
+  /// kernel in place — when the request is unknown or the CPU (or an
+  /// FTSPM_DISABLE_SIMD build) cannot honour it. All kernels produce
+  /// identical syndromes; this only exists so tests and benchmarks can
+  /// pin a path. Not for use while campaigns are running.
+  static bool set_fold_backend(const char* name) noexcept;
 
   /// Recomputes the 8 check bits for `data`.
   static std::uint8_t compute_check(std::uint64_t data) noexcept;

@@ -18,11 +18,7 @@ struct SecDedCodec::Tables {
   // syndrome -> full pattern-decode outcome: the Hsiao decode rule
   // (clean / single-bit correction / detected) plus the data-bit
   // correction mask, precomputed so classify_pattern is one table read.
-  struct Outcome {
-    DecodeStatus status;
-    std::uint64_t correction_mask;
-  };
-  std::array<Outcome, 256> outcome{};
+  std::array<SyndromeDecode, 256> outcome{};
 
   Tables() {
     // Hsiao construction: take all 56 weight-3 bytes, then the first 8
@@ -59,6 +55,11 @@ struct SecDedCodec::Tables {
 const SecDedCodec::Tables& SecDedCodec::tables() noexcept {
   static const Tables t;
   return t;
+}
+
+const std::array<SecDedCodec::SyndromeDecode, 256>&
+SecDedCodec::syndrome_table() noexcept {
+  return tables().outcome;
 }
 
 std::uint8_t SecDedCodec::column(std::uint32_t data_bit) noexcept {
@@ -117,7 +118,7 @@ PatternDecode SecDedCodec::classify_pattern(std::uint64_t data_mask,
     syndrome ^= t.columns[static_cast<std::size_t>(i)];
     bits &= bits - 1;
   }
-  const Tables::Outcome& o = t.outcome[syndrome];
+  const SyndromeDecode& o = t.outcome[syndrome];
   return PatternDecode{o.status, o.correction_mask,
                        data_mask ^ o.correction_mask};
 }

@@ -100,6 +100,11 @@ struct ExecConfig {
 
   std::uint32_t effective_jobs() const noexcept;
   std::uint32_t effective_shards() const noexcept;
+  /// chunk_strikes rounded up to a whole number of campaign batch
+  /// blocks (kCampaignBatchWidth) so workers hand the batched engine
+  /// full blocks; tiny explicit granules (below one block) are kept
+  /// verbatim. Like chunk_strikes itself, never affects results.
+  std::uint64_t effective_chunk_strikes() const noexcept;
 };
 
 /// What a sharded run produced. `shard_results` holds per-shard

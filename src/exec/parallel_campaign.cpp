@@ -28,6 +28,12 @@ std::uint32_t ExecConfig::effective_shards() const noexcept {
   return shards == 0 ? std::max<std::uint32_t>(effective_jobs(), 1) : shards;
 }
 
+std::uint64_t ExecConfig::effective_chunk_strikes() const noexcept {
+  if (chunk_strikes < kCampaignBatchWidth) return chunk_strikes;
+  const std::uint64_t rem = chunk_strikes % kCampaignBatchWidth;
+  return rem == 0 ? chunk_strikes : chunk_strikes + (kCampaignBatchWidth - rem);
+}
+
 namespace {
 
 /// Serializes the root progress callback across workers: counts are
@@ -384,7 +390,8 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
   for (std::uint32_t i = 0; i < shard_count; ++i) {
     shard_done[i].store(initial_done[i], std::memory_order_relaxed);
     const std::uint64_t remaining = plan[i].config.strikes - initial_done[i];
-    chunks_total += (remaining + exec.chunk_strikes - 1) / exec.chunk_strikes;
+    const std::uint64_t granule = exec.effective_chunk_strikes();
+    chunks_total += (remaining + granule - 1) / granule;
   }
 
   // A caller-owned pool (ExecConfig::pool) lets a long-running service
@@ -417,7 +424,7 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
           break;
         }
         const std::uint64_t before = state.done;
-        run_chunk(shard, state, exec.chunk_strikes);
+        run_chunk(shard, state, exec.effective_chunk_strikes());
         FTSPM_CHECK(state.done > before,
                     "campaign chunk runner made no progress");
         const std::uint64_t advanced = state.done - before;

@@ -31,6 +31,17 @@ class CampaignObserver {
     }
   }
 
+  /// True when on_strike would do anything at all. The batched campaign
+  /// loop checks this once per block and skips the per-strike observer
+  /// sweep entirely for inert observers (observability disabled and no
+  /// progress callback) — on_strike would no-op per strike anyway, so
+  /// skipping it is invisible.
+  bool active() const noexcept {
+    return strikes_ != nullptr ||
+           (config_.progress_interval != 0 &&
+            static_cast<bool>(config_.progress));
+  }
+
   /// Call after classifying strike `s` (0-based). Timestamps in the
   /// trace are strike indices, keeping the lane deterministic.
   void on_strike(std::uint64_t s, StrikeOutcome outcome) {

@@ -25,6 +25,7 @@
 #include "ftspm/fault/strike_model.h"
 #include "ftspm/mem/geometry.h"
 #include "ftspm/mem/technology.h"
+#include "ftspm/util/fastdiv.h"
 #include "ftspm/util/rng.h"
 
 namespace ftspm {
@@ -95,12 +96,64 @@ CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
 
 class CampaignObserver;
 
+/// Strikes per block of the batched campaign engine: generation,
+/// syndrome folding, and tallying each sweep arrays of this many
+/// strikes (docs/performance.md, "Batched classification"). Block size
+/// is pure scheduling — any width yields bit-identical results — and
+/// tests pin that by overriding CampaignScratch::Batch::width.
+inline constexpr std::uint32_t kCampaignBatchWidth = 256;
+
+/// Per-region constants the batched engine derives from an
+/// InjectionRegion once per chunk: geometry scalars hoisted out of the
+/// strike loop plus exact magic-multiply dividers for the bit -> (word,
+/// bit-in-codeword) aim arithmetic.
+struct BatchRegionInfo {
+  double weight = 0.0;  ///< physical_bits as double (discrete pick).
+  std::uint64_t physical_bits = 0;
+  std::uint64_t words = 0;
+  std::uint32_t codeword_bits = 0;
+  std::uint32_t interleave = 1;
+  /// codeword_bits * interleave: physical span of one interleave group.
+  std::uint64_t group_bits = 0;
+  ProtectionKind protection = ProtectionKind::None;
+  double ace_occupancy = 1.0;
+  FastDiv64 div_codeword;    ///< by codeword_bits (interleave == 1 aim).
+  FastDiv64 div_group;       ///< by group_bits (interleave > 1 aim).
+  FastDiv64 div_interleave;  ///< by interleave (interleave > 1 aim).
+
+  /// True when the region qualifies for the branch-free classify path:
+  /// no interleaving and a geometry whose per-word outcome is fully
+  /// determined by (min(bit count, 3), pattern parity) — see the
+  /// class_lut build in injector_batch.cpp. Exotic geometries (e.g. a
+  /// parity region with extra check bits) and interleaved regions take
+  /// the general per-word path instead; both paths share every RNG
+  /// draw and produce identical outcomes.
+  bool fast = false;
+  /// How the ACE-occupancy draw resolves: 0 = always masked (no draw),
+  /// 1 = always kept (no draw), 2 = one Bernoulli draw per non-masked
+  /// strike — mirroring Rng::next_bool's p <= 0 / p >= 1 / else arms.
+  std::uint8_t ace_mode = 1;
+  /// ceil(ace_occupancy * 2^53): the mode-2 Bernoulli draw in the
+  /// integer domain. next_double() returns (x >> 11) * 2^-53 exactly,
+  /// so `u < p  <=>  (x >> 11) < ceil(p * 2^53)` — the product is
+  /// exact (p < 1 keeps it under 2^53) and an integer u_bits is below
+  /// a real threshold iff it is below its ceiling. Comparing raw draw
+  /// bits resolves branches earlier than the convert-to-double chain.
+  std::uint64_t ace_bits = 0;
+  /// Word-pattern outcome LUT for the fast path, indexed by
+  /// min(popcount, 3) * 2 + parity: StrikeOutcome values 0..3, or 4 =
+  /// defer to the batched SEC-DED syndrome fold. A single-group strike
+  /// flips a contiguous run of bits, so its pattern weight IS the run
+  /// length and the lookup needs no mask materialization at all.
+  std::uint8_t class_lut[8] = {};
+};
+
 /// Reusable hot-loop scratch of one campaign shard. The classifier
 /// records each strike's per-word hits in the fixed inline array
 /// (`flips <= kInlineHits` covers any realistic CampaignConfig::
 /// max_flips) and only falls back to the heap — once, then reusing the
-/// buffer — beyond it, and the chunk loop keeps its region weight
-/// table here across calls; together the campaign inner loop performs
+/// buffer — beyond it, and the chunk loop keeps its batch workspace
+/// here across calls; together the campaign inner loop performs
 /// no per-strike allocation. Scratch is pure workspace: it never
 /// affects results and is not checkpointed.
 struct CampaignScratch {
@@ -110,9 +163,59 @@ struct CampaignScratch {
   /// Spill buffer for strikes with more than kInlineHits surviving
   /// flips; cleared, not shrunk, so it allocates at most once.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> spill;
-  /// Per-region weight table rebuilt (allocation-free after the first
-  /// chunk) by run_campaign_chunk.
-  std::vector<double> weights;
+
+  /// Structure-of-arrays workspace of the batched chunk engine. One
+  /// block of `width` strikes at a time, run_campaign_chunk fills the
+  /// per-strike arrays sequentially from the shard RNG (preserving the
+  /// documented draw order exactly), parks every >= 2-flip SEC-DED word
+  /// pattern in the fold_* arrays, resolves those with one batched
+  /// SecDedCodec::fold_syndromes call, then tallies the block. All
+  /// vectors are sized on first use and reused for the whole campaign.
+  struct Batch {
+    /// Block width. kCampaignBatchWidth for real campaigns; tests set
+    /// other values (down to 1) to pin width-invariance of results.
+    std::uint32_t width = kCampaignBatchWidth;
+
+    /// Region constant table + total pick weight, rebuilt per chunk.
+    std::vector<BatchRegionInfo> regions;
+    /// Compact copy of the pick weights (the discrete-pick scan walks
+    /// one cache line instead of striding through BatchRegionInfo).
+    std::vector<double> weights;
+    double total_weight = 0.0;
+    /// Region-pick breakpoints in draw-bits space: pick_bits[k] is the
+    /// smallest u_bits = x >> 11 whose subtract-scan partial k is
+    /// non-negative (2^53 when none is). Every partial is monotone in
+    /// u, so per-chunk binary searches recover the exact FP decision
+    /// boundaries once and the per-strike pick becomes integer
+    /// compares against the raw draw — bit-identical to
+    /// Rng::next_discrete's scan (see pick_region).
+    std::vector<std::uint64_t> pick_bits;
+    /// Index next_discrete's underflow fallback resolves to (the last
+    /// positive weight), precomputed per chunk.
+    std::size_t pick_fallback = 0;
+
+    // Per-strike arrays, indexed by slot in the current block.
+    std::vector<std::uint32_t> region_of;
+    std::vector<std::uint64_t> origin;
+    std::vector<std::uint8_t> outcome;   ///< StrikeOutcome, pre-ACE.
+    std::vector<std::uint8_t> ace_keep;  ///< 0 = ACE draw masked it.
+
+    // Deferred SEC-DED word patterns of the block (strike `fold_slot`
+    // contributed pattern (fold_data, fold_check)); resolved by the
+    // batched syndrome fold into fold_syndrome.
+    std::vector<std::uint64_t> fold_data;
+    std::vector<std::uint8_t> fold_check;
+    std::vector<std::uint32_t> fold_slot;
+    std::vector<std::uint8_t> fold_syndrome;
+    /// Tight-mode side-cars, parallel to fold_data: the deferring
+    /// strike's inline worst outcome and its ACE keep flag, so the
+    /// post-fold tally can finish each strike without per-slot outcome
+    /// arrays (tight mode stores nothing per slot — see
+    /// run_campaign_chunk).
+    std::vector<std::uint8_t> fold_worst;
+    std::vector<std::uint8_t> fold_keep;
+  };
+  Batch batch;
 };
 
 /// Mutable state of one in-flight campaign (or campaign shard):

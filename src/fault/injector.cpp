@@ -247,52 +247,8 @@ CampaignShardState begin_campaign_shard(std::uint64_t seed) noexcept {
   return state;
 }
 
-void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
-                        const StrikeMultiplicityModel& strikes,
-                        const CampaignConfig& config,
-                        CampaignShardState& state, std::uint64_t max_strikes,
-                        CampaignObserver* observer, SensitivityGrid* grid) {
-  FTSPM_REQUIRE(!regions.empty(), "campaign needs at least one region");
-  // Rebuild the weight table in the shard's scratch: clear() keeps the
-  // capacity, so every chunk after the first is allocation-free.
-  std::vector<double>& weights = state.scratch.weights;
-  weights.clear();
-  weights.reserve(regions.size());
-  for (const auto& r : regions) {
-    FTSPM_REQUIRE(r.ace_occupancy >= 0.0 && r.ace_occupancy <= 1.0,
-                  "ace_occupancy out of [0,1]");
-    FTSPM_REQUIRE(r.interleave >= 1, "interleave degree must be >= 1");
-    weights.push_back(static_cast<double>(r.geometry.physical_bits()));
-  }
-
-  const std::uint64_t end =
-      std::min(config.strikes, state.done + max_strikes);
-  for (std::uint64_t s = state.done; s < end; ++s) {
-    const std::size_t ri = state.rng.next_discrete(weights);
-    const InjectionRegion& region = regions[ri];
-    const std::uint64_t origin =
-        state.rng.next_below(region.geometry.physical_bits());
-    const std::uint32_t flips =
-        strikes.sample_flips(state.rng, config.max_flips);
-    StrikeOutcome outcome =
-        classify_strike(region, origin, flips, state.rng, state.scratch);
-    // Strikes on words holding no architecturally-required value are
-    // harmless regardless of what the codec would have reported.
-    if (outcome != StrikeOutcome::Masked &&
-        !state.rng.next_bool(region.ace_occupancy))
-      outcome = StrikeOutcome::Masked;
-    switch (outcome) {
-      case StrikeOutcome::Masked: ++state.partial.masked; break;
-      case StrikeOutcome::Dre: ++state.partial.dre; break;
-      case StrikeOutcome::Due: ++state.partial.due; break;
-      case StrikeOutcome::Sdc: ++state.partial.sdc; break;
-    }
-    ++state.partial.strikes;
-    if (observer != nullptr) observer->on_strike(s, outcome);
-    if (grid != nullptr) grid->record(ri, origin, outcome);
-  }
-  state.done = end;
-}
+// run_campaign_chunk — the batched block engine — lives in
+// injector_batch.cpp.
 
 CampaignResult run_campaign(const std::vector<InjectionRegion>& regions,
                             const StrikeMultiplicityModel& strikes,

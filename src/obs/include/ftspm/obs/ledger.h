@@ -88,7 +88,9 @@ void append_ledger(const LedgerRecord& record, const std::string& path);
 
 /// Resolves a run reference against the ledger: exact `id` match
 /// first (last match wins, matching "most recent run named X"), then
-/// an all-digits ref as a 0-based index. Returns nullptr when absent.
+/// `@N` or an all-digits ref as a 0-based index. Returns nullptr when
+/// absent; throws InvalidArgument on a malformed `@` ref (non-digit
+/// or overflowing index), naming the offending text.
 const LedgerRecord* find_run(const std::vector<LedgerRecord>& runs,
                              std::string_view ref);
 

@@ -53,18 +53,22 @@ std::vector<RequestClass> parse_mix(const std::string& text) {
       const std::string weight_text =
           entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
                                                        : c2 - c1 - 1);
+      // A zero, negative, or NaN weight silently corrupts the
+      // weighted pick: the class can never be drawn (a confusing
+      // no-op) or skews every other class's share. Require a finite
+      // weight > 0 so a typo fails loudly at parse time.
       try {
         std::size_t consumed = 0;
         cls.weight = std::stod(weight_text, &consumed);
-        FTSPM_REQUIRE(consumed == weight_text.size() && cls.weight >= 0.0 &&
-                          std::isfinite(cls.weight),
+        FTSPM_REQUIRE(consumed == weight_text.size() &&
+                          std::isfinite(cls.weight) && cls.weight > 0.0,
                       "mix weight '" + weight_text +
-                          "' must be a non-negative number");
+                          "' must be a finite number > 0");
       } catch (const InvalidArgument&) {
         throw;
       } catch (const std::exception&) {
         throw InvalidArgument("mix weight '" + weight_text +
-                              "' must be a non-negative number");
+                              "' must be a finite number > 0");
       }
       if (c2 != std::string::npos) {
         const std::string strikes_text = entry.substr(c2 + 1);

@@ -1,5 +1,6 @@
 #include "ftspm/util/args.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -115,12 +116,54 @@ std::uint64_t ArgParser::option_uint(const std::string& name,
   return v;
 }
 
+namespace {
+
+/// Plain decimal shape: [+-]digits[.digits][eE[+-]digits] with at
+/// least one mantissa digit. strtod alone accepts "nan", "inf",
+/// "0x1p3", and leading whitespace — none of which a rate or
+/// probability flag should ever see silently.
+bool plain_decimal_shape(const std::string& raw) {
+  std::size_t i = 0;
+  const std::size_t n = raw.size();
+  if (i < n && (raw[i] == '+' || raw[i] == '-')) ++i;
+  std::size_t mantissa_digits = 0;
+  while (i < n && raw[i] >= '0' && raw[i] <= '9') ++i, ++mantissa_digits;
+  if (i < n && raw[i] == '.') {
+    ++i;
+    while (i < n && raw[i] >= '0' && raw[i] <= '9') ++i, ++mantissa_digits;
+  }
+  if (mantissa_digits == 0) return false;
+  if (i < n && (raw[i] == 'e' || raw[i] == 'E')) {
+    ++i;
+    if (i < n && (raw[i] == '+' || raw[i] == '-')) ++i;
+    std::size_t exponent_digits = 0;
+    while (i < n && raw[i] >= '0' && raw[i] <= '9') ++i, ++exponent_digits;
+    if (exponent_digits == 0) return false;
+  }
+  return i == n;
+}
+
+}  // namespace
+
 double ArgParser::option_double(const std::string& name) const {
   const std::string& raw = option(name);
   char* end = nullptr;
   const double v = std::strtod(raw.c_str(), &end);
-  FTSPM_REQUIRE(end && *end == '\0' && !raw.empty(),
-                "--" + name + " expects a number, got '" + raw + "'");
+  // Shape first (rejects nan/inf/hex-float spellings outright), then
+  // finiteness — a huge plain decimal like 1e999 overflows to inf.
+  FTSPM_REQUIRE(plain_decimal_shape(raw) && end && *end == '\0' &&
+                    std::isfinite(v),
+                "--" + name + " expects a finite number, got '" + raw + "'");
+  return v;
+}
+
+double ArgParser::option_double(const std::string& name, double min_value,
+                                double max_value) const {
+  const double v = option_double(name);
+  std::ostringstream os;
+  os << "--" << name << " must be in [" << min_value << ", " << max_value
+     << "], got '" << option(name) << "'";
+  FTSPM_REQUIRE(v >= min_value && v <= max_value, os.str());
   return v;
 }
 

@@ -34,7 +34,15 @@ class ArgParser {
   /// values above `max` with InvalidArgument (exit 2 at the CLI).
   std::uint64_t option_uint(const std::string& name,
                             std::uint64_t max = UINT64_MAX) const;
+  /// Strict finite decimal: plain `[+-]digits[.digits][e[+-]digits]`
+  /// shape only — rejects `nan`, `inf`, hex floats, leading
+  /// whitespace, and trailing garbage with InvalidArgument (exit 2 at
+  /// the CLI), all of which strtod would happily accept.
   double option_double(const std::string& name) const;
+  /// option_double plus an inclusive [min_value, max_value] range
+  /// check, for probability- and rate-shaped flags.
+  double option_double(const std::string& name, double min_value,
+                       double max_value) const;
   const std::vector<std::string>& positionals() const noexcept {
     return positionals_;
   }

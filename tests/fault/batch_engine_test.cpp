@@ -1,0 +1,220 @@
+// The batched SoA campaign engine (injector_batch.cpp) against a
+// strike-at-a-time reference that replays the documented RNG draw
+// order (docs/performance.md, "RNG draw-order contract") through the
+// classify_strike oracle. The engine reorders *work* — region tables,
+// LUT classification, deferred syndrome folds — but never *draws*, so
+// every schedule below must reproduce the reference counters exactly:
+// any block width, any chunk schedule, tight (no observer, no grid)
+// and observed paths alike.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftspm/fault/injector.h"
+#include "ftspm/fault/sensitivity.h"
+#include "ftspm/fault/strike_model.h"
+#include "ftspm/mem/geometry.h"
+#include "ftspm/util/rng.h"
+
+namespace ftspm {
+namespace {
+
+/// One strike at a time, drawing exactly what docs/performance.md
+/// promises: region pick, origin, multiplicity (with its coin-flip
+/// tail), one burn per struck codeword inside classify_strike, then
+/// the ACE draw iff the pre-ACE outcome was not Masked.
+CampaignResult reference_campaign(const std::vector<InjectionRegion>& regions,
+                                  const StrikeMultiplicityModel& model,
+                                  const CampaignConfig& cfg,
+                                  SensitivityGrid* grid = nullptr) {
+  std::vector<double> weights;
+  weights.reserve(regions.size());
+  for (const InjectionRegion& r : regions)
+    weights.push_back(static_cast<double>(r.geometry.physical_bits()));
+  Rng rng(cfg.seed);
+  CampaignScratch scratch;
+  CampaignResult res;
+  res.strikes = cfg.strikes;
+  for (std::uint64_t s = 0; s < cfg.strikes; ++s) {
+    const std::size_t idx = rng.next_discrete(weights);
+    const InjectionRegion& region = regions[idx];
+    const std::uint64_t origin =
+        rng.next_below(region.geometry.physical_bits());
+    const std::uint32_t flips = model.sample_flips(rng, cfg.max_flips);
+    StrikeOutcome o = classify_strike(region, origin, flips, rng, scratch);
+    if (o != StrikeOutcome::Masked && !rng.next_bool(region.ace_occupancy))
+      o = StrikeOutcome::Masked;
+    switch (o) {
+      case StrikeOutcome::Masked: ++res.masked; break;
+      case StrikeOutcome::Dre: ++res.dre; break;
+      case StrikeOutcome::Due: ++res.due; break;
+      case StrikeOutcome::Sdc: ++res.sdc; break;
+    }
+    if (grid != nullptr) grid->record(idx, origin, o);
+  }
+  return res;
+}
+
+void expect_equal(const CampaignResult& got, const CampaignResult& want,
+                  const char* what) {
+  EXPECT_EQ(got.strikes, want.strikes) << what;
+  EXPECT_EQ(got.masked, want.masked) << what;
+  EXPECT_EQ(got.dre, want.dre) << what;
+  EXPECT_EQ(got.due, want.due) << what;
+  EXPECT_EQ(got.sdc, want.sdc) << what;
+}
+
+CampaignConfig config_for(std::uint64_t seed, std::uint64_t strikes) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.strikes = strikes;
+  return cfg;
+}
+
+std::vector<InjectionRegion> mixed_surfaces() {
+  return {{RegionGeometry(8192, 8), ProtectionKind::SecDed, 0.9, 1},
+          {RegionGeometry(8192, 1), ProtectionKind::Parity, 0.7, 1},
+          {RegionGeometry(2048, 0), ProtectionKind::None, 0.4, 1},
+          {RegionGeometry(2048, 0), ProtectionKind::Immune, 1.0, 1}};
+}
+
+TEST(BatchEngine, MatchesReferenceOnMixedSurfaces) {
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  for (const std::uint64_t seed : {0x57a1ce5eedULL, 0x1234fedcULL}) {
+    const CampaignConfig cfg = config_for(seed, 50'000);
+    expect_equal(run_campaign(mixed_surfaces(), model, cfg),
+                 reference_campaign(mixed_surfaces(), model, cfg), "mixed");
+  }
+}
+
+TEST(BatchEngine, MatchesReferenceUnderInterleaving) {
+  // Interleaved regions take the general (gather) path: an m-bit MBU
+  // scatters over IL codewords, so run-length classification no longer
+  // applies — but the draws must not move.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const std::vector<InjectionRegion> regions{
+      {RegionGeometry(4096, 8), ProtectionKind::SecDed, 1.0, 2},
+      {RegionGeometry(4096, 8), ProtectionKind::SecDed, 0.6, 4},
+      {RegionGeometry(4096, 1), ProtectionKind::Parity, 0.8, 2}};
+  const CampaignConfig cfg = config_for(0xabcdef01, 30'000);
+  expect_equal(run_campaign(regions, model, cfg),
+               reference_campaign(regions, model, cfg), "interleaved");
+}
+
+TEST(BatchEngine, MatchesReferenceOnExoticGeometries) {
+  // A parity region with two check bits per word fails the
+  // lut-classifiable test and must fall back to the general per-word
+  // path — with identical outcomes and draws.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const std::vector<InjectionRegion> regions{
+      {RegionGeometry(1024, 2), ProtectionKind::Parity, 0.9, 1},
+      {RegionGeometry(1024, 8), ProtectionKind::SecDed, 0.5, 1}};
+  const CampaignConfig cfg = config_for(0x600dcafe, 30'000);
+  expect_equal(run_campaign(regions, model, cfg),
+               reference_campaign(regions, model, cfg), "exotic");
+}
+
+TEST(BatchEngine, MatchesReferenceWithSpillSizedStrikes) {
+  // max_flips beyond CampaignScratch::kInlineHits exercises the spill
+  // buffer and the multi-word straddle path in the same run.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  CampaignConfig cfg = config_for(0xfeedf00d, 20'000);
+  cfg.max_flips = CampaignScratch::kInlineHits + 32;
+  const std::vector<InjectionRegion> regions{
+      {RegionGeometry(2048, 8), ProtectionKind::SecDed, 0.75, 1},
+      {RegionGeometry(2048, 8), ProtectionKind::SecDed, 0.75, 3}};
+  expect_equal(run_campaign(regions, model, cfg),
+               reference_campaign(regions, model, cfg), "spill");
+}
+
+TEST(BatchEngine, MatchesReferenceAtAceOccupancyEdges) {
+  // ace 0 (every unmasked strike dies, no draw) and ace 1 (every one
+  // survives, no draw) skip the Bernoulli draw entirely — exactly as
+  // Rng::next_bool would — so the stream stays aligned either way.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const std::vector<InjectionRegion> regions{
+      {RegionGeometry(4096, 8), ProtectionKind::SecDed, 0.0, 1},
+      {RegionGeometry(4096, 8), ProtectionKind::SecDed, 1.0, 1},
+      {RegionGeometry(4096, 0), ProtectionKind::None, 0.5, 1}};
+  const CampaignConfig cfg = config_for(0x0ace0ace, 30'000);
+  expect_equal(run_campaign(regions, model, cfg),
+               reference_campaign(regions, model, cfg), "ace edges");
+}
+
+TEST(BatchEngine, BlockWidthNeverChangesCounters) {
+  // Block size is pure scheduling (injector.h, kCampaignBatchWidth):
+  // width 1 degenerates to strike-at-a-time, 33 leaves a ragged tail
+  // in every block of deferred folds, 256 is the production width.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const CampaignConfig cfg = config_for(0x57a1ce5eed, 40'000);
+  const CampaignResult want = reference_campaign(mixed_surfaces(), model, cfg);
+  for (const std::uint32_t width : {1u, 3u, 7u, 33u, 256u, 1000u}) {
+    CampaignShardState state = begin_campaign_shard(cfg.seed);
+    state.scratch.batch.width = width;
+    run_campaign_chunk(mixed_surfaces(), model, cfg, state, cfg.strikes);
+    expect_equal(state.partial, want,
+                 ("width " + std::to_string(width)).c_str());
+  }
+}
+
+TEST(BatchEngine, ChunkScheduleNeverChangesCounters) {
+  // Any chunk schedule reaching config.strikes must agree with one
+  // serial run — chunks cut blocks short mid-campaign, so this pins
+  // the resume path (checkpointing) too.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const CampaignConfig cfg = config_for(0x7a7aa77a, 30'000);
+  const CampaignResult want = reference_campaign(mixed_surfaces(), model, cfg);
+  const std::vector<std::vector<std::uint64_t>> schedules{
+      {30'000},
+      {1, 1, 1, 29'997},
+      {997, 4096, 30'000},  // over-asking stops at config.strikes
+      {10'000, 10'000, 10'000}};
+  for (const auto& schedule : schedules) {
+    CampaignShardState state = begin_campaign_shard(cfg.seed);
+    for (const std::uint64_t step : schedule)
+      run_campaign_chunk(mixed_surfaces(), model, cfg, state, step);
+    expect_equal(state.partial, want, "chunk schedule");
+  }
+}
+
+TEST(BatchEngine, TightAndObservedPathsAgree) {
+  // With a grid attached the engine keeps full per-slot SoA arrays;
+  // without one (and with an inert observer) it tallies in registers
+  // and stores nothing. Same counters either way, and the grid totals
+  // must re-add to them.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const CampaignConfig cfg = config_for(0x9e3779b9, 40'000);
+  const CampaignResult tight = run_campaign(mixed_surfaces(), model, cfg);
+
+  SensitivityGrid grid = make_sensitivity_grid(mixed_surfaces(), 16);
+  const CampaignResult observed =
+      run_campaign(mixed_surfaces(), model, cfg, &grid);
+  expect_equal(observed, tight, "tight vs observed");
+
+  const CampaignResult totals = grid.totals();
+  EXPECT_EQ(totals.masked, tight.masked);
+  EXPECT_EQ(totals.dre, tight.dre);
+  EXPECT_EQ(totals.due, tight.due);
+  EXPECT_EQ(totals.sdc, tight.sdc);
+}
+
+TEST(BatchEngine, GridCellsMatchReference) {
+  // Not just the grand totals: every (region, bucket, outcome) cell of
+  // the sensitivity grid must match the reference recording, byte for
+  // byte through the CSV round trip.
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  const CampaignConfig cfg = config_for(0x5ca1ab1e, 40'000);
+  SensitivityGrid engine_grid = make_sensitivity_grid(mixed_surfaces(), 16);
+  SensitivityGrid reference_grid = make_sensitivity_grid(mixed_surfaces(), 16);
+  const CampaignResult engine =
+      run_campaign(mixed_surfaces(), model, cfg, &engine_grid);
+  const CampaignResult reference =
+      reference_campaign(mixed_surfaces(), model, cfg, &reference_grid);
+  expect_equal(engine, reference, "gridded counters");
+  EXPECT_EQ(engine_grid.to_csv(), reference_grid.to_csv());
+}
+
+}  // namespace
+}  // namespace ftspm

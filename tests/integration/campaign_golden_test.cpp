@@ -12,6 +12,7 @@
 
 #include "ftspm/core/system_campaign.h"
 #include "ftspm/core/systems.h"
+#include "ftspm/ecc/secded_codec.h"
 #include "ftspm/fault/injector.h"
 #include "ftspm/fault/recovery.h"
 #include "ftspm/mem/technology_library.h"
@@ -136,6 +137,30 @@ TEST(CampaignGolden, TemporalCaseStudyCampaign) {
   };
   expect_counts(run(kSeedA), 50'000, {47129, 1771, 946, 154});
   expect_counts(run(kSeedB), 50'000, {47192, 1731, 909, 168});
+}
+
+// The batched engine's deferred SEC-DED patterns resolve through
+// SecDedCodec::fold_syndromes, which dispatches to AVX2/SSSE3/scalar
+// kernels at runtime. Counters must not depend on which kernel ran:
+// every backend the host CPU offers has to land exactly on the golden
+// numbers above. An FTSPM_DISABLE_SIMD build runs the scalar leg of
+// this same test, so both code paths stay pinned in CI.
+TEST(CampaignGolden, ScalarAndSimdFoldPathsHitTheSameGoldens) {
+  const std::vector<InjectionRegion> regions{
+      {RegionGeometry(8192, 8), ProtectionKind::SecDed, 0.9, 1},
+      {RegionGeometry(8192, 1), ProtectionKind::Parity, 0.7, 1},
+      {RegionGeometry(2048, 0), ProtectionKind::None, 0.4, 1},
+      {RegionGeometry(2048, 0), ProtectionKind::Immune, 1.0, 1}};
+  const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
+  for (const char* backend : {"scalar", "ssse3", "avx2"}) {
+    if (!SecDedCodec::set_fold_backend(backend)) continue;  // CPU lacks it
+    SCOPED_TRACE(backend);
+    expect_counts(run_campaign(regions, model, config_for(kSeedA, 200'000)),
+                  200'000, {61866, 47912, 62273, 27949});
+    expect_counts(run_campaign(regions, model, config_for(kSeedB, 200'000)),
+                  200'000, {62043, 48020, 62235, 27702});
+  }
+  EXPECT_TRUE(SecDedCodec::set_fold_backend("auto"));
 }
 
 // The scratch-carrying classifier overload, the convenience overload,

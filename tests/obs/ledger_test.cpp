@@ -83,6 +83,33 @@ TEST(LedgerTest, FindRunMatchesIdThenIndex) {
   EXPECT_EQ(find_run(runs, "missing"), nullptr);
 }
 
+TEST(LedgerTest, FindRunParsesAtIndexRefsStrictly) {
+  std::vector<LedgerRecord> runs;
+  runs.push_back(sample("baseline"));
+  runs.push_back(sample("candidate"));
+  EXPECT_EQ(find_run(runs, "@0"), &runs[0]);
+  EXPECT_EQ(find_run(runs, "@1"), &runs[1]);
+  EXPECT_EQ(find_run(runs, "@2"), nullptr);  // well-formed but absent
+  // A malformed @ ref can never be an id, so it is a usage error — it
+  // used to escape std::stoull as an uncaught std::invalid_argument
+  // (or std::out_of_range on long digit strings) and crash the tool.
+  for (const char* bad : {"@foo", "@", "@1x", "@-1", "@+1", "@ 1", "@0x10",
+                          "@99999999999999999999999999"}) {
+    EXPECT_THROW(find_run(runs, bad), InvalidArgument) << "'" << bad << "'";
+    try {
+      find_run(runs, bad);
+    } catch (const InvalidArgument& e) {
+      // The message names the offending text.
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << e.what();
+    }
+  }
+  // Bare digits stay forgiving: they double as ids, so garbage and
+  // overflow are simply "no such run", never a throw.
+  EXPECT_EQ(find_run(runs, "99999999999999999999999999"), nullptr);
+  EXPECT_EQ(find_run(runs, "1x"), nullptr);
+}
+
 TEST(LedgerScanTest, MissingFileIsAnEmptyScan) {
   const LedgerScan scan = scan_ledger(temp_path("ftspm_scan_missing"));
   EXPECT_TRUE(scan.records.empty());

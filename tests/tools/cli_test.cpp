@@ -273,9 +273,12 @@ TEST(CliTest, LoadFlagsRejectGarbageAndOutOfRange) {
   const char* cases[] = {
       "load --connections 0",     "load --connections 2x",
       "load --requests -3",       "load --rate -1",
-      "load --rate fast",         "load --mix 'small:-1'",
-      "load --mix 'small:1:0'",   "load --mix ':'",
-      "load --mix 'a:1:500x'"};
+      "load --rate fast",         "load --rate nan",
+      "load --rate inf",          "load --rate 0x1p3",
+      "load --rate 1e999",        "load --mix 'small:-1'",
+      "load --mix 'small:0'",     "load --mix 'small:nan'",
+      "load --mix 'small:inf'",   "load --mix 'small:1:0'",
+      "load --mix ':'",           "load --mix 'a:1:500x'"};
   for (const char* args : cases) {
     const CommandResult r = run_tool(args);
     EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
@@ -438,7 +441,51 @@ TEST(CliTest, LedgerCompareGatesOnRegression) {
       run_tool("--ledger " + ledger + " compare run-0 no_such_run");
   EXPECT_EQ(missing.exit_code, 2);
   EXPECT_NE(missing.output.find("not found"), std::string::npos);
+
+  // --threshold feeds gating math: non-finite, hex-float, and negative
+  // values are usage errors, never a silent pass-everything gate.
+  for (const char* bad : {"nan", "inf", "-1", "5x", "0x1p3"}) {
+    const CommandResult r = run_tool("--ledger " + ledger +
+                                     " compare run-0 run-2 --threshold " +
+                                     bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << "\n" << r.output;
+    EXPECT_NE(r.output.find("--threshold"), std::string::npos) << r.output;
+  }
   std::remove(ledger.c_str());
+}
+
+TEST(CliTest, CompareRejectsMalformedRunRefsWithUsageExit) {
+  // "@foo" used to escape obs::find_run as an uncaught
+  // std::invalid_argument from std::stoull and kill the tool with no
+  // usage hint. A malformed @ ref can never name a run, so it is a
+  // usage error (exit 2) even with no ledger present at all.
+  for (const char* ref : {"@foo", "@", "@1x", "@-1"}) {
+    const CommandResult r = run_tool(std::string("compare '") + ref + "' @1");
+    EXPECT_EQ(r.exit_code, 2) << ref << "\n" << r.output;
+    EXPECT_NE(r.output.find(ref), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(CliTest, CampaignProbabilityFlagsRejectNonFiniteAndOutOfRange) {
+  // --occupancy and --dirty-fraction are probabilities: anything
+  // outside [0, 1] — including nan/inf/hex-float spellings strtod
+  // happily parses — must die in flag validation.
+  for (const char* bad : {"nan", "inf", "-0.1", "1.5", "0x1p-1", "0.5x"}) {
+    const CommandResult occ = run_tool(
+        std::string("campaign --strikes 1000 --occupancy ") + bad);
+    EXPECT_EQ(occ.exit_code, 2) << bad << "\n" << occ.output;
+    EXPECT_NE(occ.output.find("--occupancy"), std::string::npos)
+        << occ.output;
+    const CommandResult dirty = run_tool(
+        std::string("campaign --strikes 1000 --recover --dirty-fraction ") +
+        bad);
+    EXPECT_EQ(dirty.exit_code, 2) << bad << "\n" << dirty.output;
+    EXPECT_NE(dirty.output.find("--dirty-fraction"), std::string::npos)
+        << dirty.output;
+  }
 }
 
 TEST(CliTest, CampaignJsonTimingOnlyWithTimeFlag) {

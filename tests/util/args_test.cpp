@@ -90,6 +90,53 @@ TEST(ArgParserTest, BadNumbersThrow) {
   EXPECT_THROW(p.option_double("ratio"), InvalidArgument);
 }
 
+TEST(ArgParserTest, OptionDoubleRejectsNonFiniteAndExoticSpellings) {
+  // strtod alone accepts all of these; a rate or probability flag must
+  // not. "1e999" has a plain-decimal shape but overflows to inf, so the
+  // finiteness check has to run on the parsed value too.
+  for (const char* bad : {"nan", "NaN", "-nan", "inf", "INF", "-inf",
+                          "infinity", "0x1p3", "0X1.8P1", "1e999", " 1.5",
+                          "1.5 ", "1.5x", ".e3", "e3", "1e", "", "+", "-"}) {
+    ArgParser p("demo", "test");
+    p.add_option("rate", "r", "0");
+    const char* argv[] = {"demo", "--rate", bad};
+    p.parse(3, argv);
+    EXPECT_THROW(p.option_double("rate"), InvalidArgument) << "'" << bad << "'";
+  }
+}
+
+TEST(ArgParserTest, OptionDoubleAcceptsPlainDecimalForms) {
+  for (const char* good : {"0", "-0.5", "+2.25", "1.", ".5", "3e2", "1.5E-3"}) {
+    ArgParser p("demo", "test");
+    p.add_option("rate", "r", "0");
+    const char* argv[] = {"demo", "--rate", good};
+    p.parse(3, argv);
+    EXPECT_NO_THROW(p.option_double("rate")) << "'" << good << "'";
+  }
+}
+
+TEST(ArgParserTest, BoundedOptionDoubleEnforcesTheRange) {
+  const auto parse_with = [](const char* value) {
+    ArgParser p("demo", "test");
+    p.add_option("occupancy", "o", "1.0");
+    const char* argv[] = {"demo", "--occupancy", value};
+    p.parse(3, argv);
+    return p;
+  };
+  EXPECT_DOUBLE_EQ(parse_with("0.25").option_double("occupancy", 0.0, 1.0),
+                   0.25);
+  // Both endpoints are inside the range.
+  EXPECT_DOUBLE_EQ(parse_with("0").option_double("occupancy", 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(parse_with("1").option_double("occupancy", 0.0, 1.0), 1.0);
+  EXPECT_THROW(parse_with("1.5").option_double("occupancy", 0.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(parse_with("-0.1").option_double("occupancy", 0.0, 1.0),
+               InvalidArgument);
+  // The bounded form keeps the strict-parse rejections too.
+  EXPECT_THROW(parse_with("nan").option_double("occupancy", 0.0, 1.0),
+               InvalidArgument);
+}
+
 TEST(ArgParserTest, OptionUintAcceptsPlainDigitsOnly) {
   ArgParser p("demo", "test");
   p.add_option("n", "count", "0");

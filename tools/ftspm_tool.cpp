@@ -841,7 +841,7 @@ int cmd_campaign(int argc, const char* const* argv) {
   const InjectionRegion region{
       RegionGeometry(static_cast<std::uint64_t>(args.option_int("size")),
                      check_bits),
-      kind, args.option_double("occupancy"),
+      kind, args.option_double("occupancy", 0.0, 1.0),
       static_cast<std::uint32_t>(args.option_int("interleave"))};
   CampaignConfig cfg;
   cfg.strikes = static_cast<std::uint64_t>(args.option_int("strikes"));
@@ -892,7 +892,7 @@ int cmd_campaign(int argc, const char* const* argv) {
                      : (kind == ProtectionKind::Parity
                             ? lib.parity_sram()
                             : lib.unprotected_sram());
-  rregion.dirty_fraction = args.option_double("dirty-fraction");
+  rregion.dirty_fraction = args.option_double("dirty-fraction", 0.0, 1.0);
   rregion.refetch_words =
       static_cast<std::uint64_t>(args.option_int("refetch-words"));
   rregion.scrub = kind == ProtectionKind::SecDed;
@@ -1185,7 +1185,7 @@ int cmd_compare(int argc, const char* const* argv) {
     throw InvalidArgument("run '" + args.positionals()[1] + "' not found in " +
                           path);
   CompareOptions options;
-  options.threshold_pct = args.option_double("threshold");
+  options.threshold_pct = args.option_double("threshold", 0.0, 1e6);
   options.metric = args.option("metric");
   const CompareReport report = compare_runs(*a, *b, options);
   std::cout << report.render();
@@ -1287,9 +1287,7 @@ int cmd_load(int argc, const char* const* argv) {
       static_cast<std::uint32_t>(args.option_uint("connections", 1024));
   FTSPM_REQUIRE(cfg.connections > 0, "--connections must be positive");
   cfg.requests = args.option_uint("requests", 1u << 20);
-  cfg.rate = args.option_double("rate");
-  FTSPM_REQUIRE(cfg.rate >= 0.0 && std::isfinite(cfg.rate),
-                "--rate must be a finite non-negative number");
+  cfg.rate = args.option_double("rate", 0.0, 1e9);
   cfg.seed = args.option_uint("seed");
   const std::string mix = args.option("mix");
   cfg.classes = mix.empty() ? serve::default_mix(args.flag("quick"))
