@@ -103,18 +103,20 @@ BenchCampaignTiming time_static(std::uint64_t strikes, int reps) {
   return BenchCampaignTiming{"static", strikes, t};
 }
 
-BenchCampaignTiming time_recovery(std::uint64_t strikes, int reps) {
+BenchCampaignTiming time_recovery(const char* name, std::uint64_t strikes,
+                                  int reps, double ace_occupancy,
+                                  std::uint64_t scrub_interval) {
   const TechnologyLibrary lib;
   RecoveryRegion region;
-  region.inject =
-      InjectionRegion{RegionGeometry(8192, 8), ProtectionKind::SecDed, 0.25, 1};
+  region.inject = InjectionRegion{RegionGeometry(8192, 8),
+                                  ProtectionKind::SecDed, ace_occupancy, 1};
   region.tech = lib.secded_sram();
   region.dirty_fraction = 0.25;
   region.refetch_words = 64;
   region.scrub = true;
   RecoveryPolicy policy;
   policy.recover = true;
-  policy.scrub_interval = 2048;
+  policy.scrub_interval = scrub_interval;
   const StrikeMultiplicityModel model = StrikeMultiplicityModel::at_40nm();
   CampaignConfig cfg;
   cfg.strikes = strikes;
@@ -123,7 +125,7 @@ BenchCampaignTiming time_recovery(std::uint64_t strikes, int reps) {
       [&] { last = run_recovery_campaign({region}, model, cfg, policy); },
       reps);
   FTSPM_CHECK(last.strikes.strikes == strikes, "recovery campaign ran short");
-  return BenchCampaignTiming{"recovery", strikes, t};
+  return BenchCampaignTiming{name, strikes, t};
 }
 
 BenchCampaignTiming time_temporal(std::uint64_t strikes, int reps) {
@@ -251,7 +253,15 @@ int check_against_baseline(const std::string& path,
       ++failures;
       continue;
     }
-    const double before = base.at("strikes_per_sec").number;
+    const JsonValue* rate = base.find("strikes_per_sec");
+    if (rate == nullptr || !rate->is_number()) {
+      std::cout << "CHECK FAIL: baseline entry '" << name
+                << "' has no strikes_per_sec metric — refresh the baseline "
+                   "artefact\n";
+      ++failures;
+      continue;
+    }
+    const double before = rate->number;
     const double now = it->strikes_per_sec();
     const double floor = before * (1.0 - kRegressionTolerance);
     // Relative delta vs baseline, printed on pass and failure alike so
@@ -268,6 +278,25 @@ int check_against_baseline(const std::string& path,
                 << " vs baseline " << before << " ("
                 << (delta_pct >= 0.0 ? "+" : "") << fixed(delta_pct, 1)
                 << "%)\n";
+    }
+  }
+  // The reverse direction: every campaign this run measured must have
+  // a baseline entry, or a newly added campaign would silently escape
+  // the regression gate until someone remembered to refresh the
+  // artefact.
+  for (const BenchCampaignTiming& c : campaigns) {
+    const auto& base_list = doc.at("campaigns").array;
+    const bool known =
+        std::any_of(base_list.begin(), base_list.end(),
+                    [&](const JsonValue& b) {
+                      const JsonValue* n = b.find("name");
+                      return n != nullptr && n->string == c.name;
+                    });
+    if (!known) {
+      std::cout << "CHECK FAIL: campaign '" << c.name
+                << "' measured in this run has no baseline entry — refresh "
+                   "the baseline artefact\n";
+      ++failures;
     }
   }
   const double speedup_delta_pct =
@@ -315,7 +344,13 @@ int main(int argc, char** argv) {
 
   std::vector<BenchCampaignTiming> campaigns;
   campaigns.push_back(time_static(quick ? 100'000 : 400'000, reps));
-  campaigns.push_back(time_recovery(quick ? 20'000 : 60'000, reps));
+  // The demand-heavy shape (every fourth read consumed) and a
+  // scrub-heavy one (sparse reads, a sweep every 256 strikes) stress
+  // the two halves of the batched recovery engine separately.
+  campaigns.push_back(
+      time_recovery("recovery", quick ? 20'000 : 60'000, reps, 0.25, 2048));
+  campaigns.push_back(time_recovery("recovery_scrub", quick ? 20'000 : 60'000,
+                                    reps, 0.05, 256));
   campaigns.push_back(time_temporal(quick ? 10'000 : 50'000, reps));
   const ClassifierTiming classifier =
       time_classifier(quick ? 200'000 : 1'000'000, reps);

@@ -110,6 +110,16 @@ class TemporalCampaign {
                  CampaignObserver* observer = nullptr,
                  SensitivityGrid* grid = nullptr) const;
 
+  /// The original strike-at-a-time loop, kept verbatim as the oracle
+  /// run_chunk (the batched engine, system_campaign_batch.cpp) is
+  /// pinned against: same draws, counters, observer calls, and grid
+  /// records for every chunk schedule.
+  void run_chunk_reference(const CampaignConfig& config,
+                           CampaignShardState& state,
+                           std::uint64_t max_strikes,
+                           CampaignObserver* observer = nullptr,
+                           SensitivityGrid* grid = nullptr) const;
+
   /// The injection surfaces (one per SPM region, in region order) the
   /// campaign strikes — what make_sensitivity_grid buckets over.
   const std::vector<InjectionRegion>& surfaces() const noexcept {

@@ -168,11 +168,11 @@ TemporalCampaign::TemporalCampaign(const SpmLayout& layout,
   }
 }
 
-void TemporalCampaign::run_chunk(const CampaignConfig& config,
-                                 CampaignShardState& state,
-                                 std::uint64_t max_strikes,
-                                 CampaignObserver* observer,
-                                 SensitivityGrid* grid) const {
+void TemporalCampaign::run_chunk_reference(const CampaignConfig& config,
+                                           CampaignShardState& state,
+                                           std::uint64_t max_strikes,
+                                           CampaignObserver* observer,
+                                           SensitivityGrid* grid) const {
   const std::uint64_t end =
       std::min(config.strikes, state.done + max_strikes);
   for (std::uint64_t s = state.done; s < end; ++s) {

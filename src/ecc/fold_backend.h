@@ -1,0 +1,22 @@
+// Internal: the resolved fold-backend kind shared by the batched ECC
+// kernels. SecDedCodec::set_fold_backend / fold_backend own the
+// user-visible dispatch state (secded_batch.cpp); the parity batch
+// kernel (parity_batch.cpp) follows the same selection so a single
+// set_fold_backend("scalar") pins every SIMD decision in the ECC layer
+// — which is what the CI scalar-fold leg and the golden backend loops
+// rely on. Not installed; include relatively from src/ecc only.
+#pragma once
+
+#include <cstdint>
+
+namespace ftspm {
+namespace detail {
+
+enum class FoldBackendKind : std::uint8_t { Scalar, Ssse3, Avx2 };
+
+/// The currently selected backend kind (resolving "auto" on first
+/// use), always Scalar on non-x86 and -DFTSPM_DISABLE_SIMD builds.
+FoldBackendKind fold_backend_kind() noexcept;
+
+}  // namespace detail
+}  // namespace ftspm

@@ -39,9 +39,19 @@ class ParityCodec {
   static PatternDecode classify_pattern(std::uint64_t data_mask,
                                         std::uint8_t parity_mask) noexcept;
 
+  /// Raw parity syndromes over arrays: out[i] ==
+  /// parity64(data_masks[i]) ^ (parity_masks[i] & 1), always 0 or 1.
+  /// The batched campaign engines consume this directly (a parity
+  /// word's whole verdict is its syndrome bit); SSSE3/AVX2 kernels ride
+  /// the same runtime dispatch as SecDedCodec::fold_syndromes — one
+  /// set_fold_backend() call pins both (parity_batch.cpp).
+  static void fold_parity(const std::uint64_t* data_masks,
+                          const std::uint8_t* parity_masks,
+                          std::size_t count, std::uint8_t* out) noexcept;
+
   /// classify_pattern over arrays: out[i] == classify_pattern(
-  /// data_masks[i], parity_masks[i]) for every i. Branch-free popcount
-  /// loop for the batched campaign engine.
+  /// data_masks[i], parity_masks[i]) for every i. One fold_parity pass
+  /// plus the trivial verdict expansion.
   static void classify_pattern_batch(const std::uint64_t* data_masks,
                                      const std::uint8_t* parity_masks,
                                      std::size_t count,

@@ -29,17 +29,8 @@ PatternDecode ParityCodec::classify_pattern(
       data_mask};
 }
 
-void ParityCodec::classify_pattern_batch(const std::uint64_t* data_masks,
-                                         const std::uint8_t* parity_masks,
-                                         std::size_t count,
-                                         PatternDecode* out) noexcept {
-  for (std::size_t i = 0; i < count; ++i) {
-    const int syndrome = parity64(data_masks[i]) ^ (parity_masks[i] & 1);
-    out[i] = PatternDecode{
-        syndrome != 0 ? DecodeStatus::Detected : DecodeStatus::Clean, 0,
-        data_masks[i]};
-  }
-}
+// fold_parity / classify_pattern_batch live in parity_batch.cpp with
+// the SIMD kernels and the shared backend dispatch.
 
 void ParityCodec::flip_bit(ParityWord& word, std::uint32_t bit) {
   FTSPM_REQUIRE(bit < kCodewordBits, "parity codeword bit out of range");

@@ -26,6 +26,7 @@
 #include <cstring>
 
 #include "ftspm/ecc/secded_codec.h"
+#include "fold_backend.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define FTSPM_X86 1
@@ -234,12 +235,14 @@ using FoldFn = void (*)(const std::uint64_t*, const std::uint8_t*,
 struct Backend {
   FoldFn fn;
   const char* name;
+  detail::FoldBackendKind kind;
 };
 
-constexpr Backend kScalar{fold_scalar, "scalar"};
+constexpr Backend kScalar{fold_scalar, "scalar",
+                          detail::FoldBackendKind::Scalar};
 #if FTSPM_X86
-constexpr Backend kSsse3{fold_ssse3, "ssse3"};
-constexpr Backend kAvx2{fold_avx2, "avx2"};
+constexpr Backend kSsse3{fold_ssse3, "ssse3", detail::FoldBackendKind::Ssse3};
+constexpr Backend kAvx2{fold_avx2, "avx2", detail::FoldBackendKind::Avx2};
 #endif
 
 bool simd_allowed() noexcept {
@@ -275,6 +278,10 @@ const Backend* backend() noexcept {
 }
 
 }  // namespace
+
+detail::FoldBackendKind detail::fold_backend_kind() noexcept {
+  return backend()->kind;
+}
 
 void SecDedCodec::fold_syndromes(const std::uint64_t* data_masks,
                                  const std::uint8_t* check_masks,

@@ -158,6 +158,15 @@ struct RecoveryShardSide {
   /// Struck-word scratch of run_chunk (cleared per strike, capacity
   /// kept across chunks). Pure workspace, never checkpointed.
   std::vector<std::uint64_t> touched;
+  /// Batched-engine scratch (recovery_batch.cpp): the scrub sweep's
+  /// clean-word bitmap plus the gathered (word index, data mask, check
+  /// mask, syndrome) SoA of words headed for a batched classify. Pure
+  /// workspace like `touched`.
+  std::vector<std::uint64_t> batch_bitmap;
+  std::vector<std::uint64_t> batch_words;
+  std::vector<std::uint64_t> batch_data;
+  std::vector<std::uint8_t> batch_check;
+  std::vector<std::uint8_t> batch_syndrome;
 };
 
 /// Immutable shared context of a live-array campaign. Safe to share
@@ -188,10 +197,28 @@ class LiveArrayCampaign {
   /// (nullable) sees absolute strike indices; `grid` (nullable, see
   /// fault/sensitivity.h) records each strike's origin and final
   /// outcome without affecting results.
+  ///
+  /// This is the batched engine (recovery_batch.cpp): integer-domain
+  /// aim draws over per-chunk region tables, XOR-mask flip scatter,
+  /// demand decode and scrub sweeps through the batched ECC entry
+  /// points. Counters, images, grids, observer calls, and the RNG
+  /// stream are bit-identical to run_chunk_reference — pinned by
+  /// tests/fault/batch_engine_test.cpp.
   void run_chunk(const CampaignConfig& config, CampaignShardState& core,
                  RecoveryShardSide& side, std::uint64_t max_strikes,
                  CampaignObserver* observer = nullptr,
                  SensitivityGrid* grid = nullptr) const;
+
+  /// The strike-at-a-time reference loop run_chunk replaced: one
+  /// next_discrete/next_bool/classify_pattern call per draw, per-bit
+  /// located flips, per-word scrub resolution. Kept as the equivalence
+  /// oracle for tests and bench/micro_recovery; identical behavior by
+  /// contract, ~severalfold slower.
+  void run_chunk_reference(const CampaignConfig& config,
+                           CampaignShardState& core, RecoveryShardSide& side,
+                           std::uint64_t max_strikes,
+                           CampaignObserver* observer = nullptr,
+                           SensitivityGrid* grid = nullptr) const;
 
   const std::vector<RecoveryRegion>& regions() const noexcept {
     return regions_;
@@ -211,6 +238,19 @@ class LiveArrayCampaign {
                           std::uint64_t word, Rng& rng,
                           RecoveryCounters& counters, bool scrub_pass) const;
   void scrub_sweep(RecoveryShardSide& side, Rng& rng) const;
+
+  /// Per-chunk constants of the batched engine (recovery_batch.cpp):
+  /// region tables with integer-domain draw thresholds and precomputed
+  /// repair costs, region-pick breakpoints, flip cutoffs.
+  struct BatchTables;
+  void build_batch_tables(BatchTables& tables, std::uint32_t max_flips) const;
+  void scrub_sweep_batched(RecoveryShardSide& side, Rng& rng,
+                           const BatchTables& tables) const;
+
+  /// Re-encodes `value` into the stored codeword (ground truth is the
+  /// caller's business — a hardware write-back never learns it).
+  static void write_back_word(ProtectionKind protection, RegionImage& image,
+                              std::uint64_t word, std::uint64_t value);
 
   std::vector<RecoveryRegion> regions_;
   const StrikeMultiplicityModel& strikes_;

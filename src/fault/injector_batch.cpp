@@ -38,6 +38,12 @@
 // finish them without slot arrays. Both modes draw and count
 // identically; tight mode just skips materializing state nobody reads.
 //
+// The draw-domain primitives (integer-image Bernoulli/discrete picks,
+// flip cutoffs, the region table build) live in
+// ftspm/fault/batch_engine.h and are shared with the batched recovery
+// and temporal engines (recovery_batch.cpp, system_campaign.cpp); the
+// non-trivial ones are defined at the bottom of this file.
+//
 // Equivalence contract: identical counters, grids, observer calls, and
 // RNG stream position to the old per-strike loop for every
 // (regions, strikes, config, chunking) — pinned by
@@ -50,6 +56,7 @@
 #include <utility>
 
 #include "ftspm/ecc/secded_codec.h"
+#include "ftspm/fault/batch_engine.h"
 #include "ftspm/fault/campaign_observer.h"
 #include "ftspm/fault/injector.h"
 #include "ftspm/fault/sensitivity.h"
@@ -57,6 +64,13 @@
 #include "ftspm/util/error.h"
 
 namespace ftspm {
+
+using detail::group_masks;
+using detail::GroupMasks;
+using detail::kDeferClass;
+using detail::kDrawBitsEnd;
+using detail::pick_region;
+using detail::prob_to_draw_bits;
 
 namespace {
 
@@ -71,33 +85,6 @@ inline std::uint64_t range_mask64(std::uint32_t lo, std::uint32_t hi) {
 inline std::uint32_t range_mask32(std::uint32_t lo, std::uint32_t hi) {
   const std::uint32_t len = hi - lo;
   return (len >= 32 ? ~0u : (1u << len) - 1) << lo;
-}
-
-/// class_lut value 4: only the real syndrome fold can classify.
-constexpr std::uint8_t kDeferClass = 4;
-
-/// (data, check) masks of one contiguous struck run [lo, hi) within a
-/// codeword, branchless: an empty half shifts a zero mask (the & 63
-/// keeps the shift defined when the data half is empty; check spans
-/// are <= 8 bits for fast regions).
-struct GroupMasks {
-  std::uint64_t data;
-  std::uint32_t check;
-};
-
-inline GroupMasks group_masks(std::uint32_t lo, std::uint32_t hi) {
-  const std::uint32_t lo_d = std::min(lo, RegionGeometry::kDataBitsPerWord);
-  const std::uint32_t hi_d = std::min(hi, RegionGeometry::kDataBitsPerWord);
-  const std::uint32_t len_d = hi_d - lo_d;
-  const std::uint64_t data =
-      (len_d >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << len_d) - 1)
-      << (lo_d & 63);
-  const std::uint32_t lo_c = std::max(lo, RegionGeometry::kDataBitsPerWord) -
-                             RegionGeometry::kDataBitsPerWord;
-  const std::uint32_t hi_c = std::max(hi, RegionGeometry::kDataBitsPerWord) -
-                             RegionGeometry::kDataBitsPerWord;
-  const std::uint32_t check = ((1u << (hi_c - lo_c)) - 1) << lo_c;
-  return GroupMasks{data, check};
 }
 
 /// Whether (protection, geometry) qualifies for the LUT classify path:
@@ -142,140 +129,6 @@ void build_class_lut(ProtectionKind protection, std::uint8_t (&lut)[8]) {
       lut[b * 2 + syn] = cls;
     }
   }
-}
-
-/// One draw past the largest value next_double() can yield: draw bits
-/// (x >> 11) live in [0, 2^53).
-constexpr std::uint64_t kDrawBitsEnd = std::uint64_t{1} << 53;
-
-/// ceil(p * 2^53), the integer-domain image of a [0, 1] probability:
-/// `next_double() < p  <=>  (x >> 11) < ceil(p * 2^53)`. The product
-/// is exact (a double times a power of two only shifts the exponent),
-/// and an integer is below a real threshold iff below its ceiling, so
-/// the raw-bits comparison is bit-identical to the double one while
-/// resolving ~10 cycles earlier — mispredicted branches on these
-/// comparisons flush that much less speculative work.
-std::uint64_t prob_to_draw_bits(double p) {
-  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
-}
-
-/// Rebuilds the per-region constant table (allocation-free after the
-/// first chunk), applying the same validation the per-strike loop ran,
-/// and recovers the region-pick decision boundaries in draw-bits
-/// space. Rng::next_discrete's subtract scan computes, for one draw u,
-/// the count of non-negative partials of fl(...fl(fl(u*total) - w_0)
-/// ... - w_k); every FP operation involved is monotone in u, so each
-/// partial's sign flips exactly once over the 2^53 draw grid and a
-/// per-chunk binary search recovers that exact breakpoint. The
-/// per-strike pick then degenerates to integer compares of the raw
-/// draw against the breakpoints — bit-identical, but off the FP
-/// convert-multiply-subtract latency chain.
-void build_region_table(const std::vector<InjectionRegion>& regions,
-                        CampaignScratch::Batch& batch) {
-  std::vector<BatchRegionInfo>& table = batch.regions;
-  std::vector<double>& weights = batch.weights;
-  table.clear();
-  table.reserve(regions.size());
-  weights.clear();
-  weights.reserve(regions.size());
-  double total = 0.0;
-  for (const auto& r : regions) {
-    FTSPM_REQUIRE(r.ace_occupancy >= 0.0 && r.ace_occupancy <= 1.0,
-                  "ace_occupancy out of [0,1]");
-    FTSPM_REQUIRE(r.interleave >= 1, "interleave degree must be >= 1");
-    BatchRegionInfo info;
-    info.physical_bits = r.geometry.physical_bits();
-    info.weight = static_cast<double>(info.physical_bits);
-    info.words = r.geometry.words();
-    info.codeword_bits = r.geometry.codeword_bits();
-    info.interleave = r.interleave;
-    info.group_bits =
-        static_cast<std::uint64_t>(info.codeword_bits) * r.interleave;
-    info.protection = r.protection;
-    info.ace_occupancy = r.ace_occupancy;
-    info.div_codeword = FastDiv64(info.codeword_bits, info.physical_bits);
-    if (r.interleave > 1) {
-      info.div_group = FastDiv64(info.group_bits, info.physical_bits);
-      info.div_interleave = FastDiv64(r.interleave, info.group_bits);
-    }
-    info.fast = r.interleave == 1 && info.physical_bits > 0 &&
-                lut_classifiable(r.protection,
-                                 r.geometry.check_bits_per_word());
-    if (info.fast) build_class_lut(r.protection, info.class_lut);
-    info.ace_mode = r.ace_occupancy <= 0.0   ? std::uint8_t{0}
-                    : r.ace_occupancy >= 1.0 ? std::uint8_t{1}
-                                             : std::uint8_t{2};
-    if (info.ace_mode == 2)
-      info.ace_bits = prob_to_draw_bits(r.ace_occupancy);
-    // next_discrete validated the weights on every strike; the weights
-    // are per-chunk constants, so once per chunk is the same check.
-    total += info.weight;
-    weights.push_back(info.weight);
-    table.push_back(info);
-  }
-  FTSPM_REQUIRE(total > 0.0, "at least one weight must be positive");
-  batch.total_weight = total;
-
-  // Sign of subtract-scan partial k at draw bits `ub`, exactly as the
-  // per-strike scan computed it: u converts exactly (53-bit integer
-  // scaled by a power of two), then one rounded multiply and k + 1
-  // rounded subtractions.
-  const auto partial_nonneg = [&](std::uint64_t ub, std::size_t k) {
-    double r = static_cast<double>(ub) * 0x1.0p-53 * total;
-    for (std::size_t i = 0; i <= k; ++i) r -= weights[i];
-    return r >= 0.0;
-  };
-  batch.pick_bits.resize(weights.size());
-  for (std::size_t k = 0; k < weights.size(); ++k) {
-    if (!partial_nonneg(kDrawBitsEnd - 1, k)) {
-      batch.pick_bits[k] = kDrawBitsEnd;  // this partial is never >= 0
-      continue;
-    }
-    std::uint64_t lo = 0, hi = kDrawBitsEnd - 1;
-    while (lo < hi) {
-      const std::uint64_t mid = lo + (hi - lo) / 2;
-      if (partial_nonneg(mid, k))
-        hi = mid;
-      else
-        lo = mid + 1;
-    }
-    batch.pick_bits[k] = hi;
-  }
-  // Pad with never-reached sentinels so the per-strike pick can always
-  // run a fixed four compares for the common <= 4-region mixes: draw
-  // bits are < 2^53, so a sentinel never increments the index.
-  while (batch.pick_bits.size() < 4) batch.pick_bits.push_back(kDrawBitsEnd);
-  // next_discrete's underflow fallback: the last positive weight.
-  batch.pick_fallback = weights.size() - 1;
-  for (std::size_t i = weights.size(); i-- > 0;) {
-    if (weights[i] > 0.0) {
-      batch.pick_fallback = i;
-      break;
-    }
-  }
-}
-
-/// The discrete region pick, replicating Rng::next_discrete's
-/// subtract-scan (and its underflow fallback) bit for bit via the
-/// precomputed draw-bits breakpoints. Branch-free over the table: the
-/// partials only decrease down the scan, so the count of
-/// draws-at-or-past-breakpoint equals the count of non-negative
-/// partials — the scan's answer. Tables of <= 4 regions (padded with
-/// sentinels at build) take a fixed unrolled shape with no inner loop.
-inline std::size_t pick_region(Rng& rng, const std::uint64_t* breaks,
-                               std::size_t count, std::size_t fallback) {
-  const std::uint64_t ub = rng.next_u64() >> 11;
-  std::size_t idx;
-  if (count <= 4) {
-    idx = static_cast<std::size_t>(ub >= breaks[0]) +
-          static_cast<std::size_t>(ub >= breaks[1]) +
-          static_cast<std::size_t>(ub >= breaks[2]) +
-          static_cast<std::size_t>(ub >= breaks[3]);
-  } else {
-    idx = 0;
-    for (std::size_t i = 0; i < count; ++i) idx += ub >= breaks[i] ? 1 : 0;
-  }
-  return idx >= count ? fallback : idx;
 }
 
 /// StrikeOutcome of one folded SEC-DED word, decoded from its batched
@@ -493,6 +346,162 @@ inline InlineWord classify_word_inline(ProtectionKind protection,
 
 }  // namespace
 
+namespace detail {
+
+void build_pick_bits(const std::vector<double>& weights, double total,
+                     std::vector<std::uint64_t>& pick_bits,
+                     std::size_t& fallback) {
+  FTSPM_REQUIRE(total > 0.0, "at least one weight must be positive");
+  // Sign of subtract-scan partial k at draw bits `ub`, exactly as the
+  // per-strike scan computed it: u converts exactly (53-bit integer
+  // scaled by a power of two), then one rounded multiply and k + 1
+  // rounded subtractions.
+  const auto partial_nonneg = [&](std::uint64_t ub, std::size_t k) {
+    double r = static_cast<double>(ub) * 0x1.0p-53 * total;
+    for (std::size_t i = 0; i <= k; ++i) r -= weights[i];
+    return r >= 0.0;
+  };
+  pick_bits.resize(weights.size());
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    if (!partial_nonneg(kDrawBitsEnd - 1, k)) {
+      pick_bits[k] = kDrawBitsEnd;  // this partial is never >= 0
+      continue;
+    }
+    std::uint64_t lo = 0, hi = kDrawBitsEnd - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (partial_nonneg(mid, k))
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    pick_bits[k] = hi;
+  }
+  // Pad with never-reached sentinels so the per-strike pick can always
+  // run a fixed four compares for the common <= 4-region mixes: draw
+  // bits are < 2^53, so a sentinel never increments the index.
+  while (pick_bits.size() < 4) pick_bits.push_back(kDrawBitsEnd);
+  // next_discrete's underflow fallback: the last positive weight.
+  fallback = weights.size() - 1;
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) {
+      fallback = i;
+      break;
+    }
+  }
+}
+
+void build_region_table(const std::vector<InjectionRegion>& regions,
+                        CampaignScratch::Batch& batch) {
+  std::vector<BatchRegionInfo>& table = batch.regions;
+  std::vector<double>& weights = batch.weights;
+  table.clear();
+  table.reserve(regions.size());
+  weights.clear();
+  weights.reserve(regions.size());
+  double total = 0.0;
+  for (const auto& r : regions) {
+    FTSPM_REQUIRE(r.ace_occupancy >= 0.0 && r.ace_occupancy <= 1.0,
+                  "ace_occupancy out of [0,1]");
+    FTSPM_REQUIRE(r.interleave >= 1, "interleave degree must be >= 1");
+    BatchRegionInfo info;
+    info.physical_bits = r.geometry.physical_bits();
+    info.weight = static_cast<double>(info.physical_bits);
+    info.words = r.geometry.words();
+    info.codeword_bits = r.geometry.codeword_bits();
+    info.interleave = r.interleave;
+    info.group_bits =
+        static_cast<std::uint64_t>(info.codeword_bits) * r.interleave;
+    info.protection = r.protection;
+    info.ace_occupancy = r.ace_occupancy;
+    info.div_codeword = FastDiv64(info.codeword_bits, info.physical_bits);
+    if (r.interleave > 1) {
+      info.div_group = FastDiv64(info.group_bits, info.physical_bits);
+      info.div_interleave = FastDiv64(r.interleave, info.group_bits);
+    }
+    info.fast = r.interleave == 1 && info.physical_bits > 0 &&
+                lut_classifiable(r.protection,
+                                 r.geometry.check_bits_per_word());
+    if (info.fast) build_class_lut(r.protection, info.class_lut);
+    info.ace_mode = r.ace_occupancy <= 0.0   ? std::uint8_t{0}
+                    : r.ace_occupancy >= 1.0 ? std::uint8_t{1}
+                                             : std::uint8_t{2};
+    if (info.ace_mode == 2)
+      info.ace_bits = prob_to_draw_bits(r.ace_occupancy);
+    // next_discrete validated the weights on every strike; the weights
+    // are per-chunk constants, so once per chunk is the same check.
+    total += info.weight;
+    weights.push_back(info.weight);
+    table.push_back(info);
+  }
+  batch.total_weight = total;
+  build_pick_bits(weights, total, batch.pick_bits, batch.pick_fallback);
+}
+
+FlipCutoffs make_flip_cutoffs(const StrikeMultiplicityModel& strikes,
+                              std::uint32_t max_flips) {
+  // sample_flips REQUIREs the >3 tail fits, per strike; hoisted here
+  // since max_flips is a chunk constant. The branchless comparison sum
+  // in sample_flips_draw needs the cutoffs monotone, which holds for
+  // any non-negative probabilities. The sums associate exactly as
+  // sample_flips does (c3 = (p1 + p2) + p3) so every comparison sees
+  // the identical double.
+  FTSPM_REQUIRE(max_flips >= 4, "max_flips must allow the >3 tail");
+  const double c1 = strikes.p_exactly(1);
+  const double c2 = c1 + strikes.p_exactly(2);
+  const double c3 = c2 + strikes.p_exactly(3);
+  FTSPM_REQUIRE(c1 >= 0.0 && c2 >= c1 && c3 >= c2,
+                "flip multiplicities must be non-negative");
+  FlipCutoffs cuts;
+  cuts.b1 = prob_to_draw_bits(c1);
+  cuts.b2 = prob_to_draw_bits(c2);
+  cuts.b3 = prob_to_draw_bits(c3);
+  return cuts;
+}
+
+std::uint8_t decode_fold_outcome(std::uint8_t syndrome,
+                                 std::uint64_t data_mask) {
+  return ftspm::decode_fold_outcome(SecDedCodec::syndrome_table()[syndrome],
+                                    data_mask);
+}
+
+std::uint8_t classify_batch_strike(const BatchRegionInfo& R, Rng& rng,
+                                   CampaignScratch& scratch,
+                                   std::uint32_t slot, std::uint64_t origin,
+                                   std::uint32_t flips) {
+  if (R.protection == ProtectionKind::Immune)
+    return static_cast<std::uint8_t>(StrikeOutcome::Masked);
+  CampaignScratch::Batch& batch = scratch.batch;
+  if (R.fast) [[likely]] {
+    const std::uint32_t cw = R.codeword_bits;
+    const std::uint64_t m =
+        std::min<std::uint64_t>(flips, R.physical_bits - origin);
+    const std::uint64_t word = R.div_codeword.divide(origin);
+    const auto bit = static_cast<std::uint32_t>(origin - word * cw);
+    if (bit + m <= cw) [[likely]] {
+      (void)rng.next_u64();
+      const auto b = static_cast<std::uint32_t>(m);
+      const std::uint8_t cls = R.class_lut[std::min(b, 3u) * 2 + (b & 1)];
+      if (cls == kDeferClass) [[unlikely]] {
+        const GroupMasks gm = group_masks(bit, bit + b);
+        batch.fold_data.push_back(gm.data);
+        batch.fold_check.push_back(static_cast<std::uint8_t>(gm.check));
+        batch.fold_slot.push_back(slot);
+        return 0;
+      }
+      return cls;
+    }
+    return classify_straddle_strike(R, rng, batch, slot, bit, m);
+  }
+  // ace_occupancy is 1.0 by contract, so the internal ACE draw is the
+  // no-draw arm and the out-param is discarded.
+  std::uint8_t ace_unused = 1;
+  return classify_general_strike(R, rng, scratch, slot, origin, flips,
+                                 ace_unused);
+}
+
+}  // namespace detail
+
 void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
                         const StrikeMultiplicityModel& strikes,
                         const CampaignConfig& config,
@@ -509,25 +518,15 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
     return;
   }
 
-  build_region_table(regions, batch);
+  detail::build_region_table(regions, batch);
 
-  // Flip-count cutoffs, associating the sums exactly as sample_flips
-  // does (c3 = (p1 + p2) + p3) so every comparison sees the identical
-  // double, then mapped to the draw-bits domain (prob_to_draw_bits) so
-  // the per-strike comparisons run on the raw draw. sample_flips also
-  // REQUIREs the >3 tail fits, per strike; hoisted here since
-  // max_flips is a chunk constant. The branchless comparison sum below
-  // needs the cutoffs monotone, which holds for any non-negative
-  // probabilities.
-  FTSPM_REQUIRE(config.max_flips >= 4, "max_flips must allow the >3 tail");
-  const double flips_c1 = strikes.p_exactly(1);
-  const double flips_c2 = flips_c1 + strikes.p_exactly(2);
-  const double flips_c3 = flips_c2 + strikes.p_exactly(3);
-  FTSPM_REQUIRE(flips_c1 >= 0.0 && flips_c2 >= flips_c1 && flips_c3 >= flips_c2,
-                "flip multiplicities must be non-negative");
-  const std::uint64_t flips_b1 = prob_to_draw_bits(flips_c1);
-  const std::uint64_t flips_b2 = prob_to_draw_bits(flips_c2);
-  const std::uint64_t flips_b3 = prob_to_draw_bits(flips_c3);
+  // Flip-count cutoffs in the draw-bits domain (see make_flip_cutoffs
+  // for the exactness argument).
+  const detail::FlipCutoffs cuts =
+      detail::make_flip_cutoffs(strikes, config.max_flips);
+  const std::uint64_t flips_b1 = cuts.b1;
+  const std::uint64_t flips_b2 = cuts.b2;
+  const std::uint64_t flips_b3 = cuts.b3;
   // next_bool(0.5) of the >3-bit tail: u < 0.5 <=> draw bits < 2^52.
   constexpr std::uint64_t kHalfBits = std::uint64_t{1} << 52;
 
@@ -577,9 +576,9 @@ void run_campaign_chunk(const std::vector<InjectionRegion>& regions,
         // Flip multiplicity (sample_flips inlined draw for draw, in
         // the draw-bits domain): the if-chain `u < c1 -> 1, ...` with
         // the branches folded into flag adds — exact because the
-        // cutoffs are monotone (checked above); only the rare >3-bit
-        // tail still loops, one next_u64 per coin flip exactly as
-        // next_bool(0.5) draws.
+        // cutoffs are monotone (checked at build); only the rare
+        // >3-bit tail still loops, one next_u64 per coin flip exactly
+        // as next_bool(0.5) draws.
         const std::uint64_t ub = rng.next_u64() >> 11;
         std::uint32_t flips = 1 + static_cast<std::uint32_t>(ub >= flips_b1) +
                               static_cast<std::uint32_t>(ub >= flips_b2) +

@@ -29,10 +29,12 @@ void apply_flip(RegionImage& image, const PhysicalBit& pb) {
   }
 }
 
-/// Re-encodes `value` into the stored codeword (ground truth is the
-/// caller's business — a hardware write-back never learns it).
-void write_back(ProtectionKind protection, RegionImage& image,
-                std::uint64_t word, std::uint64_t value) {
+}  // namespace
+
+void LiveArrayCampaign::write_back_word(ProtectionKind protection,
+                                        RegionImage& image,
+                                        std::uint64_t word,
+                                        std::uint64_t value) {
   switch (protection) {
     case ProtectionKind::Immune:
       return;
@@ -53,8 +55,6 @@ void write_back(ProtectionKind protection, RegionImage& image,
     }
   }
 }
-
-}  // namespace
 
 void RecoveryCounters::add(const RecoveryCounters& other) noexcept {
   demand_reads += other.demand_reads;
@@ -107,7 +107,7 @@ void LiveArrayCampaign::ensure_shard_images(RecoveryShardSide& side,
     for (std::uint64_t w = 0; w < words; ++w) {
       const std::uint64_t value = fill.next_u64();
       image.truth[w] = value;
-      write_back(region.inject.protection, image, w, value);
+      write_back_word(region.inject.protection, image, w, value);
       // A freshly-written word is a clean encoding of its truth.
       if (!image.truth_check.empty()) image.truth_check[w] = image.check[w];
     }
@@ -143,7 +143,7 @@ LiveArrayCampaign::WordRepair LiveArrayCampaign::resolve_word(
   // re-fetch is booked at the DMA transfer cost, and dirty/stack data —
   // which has no valid off-chip copy — escalates instead.
   auto handle_due = [&]() {
-    write_back(protection, image, word, image.truth[word]);
+    write_back_word(protection, image, word, image.truth[word]);
     if (!repairs) return WordRepair::Detected;
     if (rng.next_bool(region.dirty_fraction)) {
       ++counters.unrecoverable;
@@ -210,7 +210,7 @@ LiveArrayCampaign::WordRepair LiveArrayCampaign::resolve_word(
           if (repairs) {
             // Write what the decoder produced — right or miscorrected
             // alike, the hardware cannot tell the difference.
-            write_back(protection, image, word, decoded);
+            write_back_word(protection, image, word, decoded);
             counters.recovery_cycles += tech.write_latency_cycles;
             counters.recovery_energy_pj += tech.write_energy_pj;
             if (right) {
@@ -256,12 +256,12 @@ void LiveArrayCampaign::scrub_sweep(RecoveryShardSide& side, Rng& rng) const {
   }
 }
 
-void LiveArrayCampaign::run_chunk(const CampaignConfig& config,
-                                  CampaignShardState& core,
-                                  RecoveryShardSide& side,
-                                  std::uint64_t max_strikes,
-                                  CampaignObserver* observer,
-                                  SensitivityGrid* grid) const {
+void LiveArrayCampaign::run_chunk_reference(const CampaignConfig& config,
+                                            CampaignShardState& core,
+                                            RecoveryShardSide& side,
+                                            std::uint64_t max_strikes,
+                                            CampaignObserver* observer,
+                                            SensitivityGrid* grid) const {
   FTSPM_REQUIRE(side.initialized,
                 "ensure_shard_images must run before run_chunk");
   const auto outcome_of = [](WordRepair repair) {

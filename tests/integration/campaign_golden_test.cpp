@@ -95,8 +95,7 @@ RecoveryResult run_golden_recovery(std::uint64_t seed) {
                                config_for(seed, 60'000), policy);
 }
 
-TEST(CampaignGolden, RecoveryCampaignSeedA) {
-  const RecoveryResult r = run_golden_recovery(kSeedA);
+void expect_golden_recovery_a(const RecoveryResult& r) {
   expect_counts(r.strikes, 60'000, {44831, 10221, 1791, 3157});
   EXPECT_EQ(r.recovery.demand_reads, 15215u);
   EXPECT_EQ(r.recovery.corrections, 4911u);
@@ -108,6 +107,10 @@ TEST(CampaignGolden, RecoveryCampaignSeedA) {
   EXPECT_EQ(r.recovery.sdc_reads, 3159u);
   EXPECT_EQ(r.recovery.recovery_cycles, 2156526u);
   EXPECT_NEAR(r.recovery.recovery_energy_pj, 95037390.5, 1e-3);
+}
+
+TEST(CampaignGolden, RecoveryCampaignSeedA) {
+  expect_golden_recovery_a(run_golden_recovery(kSeedA));
 }
 
 TEST(CampaignGolden, RecoveryCampaignSeedB) {
@@ -137,6 +140,29 @@ TEST(CampaignGolden, TemporalCaseStudyCampaign) {
   };
   expect_counts(run(kSeedA), 50'000, {47129, 1771, 946, 154});
   expect_counts(run(kSeedB), 50'000, {47192, 1731, 909, 168});
+}
+
+// The recovery and temporal campaigns now run on the same batched fold
+// entry points as the static one, so their goldens get the same
+// backend sweep: every fold kernel the host offers must land exactly
+// on the numbers pinned above. The FTSPM_DISABLE_SIMD CI leg runs the
+// scalar iteration of this test, keeping both code paths pinned.
+TEST(CampaignGolden, RecoveryAndTemporalGoldensAcrossFoldBackends) {
+  const Workload w = make_case_study(CaseStudyTargets{}.scaled_down(8));
+  const ProgramProfile prof = profile_workload(w);
+  const StructureEvaluator evaluator;
+  const SystemResult sys = evaluator.evaluate_ftspm(w, prof);
+  for (const char* backend : {"scalar", "ssse3", "avx2"}) {
+    if (!SecDedCodec::set_fold_backend(backend)) continue;  // CPU lacks it
+    SCOPED_TRACE(backend);
+    expect_golden_recovery_a(run_golden_recovery(kSeedA));
+    expect_counts(
+        run_temporal_campaign(evaluator.ftspm_layout(), sys.plan, w.program,
+                              prof, evaluator.strike_model(),
+                              config_for(kSeedA, 50'000)),
+        50'000, {47129, 1771, 946, 154});
+  }
+  EXPECT_TRUE(SecDedCodec::set_fold_backend("auto"));
 }
 
 // The batched engine's deferred SEC-DED patterns resolve through
