@@ -1,0 +1,238 @@
+// Saturation-knee sweep: where does the serve daemon start shedding?
+//
+// Boots an in-process daemon (unix socket, bounded admission queue),
+// then drives it with the YCSB-style load injector across a ladder of
+// open-loop arrival rates. Each rung records the shed rate, achieved
+// throughput, admission-queue depth (sampled from status() while the
+// load runs), and per-class p50/p95/p99 latency, and the whole ladder
+// is emitted as BENCH_saturation.json — the artefact
+// `ftspm_tool report saturation` renders as the knee chart.
+//
+//   saturation_sweep [--quick] [--rates r1,r2,...] [--requests N]
+//                    [--connections N] [--jobs N] [--max-queue N]
+//                    [--out path]
+//
+// Latencies are wall-clock, so rungs never reproduce byte-for-byte;
+// the campaign counters inside each served request remain
+// deterministic (they depend only on the spec).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ftspm/serve/load.h"
+#include "ftspm/serve/server.h"
+#include "ftspm/util/error.h"
+#include "ftspm/util/format.h"
+#include "ftspm/util/json.h"
+
+namespace {
+
+using namespace ftspm;
+
+/// Samples the daemon's queue depth while one load rung runs.
+struct QueueDepthProbe {
+  std::uint64_t max = 0;
+  double mean = 0.0;
+};
+
+QueueDepthProbe probe_queue_depth(const serve::Server& server,
+                                  const std::atomic<bool>& done) {
+  QueueDepthProbe probe;
+  std::uint64_t samples = 0, total = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const std::uint64_t depth = server.status().queued;
+    probe.max = std::max(probe.max, depth);
+    total += depth;
+    ++samples;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  probe.mean = samples != 0
+                   ? static_cast<double>(total) / static_cast<double>(samples)
+                   : 0.0;
+  return probe;
+}
+
+struct StepResult {
+  double rate = 0.0;
+  serve::LoadReport report;
+  QueueDepthProbe queue;
+
+  double throughput_rps() const {
+    return report.wall_ms > 0.0
+               ? static_cast<double>(report.completed) * 1e3 / report.wall_ms
+               : 0.0;
+  }
+};
+
+std::string to_json(const std::vector<StepResult>& steps, bool quick,
+                    std::uint32_t jobs, std::uint32_t connections,
+                    std::uint64_t requests) {
+  JsonWriter w;
+  w.begin_object()
+      .field("schema", std::uint64_t{1})
+      .field("bench", "saturation_sweep")
+      .field("quick", quick)
+      .field("jobs", std::uint64_t{jobs})
+      .field("connections", std::uint64_t{connections})
+      .field("requests_per_step", requests);
+  w.begin_array("steps");
+  for (const StepResult& s : steps) {
+    w.begin_object()
+        .field("rate", s.rate)
+        .field("sent", s.report.sent)
+        .field("completed", s.report.completed)
+        .field("overloaded", s.report.overloaded)
+        .field("errors", s.report.errors)
+        .field("shed_rate", s.report.shed_rate())
+        .field("wall_ms", s.report.wall_ms)
+        .field("throughput_rps", s.throughput_rps())
+        .field("queue_depth_max", static_cast<double>(s.queue.max))
+        .field("queue_depth_mean", s.queue.mean);
+    w.begin_array("classes");
+    for (const serve::ClassStats& c : s.report.classes) {
+      w.begin_object()
+          .field("name", c.name)
+          .field("sent", c.sent)
+          .field("completed", c.completed)
+          .field("overloaded", c.overloaded)
+          .field("p50_ms", c.latency_ms.quantile(0.50))
+          .field("p95_ms", c.latency_ms.quantile(0.95))
+          .field("p99_ms", c.latency_ms.quantile(0.99))
+          .end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::vector<double> parse_rates(const std::string& text) {
+  std::vector<double> rates;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string tok =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    FTSPM_REQUIRE(!tok.empty(), "--rates: empty entry");
+    char* end = nullptr;
+    const double rate = std::strtod(tok.c_str(), &end);
+    FTSPM_REQUIRE(end != nullptr && *end == '\0' && rate > 0.0,
+                  "--rates: bad rate '" + tok + "'");
+    rates.push_back(rate);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_saturation.json";
+  std::string rates_arg;
+  std::uint64_t requests = 0;  // 0 = pick by mode below
+  std::uint32_t connections = 2;
+  std::uint32_t jobs = 2;
+  std::uint64_t max_queue = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](const char* what) {
+      FTSPM_REQUIRE(i + 1 < argc, std::string(what) + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (arg == "--quick") quick = true;
+    else if (arg == "--out") out_path = value("--out");
+    else if (arg == "--rates") rates_arg = value("--rates");
+    else if (arg == "--requests")
+      requests = std::strtoull(value("--requests").c_str(), nullptr, 10);
+    else if (arg == "--connections")
+      connections = static_cast<std::uint32_t>(
+          std::strtoul(value("--connections").c_str(), nullptr, 10));
+    else if (arg == "--jobs")
+      jobs = static_cast<std::uint32_t>(
+          std::strtoul(value("--jobs").c_str(), nullptr, 10));
+    else if (arg == "--max-queue")
+      max_queue = std::strtoull(value("--max-queue").c_str(), nullptr, 10);
+    else {
+      std::cerr << "usage: saturation_sweep [--quick] [--rates r1,r2,...] "
+                   "[--requests N] [--connections N] [--jobs N] "
+                   "[--max-queue N] [--out path]\n";
+      return 2;
+    }
+  }
+  FTSPM_REQUIRE(connections > 0, "--connections must be positive");
+  FTSPM_REQUIRE(max_queue > 0, "--max-queue must be positive");
+  if (requests == 0) requests = quick ? 12 : 48;
+  std::vector<double> rates =
+      !rates_arg.empty()
+          ? parse_rates(rates_arg)
+          : (quick ? std::vector<double>{8.0, 64.0}
+                   : std::vector<double>{4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+
+  // One daemon for the whole ladder: a fresh queue each rung would
+  // hide warm-pool effects the sweep is meant to show. The tiny
+  // max_queue makes the knee reachable at smoke-test strike counts.
+  serve::ServerConfig cfg;
+  cfg.socket_path = "ftspm_sat_" + std::to_string(::getpid()) + ".sock";
+  cfg.jobs = jobs;
+  cfg.max_queue = max_queue;
+  serve::Server server(cfg);
+  server.start();
+
+  std::vector<StepResult> steps;
+  for (const double rate : rates) {
+    serve::LoadConfig load;
+    load.socket_path = cfg.socket_path;
+    load.connections = connections;
+    load.requests = requests;
+    load.rate = rate;
+    load.seed = 1;
+    load.classes = serve::default_mix(/*quick=*/true);
+
+    std::atomic<bool> done{false};
+    QueueDepthProbe probe;
+    std::thread sampler(
+        [&] { probe = probe_queue_depth(server, done); });
+    StepResult step;
+    step.rate = rate;
+    step.report = serve::run_load(load);
+    done.store(true, std::memory_order_release);
+    sampler.join();
+    step.queue = probe;
+    if (step.report.errors > 0) {
+      std::cerr << "saturation_sweep: transport errors at rate " << rate
+                << " — daemon died mid-rung\n";
+      server.request_stop();
+      server.wait();
+      return 1;
+    }
+    std::cout << "rate " << rate << ": sent " << step.report.sent
+              << ", completed " << step.report.completed << ", shed "
+              << step.report.overloaded << " ("
+              << fixed(step.report.shed_rate() * 100.0, 1)
+              << "%), throughput " << fixed(step.throughput_rps(), 1)
+              << " req/s, queue max " << step.queue.max << "\n";
+    steps.push_back(std::move(step));
+  }
+
+  server.request_stop();
+  server.wait();
+
+  const std::string json =
+      to_json(steps, quick, jobs, connections, requests);
+  std::ofstream out(out_path);
+  FTSPM_REQUIRE(static_cast<bool>(out << json << "\n"),
+                "cannot write " + out_path);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -97,6 +97,16 @@ struct ExecConfig {
   /// complete() == false, exactly like a halt_after stop. Non-owning;
   /// may be flipped from any thread.
   const std::atomic<bool>* cancel = nullptr;
+  /// Wall-clock shard attribution: when set, each worker stamps its
+  /// shard's task start and finish (ns since the runner launched the
+  /// tasks) with relaxed atomic stores, and the coordinator invokes
+  /// this callback after the join, once per shard in shard order. The
+  /// serve daemon turns these stamps into per-shard child spans of a
+  /// request's wall-clock trace. Reporting only — wall quantities
+  /// never reach the counters, so enabling it cannot perturb results.
+  std::function<void(std::uint32_t shard, std::uint64_t start_ns,
+                     std::uint64_t end_ns)>
+      shard_span;
 
   std::uint32_t effective_jobs() const noexcept;
   std::uint32_t effective_shards() const noexcept;

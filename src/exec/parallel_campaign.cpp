@@ -394,6 +394,28 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
     chunks_total += (remaining + granule - 1) / granule;
   }
 
+  // Wall-clock shard attribution (ExecConfig::shard_span): each worker
+  // stamps its shard's task start and finish against a local epoch with
+  // relaxed stores; the coordinator reads the stamps after the join.
+  // Wall quantities only — never consulted by the counters.
+  const auto span_epoch = std::chrono::steady_clock::now();
+  const auto span_ns = [span_epoch] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - span_epoch)
+            .count());
+  };
+  std::unique_ptr<std::atomic<std::uint64_t>[]> span_start;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> span_end;
+  if (exec.shard_span) {
+    span_start.reset(new std::atomic<std::uint64_t>[shard_count]);
+    span_end.reset(new std::atomic<std::uint64_t>[shard_count]);
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      span_start[i].store(0, std::memory_order_relaxed);
+      span_end[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
   // A caller-owned pool (ExecConfig::pool) lets a long-running service
   // amortize worker threads across requests; otherwise the run owns a
   // private pool sized by effective_jobs(). Either way the counters are
@@ -411,6 +433,8 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
       const obs::ThreadRegistryScope redirect(shard_registries[i]);
       const CampaignShard& shard = plan[i];
       CampaignShardState& state = states[i];
+      if (span_start != nullptr)
+        span_start[i].store(span_ns(), std::memory_order_relaxed);
       std::uint64_t since_checkpoint = 0;
       while (state.done < shard.config.strikes) {
         if (exec.halt_after != 0 &&
@@ -439,6 +463,8 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
           since_checkpoint = 0;
         }
       }
+      if (span_end != nullptr)
+        span_end[i].store(span_ns(), std::memory_order_relaxed);
     });
   }
   {
@@ -451,6 +477,11 @@ ShardedRun run_sharded_campaign(const CampaignConfig& root,
           shard_done.get(), chunks_done, pool);
     pool.run_all(std::move(tasks));
   }
+
+  if (exec.shard_span)
+    for (std::uint32_t i = 0; i < shard_count; ++i)
+      exec.shard_span(i, span_start[i].load(std::memory_order_relaxed),
+                      span_end[i].load(std::memory_order_relaxed));
 
   ShardedRun run;
   run.shard_results.reserve(shard_count);

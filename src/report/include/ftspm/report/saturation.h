@@ -1,0 +1,81 @@
+// The saturation-knee sweep artefact (BENCH_saturation.json).
+//
+// bench/saturation_sweep drives a serve daemon with the load injector
+// across a ladder of offered arrival rates and records, per rung:
+// shed rate, achieved throughput, admission-queue depth, and per-class
+// latency percentiles. This header is the offline half — parsing the
+// artefact back and rendering the knee chart (`ftspm_tool report
+// saturation`): latency and shed rate against offered rate, with the
+// knee marked at the first rung whose shed rate crosses the threshold.
+//
+// Latencies and rates are wall-clock quantities, so two sweeps never
+// reproduce byte-for-byte; the *schema* is pinned (tests/report) so
+// downstream dashboards can rely on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftspm/util/json.h"
+
+namespace ftspm::report {
+
+/// One request class's latency profile at one offered rate.
+struct SaturationClassPoint {
+  std::string name;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t overloaded = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One rung of the rate ladder.
+struct SaturationStep {
+  /// Offered open-loop rate per connection (req/s); 0 = closed loop.
+  double rate = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+  double shed_rate = 0.0;  ///< overloaded / sent.
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;  ///< completed / wall seconds.
+  double queue_depth_max = 0.0;
+  double queue_depth_mean = 0.0;
+  std::vector<SaturationClassPoint> classes;
+};
+
+struct SaturationSweep {
+  bool quick = false;
+  std::uint32_t jobs = 0;
+  std::uint32_t connections = 0;
+  std::uint64_t requests_per_step = 0;
+  std::vector<SaturationStep> steps;
+};
+
+/// Parses a BENCH_saturation.json document. Throws ftspm::Error on a
+/// missing/mistyped field or an unknown schema version.
+SaturationSweep saturation_from_json(const JsonValue& doc);
+
+/// The saturation knee: index of the first step whose shed rate
+/// exceeds `shed_threshold`. Returns sweep.steps.size() when the sweep
+/// never saturates.
+std::size_t saturation_knee_index(const SaturationSweep& sweep,
+                                  double shed_threshold = 0.01);
+
+/// Self-contained HTML: the knee chart (per-class p95 latency and shed
+/// rate vs offered rate, knee rung marked) plus the per-step table.
+std::string saturation_report_html(const SaturationSweep& sweep);
+
+/// Flat CSV, one row per (step, class) plus a _total row per step,
+/// with the pinned header
+/// "rate,class,sent,completed,overloaded,errors,shed_rate,
+/// throughput_rps,queue_depth_max,queue_depth_mean,
+/// p50_ms,p95_ms,p99_ms".
+std::string saturation_report_csv(const SaturationSweep& sweep);
+
+}  // namespace ftspm::report

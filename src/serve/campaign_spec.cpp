@@ -163,6 +163,7 @@ CampaignOutcome run_campaign_spec(const CampaignSpec& spec,
   exec_cfg.shards = spec.shards;
   exec_cfg.pool = hooks.pool;
   exec_cfg.cancel = hooks.cancel;
+  exec_cfg.shard_span = hooks.shard_span;
 
   const StrikeMultiplicityModel strikes =
       StrikeMultiplicityModel::for_node(spec.node);

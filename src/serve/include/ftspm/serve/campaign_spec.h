@@ -72,6 +72,14 @@ struct CampaignRunHooks {
   /// Invoked every spec.heartbeat_strikes strikes (aggregated across
   /// shards) with (done, total). Must not throw.
   std::function<void(std::uint64_t, std::uint64_t)> progress;
+  /// Wall-clock per-shard attribution, forwarded to
+  /// exec::ExecConfig::shard_span: called after the run joins, once
+  /// per shard in shard order, with the shard's task start/finish in
+  /// ns since the runner launched the tasks. Reporting only — the
+  /// daemon turns these into child spans of the request's wall trace.
+  std::function<void(std::uint32_t shard, std::uint64_t start_ns,
+                     std::uint64_t end_ns)>
+      shard_span;
 };
 
 /// What one spec run produced.

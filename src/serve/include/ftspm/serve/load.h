@@ -74,12 +74,21 @@ struct LoadReport {
   std::uint64_t overloaded = 0;
   std::uint64_t errors = 0;
 
-  /// Machine-readable report: per-class counts plus
-  /// p50/p95/p99/mean/max latency (ms).
+  /// Fraction of sent requests the daemon shed with error(overloaded);
+  /// 0 when nothing was sent. The `load --fail-on-shed` gate and the
+  /// saturation sweep both read this.
+  double shed_rate() const {
+    return sent != 0 ? static_cast<double>(overloaded) /
+                           static_cast<double>(sent)
+                     : 0.0;
+  }
+
+  /// Machine-readable report: aggregate counts (with shed_rate) plus
+  /// per-class counts and p50/p95/p99/mean/max latency (ms).
   std::string to_json() const;
   /// CSV with the pinned header
   /// "class,weight,sent,completed,overloaded,cancelled,errors,
-  /// p50_ms,p95_ms,p99_ms,mean_ms,max_ms".
+  /// shed_rate,p50_ms,p95_ms,p99_ms,mean_ms,max_ms".
   std::string to_csv() const;
 };
 

@@ -11,6 +11,7 @@
 //   ping               pong
 //   campaign           accepted, heartbeat*, then result | error
 //   status             status
+//   metrics            metrics (live registry snapshot + aggregates)
 //   cancel             cancelled | error(not_found); the cancelled
 //                      campaign's own stream ends with error(cancelled)
 //   shutdown           shutting_down (then the daemon drains and exits)
@@ -47,7 +48,14 @@ std::string_view error_code_name(ErrorCode code) noexcept;
 
 /// A parsed client request.
 struct Request {
-  enum class Type : std::uint8_t { Ping, Campaign, Status, Cancel, Shutdown };
+  enum class Type : std::uint8_t {
+    Ping,
+    Campaign,
+    Status,
+    Metrics,
+    Cancel,
+    Shutdown
+  };
   Type type = Type::Ping;
   /// Campaign: client-chosen id echoed on every response frame (the
   /// daemon assigns req-<n> when empty). Cancel: the target id.
@@ -64,6 +72,7 @@ Request parse_request(const JsonValue& value);
 /// Client-side encoders (one line, no trailing newline).
 std::string ping_request();
 std::string status_request();
+std::string metrics_request();
 std::string shutdown_request();
 std::string cancel_request(std::string_view id);
 std::string campaign_request(const CampaignSpec& spec, std::string_view id,
@@ -96,6 +105,13 @@ std::string heartbeat_frame(std::string_view id, std::uint64_t done,
 std::string result_frame(std::string_view id, const obs::LedgerRecord& record,
                          std::string_view run_id, bool complete);
 std::string status_frame(const ServerStatus& status);
+/// The live-telemetry introspection frame: daemon uptime and aggregate
+/// counters plus the serving-layer registry snapshot (the exact
+/// Registry::to_json document: sorted keys, fixed section order — the
+/// schema is deterministic even though the values are live).
+/// `registry_json` must be the raw JSON object text.
+std::string metrics_frame(const ServerStatus& status, double uptime_ms,
+                          std::string_view registry_json);
 std::string cancelled_frame(std::string_view id);
 std::string shutting_down_frame();
 std::string error_frame(std::string_view id, ErrorCode code,

@@ -21,6 +21,15 @@
 // daemon is fully drained. Determinism: the executor runs one request
 // at a time on the shared pool, and counters depend only on the spec —
 // a served run reproduces the one-shot run bit for bit.
+//
+// Live telemetry: every request is tallied into a serving-layer
+// obs::Registry (serve.queue_wait_ms{priority=...} and
+// serve.service_ms{kind=...} histograms, a serve.queue_depth gauge,
+// serve.requests{outcome=...} counters) that the `metrics` frame
+// snapshots on demand, the telemetry thread streams as NDJSON, and the
+// drain folds into the process registry. With trace_path set, the same
+// lifecycle is recorded as wall-clock spans (obs::WallTrace) — one
+// lane per request id plus a queue-depth counter lane.
 #pragma once
 
 #include <atomic>
@@ -49,6 +58,19 @@ struct ServerConfig {
   /// Concurrent connections; excess connects are answered with
   /// error(overloaded) and closed.
   std::uint64_t max_connections = 64;
+  /// Write a wall-clock Chrome trace of every request's lifecycle —
+  /// admitted → queued → running (child spans per shard) → flushing
+  /// result — here when the daemon drains (empty = no trace).
+  /// Reporting only: ledger records and campaign counters are
+  /// bit-identical with tracing on or off.
+  std::string trace_path;
+  /// Append periodic NDJSON snapshots of the serving-layer registry
+  /// here from a dedicated telemetry thread (empty = disabled). Like
+  /// the campaign heartbeat emitter: off the hot path, and the first
+  /// and final snapshots are guaranteed however short the run.
+  std::string telemetry_path;
+  /// Milliseconds between telemetry snapshots (clamped to >= 1).
+  std::uint32_t telemetry_interval_ms = 1000;
 };
 
 class Server {

@@ -310,6 +310,7 @@ std::string LoadReport::to_json() const {
       .field("sent", sent)
       .field("completed", completed)
       .field("overloaded", overloaded)
+      .field("shed_rate", shed_rate())
       .field("errors", errors);
   w.begin_array("classes");
   for (const ClassStats& s : classes) {
@@ -319,6 +320,9 @@ std::string LoadReport::to_json() const {
         .field("sent", s.sent)
         .field("completed", s.completed)
         .field("overloaded", s.overloaded)
+        .field("shed_rate", s.sent != 0 ? static_cast<double>(s.overloaded) /
+                                              static_cast<double>(s.sent)
+                                        : 0.0)
         .field("cancelled", s.cancelled)
         .field("errors", s.errors)
         .field("p50_ms", s.latency_ms.quantile(0.50))
@@ -334,7 +338,7 @@ std::string LoadReport::to_json() const {
 
 std::string LoadReport::to_csv() const {
   std::string out =
-      "class,weight,sent,completed,overloaded,cancelled,errors,"
+      "class,weight,sent,completed,overloaded,cancelled,errors,shed_rate,"
       "p50_ms,p95_ms,p99_ms,mean_ms,max_ms\n";
   char buf[64];
   const auto num = [&buf](double v) {
@@ -345,7 +349,11 @@ std::string LoadReport::to_csv() const {
     out += s.name + "," + num(s.weight) + "," + std::to_string(s.sent) + "," +
            std::to_string(s.completed) + "," + std::to_string(s.overloaded) +
            "," + std::to_string(s.cancelled) + "," +
-           std::to_string(s.errors) + "," + num(s.latency_ms.quantile(0.50)) +
+           std::to_string(s.errors) + "," +
+           num(s.sent != 0 ? static_cast<double>(s.overloaded) /
+                                 static_cast<double>(s.sent)
+                           : 0.0) +
+           "," + num(s.latency_ms.quantile(0.50)) +
            "," + num(s.latency_ms.quantile(0.95)) + "," +
            num(s.latency_ms.quantile(0.99)) + "," + num(s.latency_ms.mean()) +
            "," + num(s.latency_ms.max()) + "\n";

@@ -49,6 +49,8 @@ Request parse_request(const JsonValue& value) {
     req.type = Request::Type::Ping;
   } else if (type == "status") {
     req.type = Request::Type::Status;
+  } else if (type == "metrics") {
+    req.type = Request::Type::Metrics;
   } else if (type == "shutdown") {
     req.type = Request::Type::Shutdown;
   } else if (type == "cancel") {
@@ -69,6 +71,7 @@ Request parse_request(const JsonValue& value) {
 
 std::string ping_request() { return "{\"type\":\"ping\"}"; }
 std::string status_request() { return "{\"type\":\"status\"}"; }
+std::string metrics_request() { return "{\"type\":\"metrics\"}"; }
 std::string shutdown_request() { return "{\"type\":\"shutdown\"}"; }
 
 std::string cancel_request(std::string_view id) {
@@ -158,6 +161,26 @@ std::string status_frame(const ServerStatus& s) {
       .field("max_queue", s.max_queue)
       .field("jobs", static_cast<std::uint64_t>(s.jobs))
       .end_object();
+  return w.str();
+}
+
+std::string metrics_frame(const ServerStatus& s, double uptime_ms,
+                          std::string_view registry_json) {
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "metrics")
+      .field("protocol", static_cast<std::uint64_t>(kProtocolVersion))
+      .field("uptime_ms", uptime_ms)
+      .field("accepting", s.accepting)
+      .field("queued", s.queued)
+      .field("running", s.running)
+      .field("admitted", s.admitted)
+      .field("completed", s.completed)
+      .field("rejected_overload", s.rejected_overload)
+      .field("cancelled", s.cancelled)
+      .field("failed", s.failed);
+  w.raw_field("registry", registry_json);
+  w.end_object();
   return w.str();
 }
 

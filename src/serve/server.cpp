@@ -7,18 +7,26 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
+#include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "ftspm/exec/thread_pool.h"
 #include "ftspm/obs/ledger.h"
 #include "ftspm/obs/metrics.h"
+#include "ftspm/obs/wall_trace.h"
 #include "ftspm/serve/campaign_spec.h"
+#include "ftspm/serve/load.h"
 #include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
 
 namespace ftspm::serve {
 
@@ -113,6 +121,78 @@ struct PendingRequest {
   CampaignSpec spec;
   ConnectionPtr conn;
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Admission wall-clock stamp (queue-wait attribution).
+  std::chrono::steady_clock::time_point admitted_at;
+  /// The request's wall-trace lane; meaningful only when tracing.
+  obs::WallTrace::LaneId lane = 0;
+};
+
+/// The serve-side telemetry writer (ServerConfig::telemetry_path): one
+/// dedicated thread appending NDJSON registry snapshots, mirroring the
+/// campaign HeartbeatEmitter's contract — an immediate first record, a
+/// final one at stop(), never on the hot path (request threads only
+/// touch the registry it snapshots), and I/O failures reported once on
+/// stderr instead of thrown.
+class TelemetryEmitter {
+ public:
+  TelemetryEmitter(const std::string& path, std::uint32_t interval_ms,
+                   std::function<std::string(bool final)> snapshot_line)
+      : path_(path), interval_ms_(std::max<std::uint32_t>(interval_ms, 1)),
+        snapshot_line_(std::move(snapshot_line)) {
+    out_.open(path_, std::ios::binary | std::ios::app);
+    FTSPM_REQUIRE(out_.good(),
+                  "cannot open telemetry output '" + path_ + "'");
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~TelemetryEmitter() { stop(); }
+
+  /// Emits the final snapshot and joins. Idempotent.
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    beat(/*final=*/false);  // At least one record, however short the run.
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopped_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopped_; }))
+        break;
+      lock.unlock();
+      beat(/*final=*/false);
+      lock.lock();
+    }
+    lock.unlock();
+    beat(/*final=*/true);
+  }
+
+  void beat(bool final) {
+    out_ << snapshot_line_(final) << '\n';
+    out_.flush();
+    if (!out_.good() && !write_failed_) {
+      write_failed_ = true;
+      std::fprintf(stderr, "warning: telemetry write to '%s' failed\n",
+                   path_.c_str());
+    }
+  }
+
+  const std::string path_;
+  const std::uint32_t interval_ms_;
+  const std::function<std::string(bool final)> snapshot_line_;
+  std::ofstream out_;
+  bool write_failed_ = false;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
 };
 
 }  // namespace
@@ -153,6 +233,21 @@ struct Server::Impl {
 
   std::mutex ledger_mutex;
 
+  // Serving-layer telemetry. `telemetry` is the live registry behind
+  // the `metrics` frame and the telemetry emitter; it is fed from
+  // reader, accept, and executor threads under `telemetry_mutex`.
+  // Lock order: queue_mutex before telemetry_mutex, never the reverse
+  // (telemetry_line snapshots the queue *before* taking its own lock).
+  // The wall trace locks internally and imposes no ordering.
+  mutable std::mutex telemetry_mutex;
+  obs::Registry telemetry;
+  std::unique_ptr<obs::WallTrace> trace;
+  obs::WallTrace::LaneId admission_lane = 0;  ///< Shed/shutdown marks.
+  obs::WallTrace::LaneId queue_lane = 0;      ///< Queue-depth counter.
+  std::unique_ptr<TelemetryEmitter> emitter;
+  std::atomic<std::uint64_t> telemetry_seq{0};
+  std::chrono::steady_clock::time_point started_at;
+
   void accept_loop();
   void reader_loop(ConnectionPtr conn);
   void executor_loop();
@@ -162,6 +257,85 @@ struct Server::Impl {
   ServerStatus snapshot() const;
   void run_one(PendingRequest req);
   void fold_into_registry() const;
+
+  double uptime_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - started_at)
+        .count();
+  }
+  /// One serve.requests{outcome=...} tick. Callers may hold queue_mutex.
+  void record_outcome(std::string_view outcome) {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex);
+    telemetry.counter("serve.requests", obs::LabelSet{{"outcome",
+                                                       std::string(outcome)}})
+        .add(1);
+  }
+  /// Gauge + trace counter for the admission queue depth.
+  void record_queue_depth(std::uint64_t depth) {
+    {
+      const std::lock_guard<std::mutex> lock(telemetry_mutex);
+      telemetry.gauge("serve.queue_depth").set(static_cast<double>(depth));
+    }
+    if (trace != nullptr)
+      trace->value(queue_lane, "serve.queue_depth",
+                   static_cast<double>(depth));
+  }
+  /// Dequeue instrumentation: closes the queued span and attributes the
+  /// wait to the request's priority class.
+  void note_dequeued(const PendingRequest& req, std::uint64_t depth) {
+    const double wait_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() -
+                               req.admitted_at)
+                               .count();
+    {
+      const std::lock_guard<std::mutex> lock(telemetry_mutex);
+      telemetry
+          .histogram("serve.queue_wait_ms",
+                     obs::LabelSet{{"priority",
+                                    std::to_string(req.priority)}},
+                     load_latency_bounds())
+          .observe(wait_ms);
+    }
+    if (trace != nullptr) trace->end(req.lane);  // "queued"
+    record_queue_depth(depth);
+  }
+  /// Service-time attribution, labelled by campaign kind.
+  void record_service(std::string_view kind, double wall_ms) {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex);
+    telemetry
+        .histogram("serve.service_ms",
+                   obs::LabelSet{{"kind", std::string(kind)}},
+                   load_latency_bounds())
+        .observe(wall_ms);
+  }
+  std::string registry_json() const {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex);
+    return telemetry.to_json();
+  }
+  /// One telemetry NDJSON record. Snapshots the queue first, then the
+  /// registry — see the lock-order note above.
+  std::string telemetry_line(bool final) {
+    const ServerStatus s = snapshot();
+    const std::string registry = registry_json();
+    JsonWriter w;
+    w.begin_object()
+        .field("schema", std::uint64_t{1})
+        .field("event", "serve_telemetry")
+        .field("seq", telemetry_seq.fetch_add(1, std::memory_order_relaxed))
+        .field("final", final)
+        .field("wall_ms", uptime_ms())
+        .field("accepting", s.accepting)
+        .field("queued", s.queued)
+        .field("running", s.running)
+        .field("admitted", s.admitted)
+        .field("completed", s.completed)
+        .field("rejected_overload", s.rejected_overload)
+        .field("cancelled", s.cancelled)
+        .field("failed", s.failed);
+    w.raw_field("registry", registry);
+    w.end_object();
+    return w.str();
+  }
 };
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
@@ -183,6 +357,16 @@ void Server::start() {
   if (config_.tcp_port != 0)
     impl->tcp_fd = make_tcp_listener(config_.tcp_port, tcp_port_);
   impl->pool = std::make_unique<exec::ThreadPool>(config_.jobs);
+  impl->started_at = std::chrono::steady_clock::now();
+  if (!config_.trace_path.empty()) {
+    impl->trace = std::make_unique<obs::WallTrace>();
+    impl->admission_lane = impl->trace->lane("serve", "admission");
+    impl->queue_lane = impl->trace->lane("serve", "queue");
+  }
+  if (!config_.telemetry_path.empty())
+    impl->emitter = std::make_unique<TelemetryEmitter>(
+        config_.telemetry_path, config_.telemetry_interval_ms,
+        [i = impl.get()](bool final) { return i->telemetry_line(final); });
   impl->accepting.store(true, std::memory_order_release);
   impl->executor_thread = std::thread([i = impl.get()] { i->executor_loop(); });
   impl->accept_thread = std::thread([i = impl.get()] { i->accept_loop(); });
@@ -214,7 +398,22 @@ void Server::wait() {
   }
   impl.queue_cv.notify_all();
   if (impl.executor_thread.joinable()) impl.executor_thread.join();
+  if (impl.emitter != nullptr) {
+    // After the executor join, so the final record carries the drained
+    // counters.
+    impl.emitter->stop();
+    impl.emitter.reset();
+  }
   impl.fold_into_registry();
+  if (impl.trace != nullptr) {
+    try {
+      impl.trace->write_file(config_.trace_path);
+    } catch (const std::exception& e) {
+      // wait() runs from the destructor too; report, don't throw.
+      std::fprintf(stderr, "warning: trace write to '%s' failed: %s\n",
+                   config_.trace_path.c_str(), e.what());
+    }
+  }
   final_status_ = impl.snapshot();
   for (const int fd : {impl.wake_pipe[0], impl.wake_pipe[1]})
     if (fd >= 0) ::close(fd);
@@ -295,9 +494,15 @@ void Server::Impl::accept_loop() {
   queue_cv.notify_all();
   for (const PendingRequest& req : orphaned) {
     cancelled.fetch_add(1, std::memory_order_relaxed);
+    record_outcome("cancelled");
+    if (trace != nullptr) {
+      trace->end(req.lane);  // "queued"
+      trace->instant(req.lane, "shutdown");
+    }
     write_frame(req.conn, error_frame(req.id, ErrorCode::ShuttingDown,
                                       "daemon is shutting down"));
   }
+  if (!orphaned.empty()) record_queue_depth(0);
   for (const int fd : {unix_fd, tcp_fd})
     if (fd >= 0) ::close(fd);
   unix_fd = tcp_fd = -1;
@@ -350,6 +555,13 @@ void Server::Impl::handle_request(const ConnectionPtr& conn,
     case Request::Type::Status:
       write_frame(conn, status_frame(snapshot()));
       return;
+    case Request::Type::Metrics:
+      // Queue snapshot first, then the registry (lock order). The
+      // registry JSON schema is deterministic even though the values
+      // are live — tests/serve pins it.
+      write_frame(conn, metrics_frame(snapshot(), uptime_ms(),
+                                      registry_json()));
+      return;
     case Request::Type::Shutdown: {
       write_frame(conn, shutting_down_frame());
       const char byte = 's';
@@ -371,6 +583,7 @@ void Server::Impl::admit_campaign(const ConnectionPtr& conn, Request req) {
   pending.spec = req.spec;
   pending.conn = conn;
   pending.cancel = std::make_shared<std::atomic<bool>>(false);
+  pending.admitted_at = std::chrono::steady_clock::now();
   std::uint64_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex);
@@ -381,6 +594,12 @@ void Server::Impl::admit_campaign(const ConnectionPtr& conn, Request req) {
     }
     if (queue.size() >= cfg.max_queue) {
       rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      record_outcome("rejected_overload");
+      if (trace != nullptr)
+        trace->instant(admission_lane, "shed",
+                       {obs::TraceArg::str("id", req.id),
+                        obs::TraceArg::num(
+                            "priority", std::uint64_t{req.priority})});
       write_frame(conn,
                   error_frame(req.id, ErrorCode::Overloaded,
                               "admission queue full (" +
@@ -390,8 +609,17 @@ void Server::Impl::admit_campaign(const ConnectionPtr& conn, Request req) {
     pending.seq = next_seq++;
     pending.id = !req.id.empty() ? req.id
                                  : "req-" + std::to_string(pending.seq);
+    if (trace != nullptr) {
+      pending.lane = trace->lane("serve", "req " + pending.id);
+      trace->instant(
+          pending.lane, "admitted",
+          {obs::TraceArg::num("priority", std::uint64_t{pending.priority}),
+           obs::TraceArg::num("queue_depth", queue.size() + 1)});
+      trace->begin(pending.lane, "queued");
+    }
     queue.push_back(pending);
     depth = queue.size();
+    record_queue_depth(depth);
     // Written under queue_mutex so the executor (which pops under the
     // same lock) cannot emit this request's result frame first.
     admitted.fetch_add(1, std::memory_order_relaxed);
@@ -404,6 +632,7 @@ void Server::Impl::handle_cancel(const ConnectionPtr& conn,
                                  const std::string& target) {
   ConnectionPtr requester;
   bool found = false;
+  obs::WallTrace::LaneId lane = 0;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex);
     const auto it = std::find_if(
@@ -411,8 +640,10 @@ void Server::Impl::handle_cancel(const ConnectionPtr& conn,
         [&](const PendingRequest& p) { return p.id == target; });
     if (it != queue.end()) {
       requester = it->conn;
+      lane = it->lane;
       queue.erase(it);
       found = true;
+      record_queue_depth(queue.size());
     } else if (running_id == target && running_cancel != nullptr) {
       // The executor notices at the next chunk boundary and answers
       // the requester with error(cancelled) itself.
@@ -428,6 +659,11 @@ void Server::Impl::handle_cancel(const ConnectionPtr& conn,
     return;
   }
   cancelled.fetch_add(1, std::memory_order_relaxed);
+  record_outcome("cancelled");
+  if (trace != nullptr) {
+    trace->end(lane);  // "queued"
+    trace->instant(lane, "cancelled");
+  }
   write_frame(requester, error_frame(target, ErrorCode::Cancelled,
                                      "cancelled while queued"));
   if (requester != conn) write_frame(conn, cancelled_frame(target));
@@ -436,6 +672,7 @@ void Server::Impl::handle_cancel(const ConnectionPtr& conn,
 void Server::Impl::executor_loop() {
   while (true) {
     PendingRequest req;
+    std::uint64_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mutex);
       queue_cv.wait(lock, [this] { return stopping || !queue.empty(); });
@@ -452,9 +689,11 @@ void Server::Impl::executor_loop() {
           });
       req = std::move(*best);
       queue.erase(best);
+      depth = queue.size();
       running_id = req.id;
       running_cancel = req.cancel;
     }
+    note_dequeued(req, depth);
     run_one(std::move(req));
     {
       const std::lock_guard<std::mutex> lock(queue_mutex);
@@ -469,10 +708,15 @@ void Server::Impl::run_one(PendingRequest req) {
       !req.conn->open.load(std::memory_order_acquire)) {
     // Cancelled (or orphaned by a hangup) before it ever ran.
     cancelled.fetch_add(1, std::memory_order_relaxed);
+    record_outcome("cancelled");
+    if (trace != nullptr) trace->instant(req.lane, "cancelled");
     write_frame(req.conn, error_frame(req.id, ErrorCode::Cancelled,
                                       "cancelled before execution"));
     return;
   }
+  const std::string_view kind =
+      req.spec.recover || req.spec.scrub_interval != 0 ? "recovery"
+                                                       : "static";
   CampaignRunHooks hooks;
   hooks.pool = pool.get();
   hooks.cancel = req.cancel.get();
@@ -481,20 +725,50 @@ void Server::Impl::run_one(PendingRequest req) {
       write_frame(req.conn, heartbeat_frame(req.id, done, total));
     };
   }
+  std::uint64_t running_start_us = 0;
+  if (trace != nullptr) {
+    running_start_us = trace->now_us();
+    trace->begin(req.lane, "running",
+                 {obs::TraceArg::str("kind", kind),
+                  obs::TraceArg::num("strikes", req.spec.strikes),
+                  obs::TraceArg::num(
+                      "shards", std::uint64_t{req.spec.shards})});
+    // Shard child spans: the runner stamps task start/finish against
+    // its own epoch (taken just after `running` opens), so offsetting
+    // by running_start_us places each shard inside the parent span.
+    // Reporting only — the callback never touches counters.
+    hooks.shard_span = [this, lane = req.lane, running_start_us](
+                           std::uint32_t shard, std::uint64_t start_ns,
+                           std::uint64_t end_ns) {
+      trace->complete(lane, "shard " + std::to_string(shard),
+                      running_start_us + start_ns / 1000,
+                      running_start_us + end_ns / 1000);
+    };
+  }
   CampaignOutcome outcome;
   try {
     outcome = run_campaign_spec(req.spec, hooks);
   } catch (const std::exception& e) {
     failed.fetch_add(1, std::memory_order_relaxed);
+    record_outcome("failed");
+    if (trace != nullptr) {
+      trace->end(req.lane);  // "running"
+      trace->instant(req.lane, "failed");
+    }
     write_frame(req.conn, error_frame(req.id, ErrorCode::Internal, e.what()));
     return;
   }
+  if (trace != nullptr) trace->end(req.lane);  // "running"
+  record_service(kind, outcome.wall_ms);
   if (!outcome.complete) {
     cancelled.fetch_add(1, std::memory_order_relaxed);
+    record_outcome("cancelled");
+    if (trace != nullptr) trace->instant(req.lane, "cancelled");
     write_frame(req.conn, error_frame(req.id, ErrorCode::Cancelled,
                                       "cancelled mid-run"));
     return;
   }
+  if (trace != nullptr) trace->begin(req.lane, "flushing result");
   obs::LedgerRecord record = campaign_spec_record(req.spec, outcome);
   std::string run_id;
   if (!cfg.ledger_path.empty()) {
@@ -507,25 +781,21 @@ void Server::Impl::run_one(PendingRequest req) {
     obs::append_ledger(record, cfg.ledger_path);
   }
   completed.fetch_add(1, std::memory_order_relaxed);
+  record_outcome("completed");
   write_frame(req.conn, result_frame(req.id, record, run_id,
                                      /*complete=*/true));
+  if (trace != nullptr) trace->end(req.lane);  // "flushing result"
 }
 
 void Server::Impl::fold_into_registry() const {
-  // Post-join, single-threaded: served-request outcomes as labelled
-  // counters, so a --metrics-out snapshot of a serve session carries
-  // the request mix next to the campaign counters.
+  // Post-join, single-threaded: the serving-layer registry — the
+  // serve.requests{outcome=...} counters plus the queue-wait/service
+  // histograms and queue-depth gauge — folds into the process registry,
+  // so a --metrics-out snapshot of a serve session carries the request
+  // mix next to the campaign counters.
   if (!obs::enabled()) return;
-  obs::Registry& reg = obs::registry();
-  const auto fold = [&reg](const std::string& outcome, std::uint64_t value) {
-    if (value != 0)
-      reg.counter("serve.requests", obs::LabelSet{{"outcome", outcome}})
-          .add(value);
-  };
-  fold("completed", completed.load(std::memory_order_relaxed));
-  fold("rejected_overload", rejected_overload.load(std::memory_order_relaxed));
-  fold("cancelled", cancelled.load(std::memory_order_relaxed));
-  fold("failed", failed.load(std::memory_order_relaxed));
+  const std::lock_guard<std::mutex> lock(telemetry_mutex);
+  obs::registry().merge_from(telemetry);
 }
 
 }  // namespace ftspm::serve

@@ -44,6 +44,8 @@ class JsonWriter {
 
   /// `s` as a quoted, escaped JSON string literal.
   static std::string quote(std::string_view s);
+  /// Shortest-round-trip formatting for a finite double.
+  static std::string number(double v);
 
   /// Finishes and returns the document. Throws if containers are
   /// still open.
@@ -54,7 +56,6 @@ class JsonWriter {
   void comma();
   void key_prefix(std::string_view key);
   static std::string escape(std::string_view s);
-  static std::string number(double v);
 
   std::string out_;
   std::vector<Frame> stack_;
@@ -86,6 +87,10 @@ class JsonValue {
   const JsonValue* find(std::string_view key) const noexcept;
   /// Like find() but throws ftspm::Error when the member is missing.
   const JsonValue& at(std::string_view key) const;
+
+  /// Compact re-serialization (members keep their source order). With
+  /// parse_json this round-trips any document the writer produced.
+  std::string dump() const;
 };
 
 /// Parses a complete JSON document (strict: no trailing garbage, no

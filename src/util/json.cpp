@@ -213,6 +213,36 @@ const JsonValue& JsonValue::at(std::string_view key) const {
   return *v;
 }
 
+std::string JsonValue::dump() const {
+  switch (kind) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return boolean ? "true" : "false";
+    case Kind::Number: return JsonWriter::number(number);
+    case Kind::String: return JsonWriter::quote(string);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i != 0) out += ',';
+        out += array[i].dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i != 0) out += ',';
+        out += JsonWriter::quote(object[i].first);
+        out += ':';
+        out += object[i].second.dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
 namespace {
 
 class JsonParser {

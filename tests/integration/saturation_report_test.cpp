@@ -1,0 +1,120 @@
+// The saturation-knee artefact pipeline offline: parsing
+// BENCH_saturation.json, locating the knee, and rendering the CSV/HTML
+// views. The sweep itself is wall-clock and lives in bench/; this
+// suite pins the schema and the renderers on a synthetic document.
+#include "ftspm/report/saturation.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ftspm/util/error.h"
+#include "ftspm/util/json.h"
+
+namespace ftspm::report {
+namespace {
+
+/// A two-rung sweep: the first rung sheds nothing, the second sheds
+/// 25% — the knee sits on the second rung at the default threshold.
+std::string sweep_json() {
+  return R"({"schema":1,"bench":"saturation_sweep","quick":true,)"
+         R"("jobs":2,"connections":2,"requests_per_step":12,"steps":[)"
+         R"({"rate":8,"sent":24,"completed":24,"overloaded":0,"errors":0,)"
+         R"("shed_rate":0,"wall_ms":1500,"throughput_rps":16,)"
+         R"("queue_depth_max":1,"queue_depth_mean":0.25,"classes":[)"
+         R"({"name":"point","sent":16,"completed":16,"overloaded":0,)"
+         R"("p50_ms":4,"p95_ms":9,"p99_ms":11},)"
+         R"({"name":"scan","sent":8,"completed":8,"overloaded":0,)"
+         R"("p50_ms":20,"p95_ms":30,"p99_ms":35}]},)"
+         R"({"rate":64,"sent":24,"completed":18,"overloaded":6,"errors":0,)"
+         R"("shed_rate":0.25,"wall_ms":600,"throughput_rps":30,)"
+         R"("queue_depth_max":4,"queue_depth_mean":2.5,"classes":[)"
+         R"({"name":"point","sent":16,"completed":12,"overloaded":4,)"
+         R"("p50_ms":12,"p95_ms":40,"p99_ms":55},)"
+         R"({"name":"scan","sent":8,"completed":6,"overloaded":2,)"
+         R"("p50_ms":45,"p95_ms":80,"p99_ms":95}]}]})";
+}
+
+TEST(SaturationReportTest, ParsesTheSweepArtefact) {
+  const SaturationSweep sweep = saturation_from_json(parse_json(sweep_json()));
+  EXPECT_TRUE(sweep.quick);
+  EXPECT_EQ(sweep.jobs, 2u);
+  EXPECT_EQ(sweep.connections, 2u);
+  EXPECT_EQ(sweep.requests_per_step, 12u);
+  ASSERT_EQ(sweep.steps.size(), 2u);
+
+  const SaturationStep& calm = sweep.steps[0];
+  EXPECT_DOUBLE_EQ(calm.rate, 8.0);
+  EXPECT_EQ(calm.sent, 24u);
+  EXPECT_EQ(calm.overloaded, 0u);
+  EXPECT_DOUBLE_EQ(calm.shed_rate, 0.0);
+  ASSERT_EQ(calm.classes.size(), 2u);
+  EXPECT_EQ(calm.classes[0].name, "point");
+  EXPECT_DOUBLE_EQ(calm.classes[0].p95_ms, 9.0);
+
+  const SaturationStep& hot = sweep.steps[1];
+  EXPECT_EQ(hot.overloaded, 6u);
+  EXPECT_DOUBLE_EQ(hot.shed_rate, 0.25);
+  EXPECT_DOUBLE_EQ(hot.queue_depth_mean, 2.5);
+  EXPECT_EQ(hot.classes[1].name, "scan");
+  EXPECT_DOUBLE_EQ(hot.classes[1].p99_ms, 95.0);
+}
+
+TEST(SaturationReportTest, RejectsForeignArtefacts) {
+  EXPECT_THROW(saturation_from_json(parse_json(
+                   R"({"schema":2,"bench":"saturation_sweep","steps":[]})")),
+               Error);
+  EXPECT_THROW(saturation_from_json(parse_json(
+                   R"({"schema":1,"bench":"perf_harness","steps":[]})")),
+               Error);
+  EXPECT_THROW(saturation_from_json(parse_json(R"({"schema":1})")), Error);
+}
+
+TEST(SaturationReportTest, KneeIsTheFirstSheddingRung) {
+  const SaturationSweep sweep = saturation_from_json(parse_json(sweep_json()));
+  EXPECT_EQ(saturation_knee_index(sweep), 1u);
+  // A generous threshold pushes the knee off the ladder entirely.
+  EXPECT_EQ(saturation_knee_index(sweep, 0.5), sweep.steps.size());
+  EXPECT_EQ(saturation_knee_index(SaturationSweep{}), 0u);
+}
+
+TEST(SaturationReportTest, CsvHeaderIsPinnedWithTotalRows) {
+  const SaturationSweep sweep = saturation_from_json(parse_json(sweep_json()));
+  std::istringstream csv(saturation_report_csv(sweep));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(csv, line)) lines.push_back(line);
+
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0],
+            "rate,class,sent,completed,overloaded,errors,shed_rate,"
+            "throughput_rps,queue_depth_max,queue_depth_mean,"
+            "p50_ms,p95_ms,p99_ms");
+  // One _total row plus one row per class, per rung.
+  ASSERT_EQ(lines.size(), 1u + 2u * 3u);
+  EXPECT_EQ(lines[1].rfind("8,_total,24,24,0,0,", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("8,point,", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("8,scan,", 0), 0u) << lines[3];
+  EXPECT_EQ(lines[4].rfind("64,_total,24,18,6,0,", 0), 0u) << lines[4];
+}
+
+TEST(SaturationReportTest, HtmlMarksTheKnee) {
+  const SaturationSweep sweep = saturation_from_json(parse_json(sweep_json()));
+  const std::string html = saturation_report_html(sweep);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("Saturation knee at rung 1"), std::string::npos);
+  EXPECT_NE(html.find("point"), std::string::npos);
+  EXPECT_NE(html.find("scan"), std::string::npos);
+
+  // Without a shedding rung there is no knee marker to draw.
+  SaturationSweep calm = sweep;
+  calm.steps.resize(1);
+  const std::string calm_html = saturation_report_html(calm);
+  EXPECT_EQ(calm_html.find("Saturation knee at rung"), std::string::npos);
+  EXPECT_NE(calm_html.find("beyond the highest rung"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftspm::report

@@ -378,9 +378,17 @@ TEST(ServeTest, LoadSustainsConcurrentClientsWithPerClassQuantiles) {
   }
   EXPECT_EQ(class_sum, 12u);
 
-  // The report round-trips through both serializers.
-  EXPECT_NE(report.to_json().find("\"classes\""), std::string::npos);
-  EXPECT_NE(report.to_csv().find("class,weight,sent"), std::string::npos);
+  // The report round-trips through both serializers, shed surface
+  // included (nothing shed here, so the aggregate rate is exactly 0).
+  EXPECT_EQ(report.shed_rate(), 0.0);
+  const JsonValue doc = parse_json(report.to_json());
+  EXPECT_NE(doc.find("shed_rate"), nullptr);
+  EXPECT_EQ(doc.at("shed_rate").number, 0.0);
+  EXPECT_NE(doc.at("classes").array.at(0).find("shed_rate"), nullptr);
+  EXPECT_NE(report.to_csv().find(
+                "class,weight,sent,completed,overloaded,cancelled,errors,"
+                "shed_rate"),
+            std::string::npos);
 
   server.request_stop();
   server.wait();

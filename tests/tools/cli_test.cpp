@@ -288,6 +288,34 @@ TEST(CliTest, LoadFlagsRejectGarbageAndOutOfRange) {
   }
 }
 
+TEST(CliTest, TelemetryFlagsRejectGarbageAndOutOfRange) {
+  const char* cases[] = {"serve --telemetry-interval-ms 0",
+                         "serve --telemetry-interval-ms 5x",
+                         "serve --telemetry-interval-ms 99999999999",
+                         "load --fail-on-shed 101",
+                         "load --fail-on-shed -2",
+                         "load --fail-on-shed half"};
+  for (const char* args : cases) {
+    const CommandResult r = run_tool(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("run `ftspm_tool help` for usage"),
+              std::string::npos)
+        << args << "\n" << r.output;
+  }
+}
+
+TEST(CliTest, ServeStatusExitsTwoWhenNoDaemonListens) {
+  // The one-shot probe's contract for scripts: exit 2 (not a crash,
+  // not a hang) when nothing listens on the socket.
+  const CommandResult r =
+      run_tool("serve-status --socket /tmp/ftspm-cli-no-daemon.sock");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("serve-status:"), std::string::npos) << r.output;
+
+  const CommandResult bad_flag = run_tool("serve-status --tcp 65536");
+  EXPECT_EQ(bad_flag.exit_code, 2) << bad_flag.output;
+}
+
 TEST(CliTest, CampaignRecoveryStdoutIsJobsInvariant) {
   const std::string base =
       "campaign --strikes 20000 --shards 4 --occupancy 0.4 --recover "

@@ -79,7 +79,9 @@
 #include "ftspm/report/json_report.h"
 #include "ftspm/report/render.h"
 #include "ftspm/report/run_compare.h"
+#include "ftspm/report/saturation.h"
 #include "ftspm/report/suite_runner.h"
+#include "ftspm/serve/client.h"
 #include "ftspm/serve/load.h"
 #include "ftspm/serve/server.h"
 #include "ftspm/util/args.h"
@@ -130,6 +132,18 @@ class ObsSession {
   bool progress() const noexcept { return opts_.progress; }
   std::uint32_t jobs() const noexcept { return opts_.jobs; }
   const GlobalOptions& options() const noexcept { return opts_; }
+
+  /// Hands the --trace-out destination to a command that records its
+  /// own trace in the wall-clock domain (`serve`) and disarms the
+  /// simulated-time sink, so finish() neither clobbers the file nor
+  /// reports a second write. Returns the path (empty when none).
+  std::string take_trace_out() {
+    scope_.reset();
+    sink_.reset();
+    std::string path = std::move(opts_.trace_out);
+    opts_.trace_out.clear();
+    return path;
+  }
 
   /// Writes the requested artefacts. Called after the command ran so
   /// I/O errors surface as a nonzero exit instead of dying in a dtor.
@@ -768,13 +782,57 @@ int cmd_report_run(int argc, const char* const* argv) {
   return 0;
 }
 
+/// `report saturation`: render a BENCH_saturation.json sweep (see
+/// bench/saturation_sweep.cpp) as the knee chart HTML, plus optional
+/// CSV for external plotting.
+int cmd_report_saturation(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool report saturation",
+                 "render a saturation sweep artefact as the knee chart");
+  args.add_option("in", "the sweep artefact", "BENCH_saturation.json");
+  args.add_option("html", "HTML output path", "ftspm_saturation.html");
+  args.add_option("out-csv", "also write the flat CSV to FILE", "");
+  args.parse(argc, argv, 3);
+  FTSPM_REQUIRE(args.positionals().empty(),
+                "report saturation takes no further arguments");
+  const report::SaturationSweep sweep = report::saturation_from_json(
+      parse_json(read_text_file(args.option("in"))));
+
+  const std::string html_path = args.option("html");
+  {
+    std::ofstream out(html_path, std::ios::binary);
+    FTSPM_CHECK(out.good(), "cannot open " + html_path);
+    out << report::saturation_report_html(sweep);
+    FTSPM_CHECK(out.good(), "write failed for " + html_path);
+  }
+  const std::size_t knee = report::saturation_knee_index(sweep);
+  std::cout << "wrote saturation report (" << sweep.steps.size()
+            << " rungs) to " << html_path << "\n";
+  if (knee < sweep.steps.size())
+    std::cout << "saturation knee at rate " << sweep.steps[knee].rate
+              << " req/s per connection (shed "
+              << fixed(sweep.steps[knee].shed_rate * 100.0, 1) << "%)\n";
+  else
+    std::cout << "no saturation knee inside the swept rates\n";
+  if (!args.option("out-csv").empty()) {
+    std::ofstream out(args.option("out-csv"), std::ios::binary);
+    FTSPM_CHECK(out.good(), "cannot open " + args.option("out-csv"));
+    out << report::saturation_report_csv(sweep);
+    FTSPM_CHECK(out.good(), "write failed for " + args.option("out-csv"));
+    std::cout << "wrote saturation CSV to " << args.option("out-csv")
+              << "\n";
+  }
+  return 0;
+}
+
 int cmd_report(int argc, const char* const* argv) {
-  // Three shapes share the verb: `report` (the historical full-suite
-  // CSV export), `report trend`, and `report <run>` — disambiguated by
-  // the first positional so the historical spelling keeps working.
+  // Four shapes share the verb: `report` (the historical full-suite
+  // CSV export), `report trend`, `report saturation`, and
+  // `report <run>` — disambiguated by the first positional so the
+  // historical spelling keeps working.
   if (argc > 2) {
     const std::string_view first = argv[2];
     if (first == "trend") return cmd_report_trend(argc, argv);
+    if (first == "saturation") return cmd_report_saturation(argc, argv);
     if (!first.empty() && first[0] != '-') return cmd_report_run(argc, argv);
   }
   ArgParser args("ftspm_tool report",
@@ -1215,6 +1273,10 @@ int cmd_serve(int argc, const char* const* argv) {
                   "concurrent client connections before shedding", "64");
   args.add_option("max-frame-bytes", "per-request NDJSON frame cap",
                   "1048576");
+  args.add_option("telemetry-out",
+                  "append periodic NDJSON registry snapshots to FILE", "");
+  args.add_option("telemetry-interval-ms",
+                  "ms between telemetry snapshots (1000)", "1000");
   args.parse(argc, argv, 2);
   FTSPM_REQUIRE(args.positionals().empty(),
                 "serve takes no positional arguments");
@@ -1231,8 +1293,18 @@ int cmd_serve(int argc, const char* const* argv) {
       args.option_uint("max-frame-bytes", 1u << 30));
   FTSPM_REQUIRE(cfg.max_frame_bytes >= 1024,
                 "--max-frame-bytes must be at least 1024");
+  cfg.telemetry_path = args.option("telemetry-out");
+  cfg.telemetry_interval_ms = static_cast<std::uint32_t>(
+      args.option_uint("telemetry-interval-ms", 3600u * 1000u));
+  FTSPM_REQUIRE(cfg.telemetry_interval_ms > 0,
+                "--telemetry-interval-ms must be positive");
   cfg.jobs = jobs_requested();
-  if (g_session != nullptr) cfg.ledger_path = g_session->options().ledger;
+  if (g_session != nullptr) {
+    cfg.ledger_path = g_session->options().ledger;
+    // The daemon records request-lifecycle spans in wall-clock time;
+    // the session's simulated-time sink would record nothing useful.
+    cfg.trace_path = g_session->take_trace_out();
+  }
 
   serve::Server server(cfg);
   server.start();
@@ -1252,6 +1324,75 @@ int cmd_serve(int argc, const char* const* argv) {
   std::cerr << "daemon drained: " << st.completed << " completed, "
             << st.rejected_overload << " shed, " << st.cancelled
             << " cancelled, " << st.failed << " failed\n";
+  if (!cfg.trace_path.empty())
+    std::cerr << "wrote request trace to " << cfg.trace_path << "\n";
+  if (!cfg.telemetry_path.empty())
+    std::cerr << "wrote telemetry to " << cfg.telemetry_path << "\n";
+  return 0;
+}
+
+/// `serve-status`: one-shot liveness/telemetry probe of a running
+/// daemon — a status frame and a metrics frame over one connection.
+/// Exit 2 when the daemon is unreachable, so scripts can distinguish
+/// "daemon down" from "probe bug".
+int cmd_serve_status(int argc, const char* const* argv) {
+  ArgParser args("ftspm_tool serve-status",
+                 "query a running daemon's status and metrics frames");
+  args.add_option("socket", "daemon unix socket path", "ftspm.sock");
+  args.add_option("tcp", "connect to 127.0.0.1:PORT instead", "0");
+  args.add_flag("json", "emit the raw frames (status line, metrics line)");
+  args.parse(argc, argv, 2);
+  FTSPM_REQUIRE(args.positionals().empty(),
+                "serve-status takes no positional arguments");
+  const std::uint16_t tcp =
+      static_cast<std::uint16_t>(args.option_uint("tcp", 65535));
+
+  std::optional<serve::Client> client;
+  try {
+    client = tcp != 0 ? serve::Client::connect_tcp(tcp)
+                      : serve::Client::connect_unix(args.option("socket"));
+  } catch (const std::exception& e) {
+    std::cerr << "serve-status: " << e.what() << "\n";
+    return 2;
+  }
+  client->send_line(serve::status_request());
+  client->send_line(serve::metrics_request());
+  // The daemon answers a single connection's frames in request order.
+  const JsonValue status = client->next_frame();
+  const JsonValue metrics = client->next_frame();
+
+  if (args.flag("json")) {
+    std::cout << status.dump() << "\n" << metrics.dump() << "\n";
+    return 0;
+  }
+  const auto num = [](const JsonValue& v, std::string_view key) {
+    const JsonValue* f = v.find(key);
+    return f != nullptr && f->is_number() ? f->number : 0.0;
+  };
+  const JsonValue* accepting = status.find("accepting");
+  std::cout << "daemon "
+            << (accepting != nullptr && accepting->is_bool() &&
+                        accepting->boolean
+                    ? "accepting"
+                    : "draining")
+            << "  (uptime " << fixed(num(metrics, "uptime_ms") / 1000.0, 1)
+            << " s)\n"
+            << "  queued " << num(status, "queued") << ", running "
+            << num(status, "running") << " (max queue "
+            << num(status, "max_queue") << ", jobs " << num(status, "jobs")
+            << ")\n"
+            << "  admitted " << num(status, "admitted") << ", completed "
+            << num(status, "completed") << ", shed "
+            << num(status, "rejected_overload") << ", cancelled "
+            << num(status, "cancelled") << ", failed "
+            << num(status, "failed") << "\n";
+  if (const JsonValue* registry = metrics.find("registry")) {
+    const JsonValue* gauges = registry->find("gauges");
+    const JsonValue* depth =
+        gauges != nullptr ? gauges->find("serve.queue_depth") : nullptr;
+    if (depth != nullptr && depth->is_number())
+      std::cout << "  queue depth gauge " << depth->number << "\n";
+  }
   return 0;
 }
 
@@ -1273,12 +1414,17 @@ int cmd_load(int argc, const char* const* argv) {
                   "0");
   args.add_option("seed", "mix RNG seed (reproducible request sequence)",
                   "1");
+  args.add_option("fail-on-shed",
+                  "exit 1 when the shed rate exceeds PCT percent "
+                  "(-1 = never)",
+                  "-1");
   args.add_flag("quick", "shrink the built-in mix for smoke tests");
   args.add_flag("json", "emit the machine-readable report");
   args.add_flag("csv", "emit the per-class CSV report");
   args.parse(argc, argv, 2);
   FTSPM_REQUIRE(args.positionals().empty(),
                 "load takes no positional arguments");
+  const double fail_on_shed = args.option_double("fail-on-shed", -1.0, 100.0);
 
   serve::LoadConfig cfg;
   cfg.socket_path = args.option("socket");
@@ -1301,7 +1447,8 @@ int cmd_load(int argc, const char* const* argv) {
     std::cout << report.to_csv();
   } else {
     std::cout << "sent " << report.sent << ", completed " << report.completed
-              << ", overloaded " << report.overloaded << ", errors "
+              << ", overloaded " << report.overloaded << " ("
+              << fixed(report.shed_rate() * 100.0, 1) << "% shed), errors "
               << report.errors << "  (" << fixed(report.wall_ms, 1)
               << " ms wall)\n";
     for (const serve::ClassStats& c : report.classes) {
@@ -1314,9 +1461,17 @@ int cmd_load(int argc, const char* const* argv) {
     }
   }
   // A load run that saw transport-level errors (daemon died mid-run)
-  // exits nonzero; shed (overloaded) requests are expected behaviour
-  // under pressure and do not fail the run.
-  return report.errors > 0 ? 1 : 0;
+  // exits nonzero. Shed (overloaded) requests are expected behaviour
+  // under pressure and do not fail the run by default; --fail-on-shed
+  // turns the shed rate into a gate for CI-style smoke checks.
+  if (report.errors > 0) return 1;
+  if (fail_on_shed >= 0.0 && report.shed_rate() * 100.0 > fail_on_shed) {
+    std::cerr << "shed rate " << fixed(report.shed_rate() * 100.0, 2)
+              << "% exceeds --fail-on-shed " << fixed(fail_on_shed, 2)
+              << "%\n";
+    return 1;
+  }
+  return 0;
 }
 
 void print_usage(std::ostream& os) {
@@ -1342,6 +1497,9 @@ void print_usage(std::ostream& os) {
         "                           (--metrics/--sensitivity/--html/\n"
         "                           --out-csv)\n"
         "  report   trend           ledger trajectories (--csv)\n"
+        "  report   saturation      knee chart from a saturation sweep\n"
+        "                           artefact (--in/--html/--out-csv; see\n"
+        "                           bench/saturation_sweep)\n"
         "  partition w1[:wt] w2...  multi-task SPM partitioning\n"
         "  reuse    <workload>      LRU reuse-distance analysis\n"
         "  runs list                list the run ledger (see --ledger;\n"
@@ -1350,11 +1508,16 @@ void print_usage(std::ostream& os) {
         "                           regression (--threshold/--metric)\n"
         "  serve                    campaign daemon: NDJSON requests over\n"
         "                           a unix socket (--socket/--tcp/\n"
-        "                           --max-queue; --jobs/--ledger apply;\n"
+        "                           --max-queue/--telemetry-out;\n"
+        "                           --jobs/--ledger/--trace-out apply;\n"
         "                           see docs/serving.md)\n"
+        "  serve-status             one-shot status + metrics probe of a\n"
+        "                           running daemon (--socket/--tcp/\n"
+        "                           --json; exit 2 when unreachable)\n"
         "  load                     drive a running daemon with a YCSB-\n"
         "                           style mix (--connections/--requests/\n"
-        "                           --mix/--rate; --json/--csv report)\n"
+        "                           --mix/--rate/--fail-on-shed;\n"
+        "                           --json/--csv report)\n"
         "  help                     print this message\n"
         "global options (any command, any position):\n"
         "  --trace-out FILE         Chrome trace-event JSON of the run\n"
@@ -1423,6 +1586,7 @@ int dispatch(int argc, const char* const* argv) {
   else if (cmd == "runs") rc = cmd_runs(rest_argc, av);
   else if (cmd == "compare") rc = cmd_compare(rest_argc, av);
   else if (cmd == "serve") rc = cmd_serve(rest_argc, av);
+  else if (cmd == "serve-status") rc = cmd_serve_status(rest_argc, av);
   else if (cmd == "load") rc = cmd_load(rest_argc, av);
   else {
     g_session = nullptr;
